@@ -1,0 +1,60 @@
+"""E10 — L1 optimization ablation: effect of each compiler pass on plan cost (§IV-B).
+
+Expected shape: every pass reduces (or leaves unchanged) the cost-model
+estimate of the plan; all passes together reduce it the most, chiefly by
+shrinking the bytes crossing engine boundaries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.compiler import Compiler, CompilerOptions
+from repro.middleware.optimizer import CostModel
+from repro.workloads import build_mimic_program
+
+VARIANTS = {
+    "none": CompilerOptions.none(),
+    "pushdown_only": CompilerOptions(pushdown=True, fusion=False, cse=False,
+                                     join_reorder=False, dce=False,
+                                     accelerator_placement=False),
+    "fusion_only": CompilerOptions(pushdown=False, fusion=True, cse=False,
+                                   join_reorder=False, dce=False,
+                                   accelerator_placement=False),
+    "cse_only": CompilerOptions(pushdown=False, fusion=False, cse=True,
+                                join_reorder=False, dce=False,
+                                accelerator_placement=False),
+    "all": CompilerOptions(accelerator_placement=False),
+}
+
+
+@pytest.fixture(scope="module")
+def catalog(mimic_system) -> Catalog:
+    return mimic_system["system"].catalog
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_pass_ablation(benchmark, catalog, variant):
+    """Compile the MIMIC program (age-filtered) under one pass configuration."""
+    program = build_mimic_program(min_age=60, epochs=1)
+    compiler = Compiler(catalog, options=VARIANTS[variant])
+    cost_model = CostModel()
+
+    result = benchmark(lambda: compiler.compile(program))
+    estimated_cost = cost_model.plan_cost(result.graph)
+    benchmark.extra_info["experiment"] = "E10"
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["ir_nodes"] = len(result.graph)
+    benchmark.extra_info["estimated_plan_cost_s"] = estimated_cost
+    benchmark.extra_info["estimated_bytes"] = result.estimated_bytes_after
+
+
+def test_all_passes_not_worse_than_none(catalog):
+    """The headline ablation check: the fully optimized plan is never costlier."""
+    program = build_mimic_program(min_age=60, epochs=1)
+    cost_model = CostModel()
+    unoptimized = Compiler(catalog, options=VARIANTS["none"]).compile(program)
+    optimized = Compiler(catalog, options=VARIANTS["all"]).compile(program)
+    assert cost_model.plan_cost(optimized.graph) <= cost_model.plan_cost(unoptimized.graph)
+    assert optimized.estimated_bytes_after <= unoptimized.estimated_bytes_after

@@ -1,0 +1,75 @@
+"""E11 — LogCA crossover curves: speedup vs granularity and kernel intensity (§II-B).
+
+Expected shape: speedup < 1 below the break-even granularity g1, rising
+through g_{A/2} and saturating at the asymptotic acceleration; higher
+computational-intensity kernels (larger beta) reach higher asymptotes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerators import (
+    FPGAAccelerator,
+    GPUAccelerator,
+    LogCAModel,
+    LogCAParameters,
+    RooflineModel,
+    TPUAccelerator,
+)
+
+GRANULARITIES = [1e3, 1e5, 1e7, 1e9]
+DEVICES = {
+    "fpga": FPGAAccelerator,
+    "gpu": GPUAccelerator,
+    "tpu": TPUAccelerator,
+}
+
+
+@pytest.mark.parametrize("device_name", list(DEVICES))
+def test_logca_curve_per_device(benchmark, device_name):
+    """Speedup curve for each device's LogCA view of a linear kernel."""
+    device = DEVICES[device_name]()
+    model = device.logca_model(host_compute_index_s_per_byte=5e-8, beta=1.0)
+
+    curve = benchmark(lambda: model.speedup_curve(GRANULARITIES))
+    speedups = [s for _, s in curve]
+    benchmark.extra_info["experiment"] = "E11"
+    benchmark.extra_info["device"] = device_name
+    benchmark.extra_info["speedups"] = speedups
+    benchmark.extra_info["g1_bytes"] = model.break_even_granularity()
+    benchmark.extra_info["asymptotic_speedup"] = model.asymptotic_speedup()
+    assert speedups == sorted(speedups)
+
+
+@pytest.mark.parametrize("beta", [1.0, 1.2, 1.5])
+def test_logca_kernel_intensity_sweep(benchmark, beta):
+    """Higher computational intensity (beta) lowers the crossover granularity."""
+    model = LogCAModel(LogCAParameters(
+        latency_per_byte_s=1e-9, overhead_s=1e-4,
+        compute_index_s_per_byte=2e-8, peak_acceleration=50.0, beta=beta))
+
+    g1 = benchmark(model.break_even_granularity)
+    benchmark.extra_info["experiment"] = "E11"
+    benchmark.extra_info["beta"] = beta
+    benchmark.extra_info["g1_bytes"] = g1
+    benchmark.extra_info["asymptotic_speedup"] = model.asymptotic_speedup()
+    assert g1 is not None
+
+
+def test_roofline_ceilings(benchmark):
+    """Attainable throughput vs arithmetic intensity for host and accelerators."""
+    devices = {
+        "host": RooflineModel(64.0, 25.0),
+        "fpga": FPGAAccelerator().profile.roofline(),
+        "gpu": GPUAccelerator().profile.roofline(),
+        "tpu": TPUAccelerator().profile.roofline(),
+    }
+    intensities = [0.1, 1.0, 10.0, 100.0]
+
+    curves = benchmark(lambda: {name: model.curve(intensities)
+                                for name, model in devices.items()})
+    benchmark.extra_info["experiment"] = "E11"
+    benchmark.extra_info["ridge_points"] = {name: model.ridge_point
+                                            for name, model in devices.items()}
+    assert curves["gpu"][-1][1] > curves["host"][-1][1]

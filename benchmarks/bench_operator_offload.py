@@ -1,0 +1,69 @@
+"""E1 — operator offload: FPGA bitonic sort vs CPU sort (paper §III-A-1).
+
+Expected shape: below the break-even granularity the host wins (offload
+overhead dominates); above it the FPGA wins, with the advantage growing and
+then saturating.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.accelerators import FPGAAccelerator, KernelRegistry, OffloadPlanner, WorkEstimate
+
+SIZES = [1_000, 10_000, 100_000, 1_000_000]
+
+
+def _rows(n: int) -> list[dict]:
+    rng = random.Random(42)
+    return [{"pid": i, "admit_date": rng.random() * 1e6} for i in range(n)]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_cpu_sort(benchmark, n):
+    """Host Timsort over n rows (the CPU baseline of E1)."""
+    rows = _rows(n)
+    result = benchmark(lambda: sorted(rows, key=lambda r: r["admit_date"]))
+    assert len(result) == n
+    benchmark.extra_info["experiment"] = "E1"
+    benchmark.extra_info["rows"] = n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fpga_bitonic_sort_simulated(benchmark, n):
+    """Simulated FPGA bitonic sort: reports modelled device time, not wall time."""
+    fpga = FPGAAccelerator()
+    planner = OffloadPlanner(KernelRegistry([fpga]))
+
+    def decide():
+        return planner.decide("sort", WorkEstimate(rows=n))
+
+    decision = benchmark(decide)
+    benchmark.extra_info["experiment"] = "E1"
+    benchmark.extra_info["rows"] = n
+    benchmark.extra_info["host_time_s"] = decision.host_time_s
+    benchmark.extra_info["fpga_time_s"] = decision.accelerator_time_s
+    benchmark.extra_info["offloaded"] = decision.offloaded
+    benchmark.extra_info["speedup"] = decision.speedup
+    # The paper's shape: offload only pays off above a granularity threshold.
+    if n <= 1_000:
+        assert not decision.offloaded
+    if n >= 1_000_000:
+        assert decision.offloaded and decision.speedup > 1.0
+
+
+def test_fpga_sort_functional_correctness(benchmark):
+    """The offloaded kernel produces exactly the host sort's output."""
+    rows = _rows(4_000)
+    fpga = FPGAAccelerator()
+
+    def offload():
+        values, _ = fpga.offload("bitonic_sort", rows, key=lambda r: r["admit_date"])
+        return values
+
+    result = benchmark(offload)
+    assert [r["pid"] for r in result] == \
+        [r["pid"] for r in sorted(rows, key=lambda r: r["admit_date"])]
+    benchmark.extra_info["experiment"] = "E1"

@@ -1,0 +1,38 @@
+"""E8 — cross-store recommendation workload across execution modes (Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import build_recommendation_program, build_top_spenders_program
+
+MODES = ["one_size_fits_all", "cpu_polystore", "polystore++"]
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_recommendation_by_mode(benchmark, recommendation_system, mode):
+    """The next-best-offer program (RDBMS + KV + clickstream + ML) per mode."""
+    system = recommendation_system["system"]
+    program = build_recommendation_program(epochs=2)
+
+    result = benchmark.pedantic(lambda: system.execute(program, mode=mode),
+                                iterations=1, rounds=3)
+    model = result.output("offer_model")
+    benchmark.extra_info["experiment"] = "E8"
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["charged_total_s"] = result.total_time_s
+    benchmark.extra_info["migration_bytes"] = result.report.migration_bytes
+    benchmark.extra_info["accuracy"] = model["metrics"]["accuracy"]
+    assert model["rows"] == recommendation_system["dataset"].num_customers
+
+
+def test_reporting_query(benchmark, recommendation_system):
+    """The lighter reporting query (top spenders) through the polystore."""
+    system = recommendation_system["system"]
+    program = build_top_spenders_program(10)
+
+    result = benchmark(lambda: system.execute(program, mode="polystore++"))
+    table = result.output("top")
+    benchmark.extra_info["experiment"] = "E8"
+    benchmark.extra_info["rows"] = len(table)
+    assert len(table) == 10

@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the experiment benchmarks.
+
+Every benchmark corresponds to one experiment of DESIGN.md §4 (E1-E12) and
+records its headline numbers in ``benchmark.extra_info`` so the saved JSON
+doubles as the data behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_accelerated_polystore
+from repro.stores import (
+    KeyValueEngine,
+    MLEngine,
+    RelationalEngine,
+    TextEngine,
+    TimeseriesEngine,
+)
+from repro.workloads import (
+    generate_mimic,
+    generate_recommendation,
+    load_mimic,
+    load_recommendation,
+)
+
+
+@pytest.fixture(scope="module")
+def mimic_system():
+    """An accelerated Polystore++ deployment over 400 synthetic patients."""
+    dataset = generate_mimic(400, points_per_patient=16, seed=17)
+    relational = RelationalEngine("clinical-db")
+    timeseries = TimeseriesEngine("monitors")
+    text = TextEngine("notes-db")
+    ml = MLEngine("dnn-engine")
+    load_mimic(dataset, relational=relational, timeseries=timeseries, text=text)
+    system = build_accelerated_polystore([relational, timeseries, text, ml])
+    return {"system": system, "dataset": dataset}
+
+
+@pytest.fixture(scope="module")
+def recommendation_system():
+    """An accelerated Polystore++ deployment over 400 synthetic customers."""
+    dataset = generate_recommendation(400, seed=19)
+    relational = RelationalEngine("sales-db")
+    keyvalue = KeyValueEngine("profiles")
+    timeseries = TimeseriesEngine("clickstream")
+    ml = MLEngine("reco-ml")
+    load_recommendation(dataset, relational=relational, keyvalue=keyvalue,
+                        timeseries=timeseries)
+    system = build_accelerated_polystore([relational, keyvalue, timeseries, ml])
+    return {"system": system, "dataset": dataset}

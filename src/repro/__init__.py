@@ -1,0 +1,37 @@
+"""Polystore++ reproduction: an accelerated polystore system for heterogeneous workloads.
+
+The public API is intentionally small; most users need only:
+
+* :class:`repro.PolystorePlusPlus` — build a deployment, register engines and
+  accelerators, execute heterogeneous programs.
+* :class:`repro.HeterogeneousProgram` — describe a workload spanning SQL,
+  streams, graphs, text and ML.
+* The engines in :mod:`repro.stores` and the simulated accelerators in
+  :mod:`repro.accelerators` for lower-level use.
+"""
+
+from repro.catalog import Catalog
+from repro.core import (
+    EXECUTION_MODES,
+    ExecutionResult,
+    PolystorePlusPlus,
+    SystemConfig,
+    build_accelerated_polystore,
+    build_cpu_polystore,
+)
+from repro.eide import HeterogeneousProgram, compile_natural_language
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PolystorePlusPlus",
+    "SystemConfig",
+    "ExecutionResult",
+    "EXECUTION_MODES",
+    "HeterogeneousProgram",
+    "compile_natural_language",
+    "Catalog",
+    "build_cpu_polystore",
+    "build_accelerated_polystore",
+    "__version__",
+]

@@ -1,0 +1,133 @@
+"""Simulated fixed-function accelerators (ASIC / TPU-class).
+
+ASICs in the paper are fixed-function devices with pre-configured operators
+that "achieve extremely high performance and efficiency for these operators"
+(§II-B).  Two devices are modelled:
+
+* :class:`TPUAccelerator` — a systolic-array matrix engine (GEMM/GEMV only),
+  standalone deployment like Google's TPU or Microsoft Brainwave.
+* :class:`MigrationASIC` — a bump-in-the-wire serialization/compression
+  engine for the data-migration path (§III-A-3).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.accelerators.base import Accelerator, DeploymentMode, DeviceProfile, KernelSpec
+from repro.exceptions import AcceleratorError
+
+#: Default profile loosely modelled on a first-generation inference TPU.
+DEFAULT_TPU_PROFILE = DeviceProfile(
+    name="tpu0",
+    peak_gflops=45_000.0,
+    memory_bandwidth_gbs=600.0,
+    transfer_bandwidth_gbs=10.0,
+    dispatch_overhead_s=50e-6,
+    power_w=75.0,
+    idle_power_w=15.0,
+    reconfiguration_s=0.0,
+)
+
+DEFAULT_MIGRATION_ASIC_PROFILE = DeviceProfile(
+    name="migration-asic0",
+    peak_gflops=100.0,
+    memory_bandwidth_gbs=50.0,
+    transfer_bandwidth_gbs=25.0,
+    dispatch_overhead_s=10e-6,
+    power_w=8.0,
+    idle_power_w=2.0,
+    reconfiguration_s=0.0,
+)
+
+
+class TPUAccelerator(Accelerator):
+    """A systolic matrix engine supporting only GEMM and GEMV."""
+
+    def __init__(self, profile: DeviceProfile = DEFAULT_TPU_PROFILE,
+                 mode: DeploymentMode = DeploymentMode.STANDALONE, *,
+                 systolic_dim: int = 256) -> None:
+        super().__init__(profile, mode)
+        self.systolic_dim = systolic_dim
+        self.register_kernel("gemm", self._kernel_gemm)
+        self.register_kernel("gemv", self._kernel_gemv)
+
+    def _compute_time(self, spec: KernelSpec) -> float:
+        base = super()._compute_time(spec)
+        if spec.elements and spec.elements < self.systolic_dim * self.systolic_dim:
+            # Matrices smaller than the systolic array waste most of the grid.
+            fill = max(0.02, spec.elements / float(self.systolic_dim * self.systolic_dim))
+            return base / fill
+        return base
+
+    def _kernel_gemm(self, a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, KernelSpec]:
+        """Dense matrix-matrix multiply."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.ndim != 2 or b.ndim != 2:
+            raise AcceleratorError("TPU gemm expects 2-D operands")
+        result = a @ b
+        spec = KernelSpec(
+            name="gemm",
+            bytes_in=int(a.nbytes + b.nbytes),
+            bytes_out=int(result.nbytes),
+            flops=int(2 * a.shape[0] * a.shape[1] * b.shape[1]),
+            elements=int(result.size),
+        )
+        return result, spec
+
+    def _kernel_gemv(self, a: np.ndarray, x: np.ndarray) -> tuple[np.ndarray, KernelSpec]:
+        """Dense matrix-vector multiply."""
+        a = np.asarray(a, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64)
+        result = a @ x
+        spec = KernelSpec(
+            name="gemv",
+            bytes_in=int(a.nbytes + x.nbytes),
+            bytes_out=int(result.nbytes),
+            flops=int(2 * a.shape[0] * a.shape[1]),
+            elements=int(result.size),
+        )
+        return result, spec
+
+
+class MigrationASIC(Accelerator):
+    """A bump-in-the-wire serialization engine for cross-engine data movement."""
+
+    def __init__(self, profile: DeviceProfile = DEFAULT_MIGRATION_ASIC_PROFILE,
+                 mode: DeploymentMode = DeploymentMode.BUMP_IN_THE_WIRE) -> None:
+        super().__init__(profile, mode)
+        self.register_kernel("serialize", self._kernel_serialize)
+        self.register_kernel("deserialize", self._kernel_deserialize)
+
+    def _kernel_serialize(self, table: Any) -> tuple[bytes, KernelSpec]:
+        """Binary-encode a table on the wire path."""
+        from repro.datamodel.serialization import BinarySerializer
+
+        payload, report = BinarySerializer().serialize(table)
+        spec = KernelSpec(
+            name="serialize",
+            bytes_in=table.estimated_bytes(),
+            bytes_out=len(payload),
+            flops=report.value_conversions,
+            elements=report.rows,
+            pipelineable=True,
+        )
+        return payload, spec
+
+    def _kernel_deserialize(self, payload: bytes, schema: Any) -> tuple[Any, KernelSpec]:
+        """Binary-decode a payload on the wire path."""
+        from repro.datamodel.serialization import BinarySerializer
+
+        table, report = BinarySerializer().deserialize(payload, schema)
+        spec = KernelSpec(
+            name="deserialize",
+            bytes_in=len(payload),
+            bytes_out=table.estimated_bytes(),
+            flops=report.value_conversions,
+            elements=report.rows,
+            pipelineable=True,
+        )
+        return table, spec

@@ -1,0 +1,157 @@
+"""Kernel registry: which IR operators can run on which accelerators.
+
+The compiler's placement pass and the middleware's offload planner consult
+this registry to answer the paper's challenge (d) in §IV-A: *what functions
+should be accelerated*.  Each entry maps an abstract operator kind (the IR
+vocabulary) to the device kernels that can execute it, together with a
+work-estimation function that converts operator statistics (rows, bytes,
+flops) into a :class:`~repro.accelerators.base.KernelSpec` for costing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.accelerators.base import Accelerator, KernelSpec
+from repro.exceptions import AcceleratorError
+
+_ROW_BYTES = 64
+
+
+@dataclass(frozen=True)
+class WorkEstimate:
+    """Operator work statistics, engine-agnostic.
+
+    Attributes:
+        rows: Input rows/elements processed.
+        row_bytes: Serialized bytes per row.
+        selectivity: Fraction of rows surviving (filters, joins).
+        flops_per_row: Elementary operations per row.
+        matrix_dims: For GEMM-like operators: ``(m, k, n)``.
+    """
+
+    rows: int = 0
+    row_bytes: int = _ROW_BYTES
+    selectivity: float = 1.0
+    flops_per_row: float = 1.0
+    matrix_dims: tuple[int, int, int] | None = None
+
+
+@dataclass(frozen=True)
+class KernelMapping:
+    """One (operator kind -> device kernel) mapping."""
+
+    operator: str
+    kernel: str
+    estimator: Callable[[WorkEstimate], KernelSpec]
+
+
+def _sort_spec(work: WorkEstimate) -> KernelSpec:
+    import math
+
+    n = max(2, work.rows)
+    comparisons = int(n / 2 * math.log2(n) ** 2)
+    return KernelSpec("bitonic_sort", work.rows * work.row_bytes, work.rows * work.row_bytes,
+                      comparisons, work.rows, pipelineable=True)
+
+
+def _filter_spec(work: WorkEstimate) -> KernelSpec:
+    bytes_in = work.rows * work.row_bytes
+    bytes_out = int(bytes_in * work.selectivity)
+    return KernelSpec("filter", bytes_in, bytes_out, work.rows, work.rows, pipelineable=True)
+
+
+def _project_spec(work: WorkEstimate) -> KernelSpec:
+    bytes_in = work.rows * work.row_bytes
+    bytes_out = int(bytes_in * min(1.0, work.selectivity))
+    return KernelSpec("project", bytes_in, bytes_out, work.rows, work.rows, pipelineable=True)
+
+
+def _window_spec(work: WorkEstimate) -> KernelSpec:
+    bytes_in = work.rows * 16
+    return KernelSpec("window_aggregate", bytes_in, int(bytes_in * work.selectivity),
+                      work.rows * 2, work.rows, pipelineable=True)
+
+
+def _gemm_spec(work: WorkEstimate) -> KernelSpec:
+    if work.matrix_dims is None:
+        raise AcceleratorError("gemm work estimate requires matrix_dims")
+    m, k, n = work.matrix_dims
+    bytes_in = (m * k + k * n) * 8
+    bytes_out = m * n * 8
+    return KernelSpec("gemm", bytes_in, bytes_out, 2 * m * k * n, m * n)
+
+
+def _gemv_spec(work: WorkEstimate) -> KernelSpec:
+    if work.matrix_dims is None:
+        raise AcceleratorError("gemv work estimate requires matrix_dims")
+    m, k, _ = work.matrix_dims
+    return KernelSpec("gemv", (m * k + k) * 8, m * 8, 2 * m * k, m)
+
+
+def _serialize_spec(work: WorkEstimate) -> KernelSpec:
+    bytes_in = work.rows * work.row_bytes
+    return KernelSpec("serialize", bytes_in, bytes_in, work.rows * max(1, work.row_bytes // 8),
+                      work.rows, pipelineable=True)
+
+
+#: Abstract operator kind -> candidate device kernels (tried in order).
+DEFAULT_MAPPINGS: dict[str, list[KernelMapping]] = {
+    "sort": [
+        KernelMapping("sort", "bitonic_sort", _sort_spec),
+        KernelMapping("sort", "sort", _sort_spec),
+    ],
+    "filter": [
+        KernelMapping("filter", "filter", _filter_spec),
+        KernelMapping("filter", "scan_filter", _filter_spec),
+    ],
+    "project": [KernelMapping("project", "project", _project_spec)],
+    "window_aggregate": [KernelMapping("window_aggregate", "window_aggregate", _window_spec)],
+    "gemm": [KernelMapping("gemm", "gemm", _gemm_spec)],
+    "gemv": [KernelMapping("gemv", "gemv", _gemv_spec)],
+    "train": [KernelMapping("train", "gemm", _gemm_spec)],
+    "predict": [KernelMapping("predict", "gemv", _gemv_spec)],
+    "serialize": [KernelMapping("serialize", "serialize", _serialize_spec)],
+}
+
+
+class KernelRegistry:
+    """Lookup from operator kinds to device kernels across a fleet of accelerators."""
+
+    def __init__(self, accelerators: list[Accelerator],
+                 mappings: dict[str, list[KernelMapping]] | None = None) -> None:
+        self.accelerators = list(accelerators)
+        self.mappings = dict(mappings if mappings is not None else DEFAULT_MAPPINGS)
+
+    def accelerable_operators(self) -> list[str]:
+        """Operator kinds that at least one attached device can run."""
+        return sorted(
+            operator for operator in self.mappings
+            if self.candidates(operator)
+        )
+
+    def candidates(self, operator: str) -> list[tuple[Accelerator, KernelMapping]]:
+        """Devices (with their kernel mapping) able to run ``operator``."""
+        out: list[tuple[Accelerator, KernelMapping]] = []
+        for mapping in self.mappings.get(operator, []):
+            for accelerator in self.accelerators:
+                if accelerator.supports(mapping.kernel):
+                    out.append((accelerator, mapping))
+        return out
+
+    def estimate(self, operator: str, work: WorkEstimate
+                 ) -> list[tuple[Accelerator, KernelSpec, float]]:
+        """Per-device cost estimates (simulated seconds) for ``operator``."""
+        estimates = []
+        for accelerator, mapping in self.candidates(operator):
+            spec = mapping.estimator(work)
+            report = accelerator.estimate(spec)
+            estimates.append((accelerator, spec, report.total_s))
+        return sorted(estimates, key=lambda item: item[2])
+
+    def best(self, operator: str, work: WorkEstimate
+             ) -> tuple[Accelerator, KernelSpec, float] | None:
+        """Cheapest device for ``operator``, or ``None`` when none can run it."""
+        estimates = self.estimate(operator, work)
+        return estimates[0] if estimates else None

@@ -1,0 +1,15 @@
+"""Polystore++ compiler: frontend, optimization passes and pipeline."""
+
+from repro.compiler.annotate import annotate_graph, total_estimated_bytes
+from repro.compiler.frontend import Frontend, insert_migrations
+from repro.compiler.pipeline import CompilationResult, Compiler, CompilerOptions
+
+__all__ = [
+    "Compiler",
+    "CompilerOptions",
+    "CompilationResult",
+    "Frontend",
+    "insert_migrations",
+    "annotate_graph",
+    "total_estimated_bytes",
+]

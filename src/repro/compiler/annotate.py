@@ -1,0 +1,114 @@
+"""Cardinality and size annotation of IR graphs.
+
+The optimizer and the accelerator-placement pass need per-operator estimates
+of output rows and bytes.  Estimation walks the graph in topological order:
+scans read engine statistics from the catalog, filters apply predicate
+selectivities, joins use the standard ``|L| * |R| / max(distinct)`` heuristic
+(approximated with a fixed fan-out), and everything else propagates its
+input's estimate.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import Catalog
+from repro.ir.graph import IRGraph
+from repro.ir.nodes import Operator
+from repro.stores.relational.expressions import Expression
+
+_DEFAULT_ROWS = 1_000
+_DEFAULT_ROW_BYTES = 64
+#: Fraction of the cross product an equi-join is assumed to retain.
+_JOIN_SELECTIVITY = 0.001
+
+
+def annotate_graph(graph: IRGraph, catalog: Catalog | None = None) -> None:
+    """Fill ``estimated_rows`` and ``estimated_bytes`` for every node in place."""
+    for node in graph.topological_order():
+        rows = _estimate_rows(graph, node, catalog)
+        node.estimated_rows = rows
+        node.estimated_bytes = rows * _row_bytes(graph, node, catalog)
+
+
+def _estimate_rows(graph: IRGraph, node: Operator, catalog: Catalog | None) -> int:
+    inputs = [graph.node(i) for i in node.inputs]
+    input_rows = [max(1, n.estimated_rows) for n in inputs]
+    kind = node.kind
+
+    if kind in ("scan", "index_seek"):
+        rows = _scan_rows(node, catalog)
+        return rows if kind == "scan" else max(1, rows // 100)
+    if kind == "filter":
+        predicate = node.params.get("predicate")
+        selectivity = predicate.estimated_selectivity() \
+            if isinstance(predicate, Expression) else 0.5
+        return max(1, int(input_rows[0] * selectivity))
+    if kind == "join":
+        left, right = (input_rows + [1, 1])[:2]
+        return max(1, int(left * right * _JOIN_SELECTIVITY), min(left, right))
+    if kind == "aggregate":
+        group_by = node.params.get("group_by") or []
+        if not group_by:
+            return 1
+        return max(1, input_rows[0] // 10)
+    if kind == "limit":
+        return min(input_rows[0], int(node.params.get("n", input_rows[0])))
+    if kind == "top_k":
+        return min(input_rows[0], int(node.params.get("k", input_rows[0])))
+    if kind in ("kv_get",):
+        keys = node.params.get("keys")
+        return len(keys) if keys else _DEFAULT_ROWS
+    if kind in ("ts_range", "window_aggregate"):
+        return _DEFAULT_ROWS
+    if kind == "ts_summarize":
+        return _DEFAULT_ROWS
+    if kind in ("graph_match", "graph_nodes", "neighborhood"):
+        return _DEFAULT_ROWS
+    if kind == "shortest_path":
+        return 1
+    if kind in ("text_search",):
+        return int(node.params.get("top_k", 10))
+    if kind == "keyword_features":
+        return _DEFAULT_ROWS
+    if kind in ("train", "kmeans"):
+        return 1
+    if kind == "predict":
+        return input_rows[0] if input_rows else _DEFAULT_ROWS
+    if kind in ("migrate", "materialize", "project", "sort", "python_udf",
+                "feature_matrix", "matmul", "gemv", "union"):
+        if kind == "union":
+            return sum(input_rows) if input_rows else _DEFAULT_ROWS
+        return input_rows[0] if input_rows else _DEFAULT_ROWS
+    return input_rows[0] if input_rows else _DEFAULT_ROWS
+
+
+def _scan_rows(node: Operator, catalog: Catalog | None) -> int:
+    if catalog is None or node.engine is None:
+        return _DEFAULT_ROWS
+    table = node.params.get("table")
+    if not table:
+        return _DEFAULT_ROWS
+    rows = catalog.table_rows(node.engine, str(table))
+    return rows if rows > 0 else _DEFAULT_ROWS
+
+
+def _row_bytes(graph: IRGraph, node: Operator, catalog: Catalog | None) -> int:
+    if node.kind == "scan" and catalog is not None and node.engine is not None:
+        table = node.params.get("table")
+        if table:
+            columns = catalog.table_columns(node.engine, str(table))
+            if columns:
+                return max(8, 16 * len(columns))
+    if node.kind == "project":
+        columns = node.params.get("columns") or []
+        if columns:
+            return max(8, 16 * len(columns))
+    if node.inputs:
+        producer = graph.node(node.inputs[0])
+        if producer.estimated_rows:
+            return max(8, producer.estimated_bytes // max(1, producer.estimated_rows))
+    return _DEFAULT_ROW_BYTES
+
+
+def total_estimated_bytes(graph: IRGraph) -> int:
+    """Sum of estimated output bytes across the graph (a crude plan cost)."""
+    return sum(node.estimated_bytes for node in graph.nodes())

@@ -1,0 +1,19 @@
+"""L1/L2 optimization passes over the IR."""
+
+from repro.compiler.passes.cse import eliminate_common_subexpressions
+from repro.compiler.passes.dce import eliminate_dead_code
+from repro.compiler.passes.fusion import fuse_operators
+from repro.compiler.passes.join_reorder import choose_join_algorithms, reorder_joins
+from repro.compiler.passes.placement import place_accelerators
+from repro.compiler.passes.pushdown import infer_columns, push_down_filters
+
+__all__ = [
+    "push_down_filters",
+    "infer_columns",
+    "fuse_operators",
+    "eliminate_dead_code",
+    "eliminate_common_subexpressions",
+    "reorder_joins",
+    "choose_join_algorithms",
+    "place_accelerators",
+]

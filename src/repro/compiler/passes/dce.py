@@ -1,0 +1,20 @@
+"""Dead-code elimination: remove operators not reachable from any output."""
+
+from __future__ import annotations
+
+from repro.ir.graph import IRGraph
+
+
+def eliminate_dead_code(graph: IRGraph) -> int:
+    """Remove unreachable nodes; returns the number removed."""
+    if not graph.outputs:
+        return 0
+    live: set[str] = set()
+    frontier = list(graph.outputs)
+    while frontier:
+        current = frontier.pop()
+        if current in live:
+            continue
+        live.add(current)
+        frontier.extend(graph.node(current).inputs)
+    return graph.prune(lambda node: node.op_id in live)

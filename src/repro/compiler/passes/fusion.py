@@ -1,0 +1,100 @@
+"""Operator-fusion pass (an L1 optimization).
+
+Polyglot systems such as Weld gain most of their speedup by fusing adjacent
+operators so intermediate results are never materialized (paper §II-A).
+Three fusions are implemented:
+
+* adjacent filters become one filter with an AND-combined predicate,
+* adjacent projections keep only the outermost column list,
+* a projection directly above a scan is folded into the scan's column list
+  (so the engine never materializes dropped columns).
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import IRGraph
+from repro.stores.relational.expressions import Expression, and_
+
+
+def fuse_operators(graph: IRGraph) -> int:
+    """Apply all fusions until fixpoint; returns the number of fusions."""
+    total = 0
+    changed = True
+    while changed:
+        changed = False
+        for fuse in (_fuse_adjacent_filters, _fuse_adjacent_projects, _fuse_project_into_scan):
+            count = fuse(graph)
+            if count:
+                total += count
+                changed = True
+    return total
+
+
+def _fuse_adjacent_filters(graph: IRGraph) -> int:
+    fused = 0
+    for node in list(graph.nodes()):
+        if node.kind != "filter" or not node.inputs or node.op_id not in graph:
+            continue
+        child_id = node.inputs[0]
+        if child_id not in graph:
+            continue
+        child = graph.node(child_id)
+        if child.kind != "filter":
+            continue
+        if len(graph.consumers(child.op_id)) != 1:
+            continue
+        upper = node.params.get("predicate")
+        lower = child.params.get("predicate")
+        if not isinstance(upper, Expression) or not isinstance(lower, Expression):
+            continue
+        node.params["predicate"] = and_(lower, upper)
+        node.inputs = list(child.inputs)
+        graph.prune(lambda n, dead=child.op_id: n.op_id != dead)
+        fused += 1
+    return fused
+
+
+def _fuse_adjacent_projects(graph: IRGraph) -> int:
+    fused = 0
+    for node in list(graph.nodes()):
+        if node.kind != "project" or not node.inputs or node.op_id not in graph:
+            continue
+        child_id = node.inputs[0]
+        if child_id not in graph:
+            continue
+        child = graph.node(child_id)
+        if child.kind != "project":
+            continue
+        if len(graph.consumers(child.op_id)) != 1:
+            continue
+        node.inputs = list(child.inputs)
+        graph.prune(lambda n, dead=child.op_id: n.op_id != dead)
+        fused += 1
+    return fused
+
+
+def _fuse_project_into_scan(graph: IRGraph) -> int:
+    fused = 0
+    for node in list(graph.nodes()):
+        if node.kind != "project" or not node.inputs or node.op_id not in graph:
+            continue
+        child_id = node.inputs[0]
+        if child_id not in graph:
+            continue
+        child = graph.node(child_id)
+        if child.kind != "scan":
+            continue
+        if len(graph.consumers(child.op_id)) != 1:
+            continue
+        columns = node.params.get("columns")
+        if not columns:
+            continue
+        child.params["columns"] = list(columns)
+        # The projection node is now redundant: rewire its consumers to the scan.
+        for consumer in graph.consumers(node.op_id):
+            graph.replace_input(consumer.op_id, node.op_id, child.op_id)
+        if node.op_id in graph.outputs:
+            graph.replace_output(node.op_id, child.op_id)
+        graph.prune(lambda n, dead=node.op_id: n.op_id != dead)
+        fused += 1
+    return fused

@@ -1,0 +1,70 @@
+"""Accelerator-placement pass.
+
+Answers the paper's "what functions should be accelerated" question
+(§IV-A-d) at compile time: for every accelerable operator the pass builds a
+work estimate from the cardinality annotations, asks the
+:class:`~repro.accelerators.simulator.OffloadPlanner` whether any attached
+device beats the host, and records the chosen device in the operator's
+``accelerator`` field.  The executor later routes such operators through the
+device's functional kernel.
+"""
+
+from __future__ import annotations
+
+from repro.accelerators.kernels import WorkEstimate
+from repro.accelerators.simulator import OffloadPlanner, PlacementDecision
+from repro.ir.graph import IRGraph
+from repro.ir.nodes import Operator
+
+#: IR kind -> abstract operator name in the kernel registry.
+_KIND_TO_OPERATOR = {
+    "sort": "sort",
+    "filter": "filter",
+    "project": "project",
+    "window_aggregate": "window_aggregate",
+    "matmul": "gemm",
+    "gemv": "gemv",
+    "train": "train",
+    "predict": "predict",
+    "migrate": "serialize",
+}
+
+
+def place_accelerators(graph: IRGraph, planner: OffloadPlanner
+                       ) -> list[PlacementDecision]:
+    """Decide offload per accelerable operator; returns all decisions made."""
+    decisions: list[PlacementDecision] = []
+    for node in graph.topological_order():
+        operator = _KIND_TO_OPERATOR.get(node.kind)
+        if operator is None:
+            continue
+        work = _work_estimate(graph, node)
+        decision = planner.decide(operator, work)
+        decisions.append(decision)
+        node.accelerator = decision.target if decision.offloaded else None
+        node.annotations["placement_speedup"] = decision.speedup
+        node.annotations["placement_host_time_s"] = decision.host_time_s
+    return decisions
+
+
+def _work_estimate(graph: IRGraph, node: Operator) -> WorkEstimate:
+    input_rows = max((graph.node(i).estimated_rows for i in node.inputs), default=0)
+    rows = max(node.estimated_rows, input_rows, 1)
+    row_bytes = max(8, node.estimated_bytes // max(1, node.estimated_rows)) \
+        if node.estimated_rows else 64
+    if node.kind in ("train", "predict", "matmul", "gemv"):
+        features = int(node.params.get("feature_count", 16))
+        hidden = 32
+        if node.kind == "train":
+            epochs = int(node.params.get("epochs", 5))
+            return WorkEstimate(rows=rows, matrix_dims=(rows * epochs, features, hidden))
+        if node.kind == "predict":
+            return WorkEstimate(rows=rows, matrix_dims=(rows, features, 1))
+        return WorkEstimate(rows=rows, matrix_dims=(rows, features, features))
+    selectivity = 1.0
+    if node.kind == "filter" and node.inputs:
+        parent_rows = max(1, graph.node(node.inputs[0]).estimated_rows)
+        selectivity = min(1.0, node.estimated_rows / parent_rows)
+    if node.kind == "project":
+        selectivity = 0.5
+    return WorkEstimate(rows=rows, row_bytes=row_bytes, selectivity=selectivity)

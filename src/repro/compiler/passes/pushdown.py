@@ -1,0 +1,137 @@
+"""Predicate-pushdown pass (an L1 optimization, paper §IV-B-3).
+
+Filters are moved as close to the scans as possible: through projections,
+and into one side of a join when the predicate references only that side's
+columns.  Pushing a filter below a join shrinks the data crossing engine
+boundaries — the dominant cost a polystore optimizer fights.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import Catalog
+from repro.ir.graph import IRGraph
+from repro.ir.nodes import Operator
+from repro.stores.relational.expressions import Expression, and_, split_conjunction
+
+
+def infer_columns(graph: IRGraph, catalog: Catalog | None = None) -> dict[str, frozenset[str]]:
+    """Best-effort set of output column names per node.
+
+    Only the relational subset participates: scans (from catalog schemas),
+    projections (their column list), joins (union of both sides), and
+    pass-through operators.  Nodes with unknown columns map to an empty set,
+    which the pushdown pass treats as "don't touch".
+    """
+    columns: dict[str, frozenset[str]] = {}
+    for node in graph.topological_order():
+        if node.kind == "scan":
+            names: frozenset[str] = frozenset()
+            if catalog is not None and node.engine is not None and node.params.get("table"):
+                names = frozenset(catalog.table_columns(node.engine, str(node.params["table"])))
+            explicit = node.params.get("columns")
+            if explicit:
+                names = frozenset(explicit)
+            columns[node.op_id] = names
+        elif node.kind == "project":
+            columns[node.op_id] = frozenset(node.params.get("columns") or [])
+        elif node.kind == "join":
+            left, right = node.inputs[0], node.inputs[1]
+            columns[node.op_id] = columns.get(left, frozenset()) | columns.get(right, frozenset())
+        elif node.kind in ("filter", "sort", "limit", "top_k", "migrate", "materialize"):
+            source = node.inputs[0] if node.inputs else None
+            columns[node.op_id] = columns.get(source, frozenset()) if source else frozenset()
+        elif node.kind == "aggregate":
+            group_by = frozenset(node.params.get("group_by") or [])
+            aliases = frozenset(a.alias for a in node.params.get("aggregates") or [])
+            columns[node.op_id] = group_by | aliases
+        else:
+            columns[node.op_id] = frozenset()
+    return columns
+
+
+def push_down_filters(graph: IRGraph, catalog: Catalog | None = None) -> int:
+    """Push filters below projects and joins; returns the number of rewrites."""
+    rewrites = 0
+    changed = True
+    while changed:
+        changed = False
+        columns = infer_columns(graph, catalog)
+        for node in list(graph.nodes()):
+            if node.kind != "filter" or not node.inputs:
+                continue
+            child = graph.node(node.inputs[0])
+            if child.kind == "project" and _swap_filter_project(graph, node, child):
+                rewrites += 1
+                changed = True
+                break
+            if child.kind == "join" and _push_into_join(graph, node, child, columns):
+                rewrites += 1
+                changed = True
+                break
+    return rewrites
+
+
+def _swap_filter_project(graph: IRGraph, filter_node: Operator,
+                         project_node: Operator) -> bool:
+    """Rewrite filter(project(x)) into project(filter(x)) when safe."""
+    predicate = filter_node.params.get("predicate")
+    if not isinstance(predicate, Expression):
+        return False
+    project_columns = set(project_node.params.get("columns") or [])
+    if project_columns and not predicate.referenced_columns() <= project_columns:
+        return False
+    if len(graph.consumers(project_node.op_id)) != 1:
+        return False
+    source = project_node.inputs[0]
+    # Rewire: source -> filter -> project -> (old consumers of filter)
+    filter_node.inputs = [source]
+    project_node.inputs = [filter_node.op_id]
+    for consumer in graph.consumers(filter_node.op_id):
+        if consumer.op_id != project_node.op_id:
+            graph.replace_input(consumer.op_id, filter_node.op_id, project_node.op_id)
+    if filter_node.op_id in graph.outputs:
+        graph.replace_output(filter_node.op_id, project_node.op_id)
+    return True
+
+
+def _push_into_join(graph: IRGraph, filter_node: Operator, join_node: Operator,
+                    columns: dict[str, frozenset[str]]) -> bool:
+    """Push conjuncts of a post-join filter into the join side that owns them."""
+    predicate = filter_node.params.get("predicate")
+    if not isinstance(predicate, Expression):
+        return False
+    if len(graph.consumers(join_node.op_id)) != 1:
+        return False
+    left_id, right_id = join_node.inputs[0], join_node.inputs[1]
+    left_columns = columns.get(left_id, frozenset())
+    right_columns = columns.get(right_id, frozenset())
+    if not left_columns and not right_columns:
+        return False
+    conjuncts = split_conjunction(predicate)
+    pushed_left: list[Expression] = []
+    pushed_right: list[Expression] = []
+    remaining: list[Expression] = []
+    for conjunct in conjuncts:
+        referenced = conjunct.referenced_columns()
+        if left_columns and referenced <= left_columns:
+            pushed_left.append(conjunct)
+        elif right_columns and referenced <= right_columns:
+            pushed_right.append(conjunct)
+        else:
+            remaining.append(conjunct)
+    if not pushed_left and not pushed_right:
+        return False
+    for side_input, side_predicates in ((left_id, pushed_left), (right_id, pushed_right)):
+        if side_predicates:
+            side_filter = Operator(
+                "filter",
+                {"predicate": and_(*side_predicates)},
+                engine=graph.node(side_input).engine,
+            )
+            side_filter.annotations["fragment"] = filter_node.annotations.get("fragment", "")
+            graph.insert_between(side_input, join_node.op_id, side_filter)
+    if remaining:
+        filter_node.params["predicate"] = and_(*remaining)
+    else:
+        graph.remove(filter_node.op_id)
+    return True

@@ -1,0 +1,128 @@
+"""The compiler pipeline: frontend -> L1 passes -> placement -> backend plan.
+
+This is the Polystore++ compiler of the paper's Figure 4/6: it takes a
+heterogeneous program from the EIDE, lowers it to the hierarchical IR,
+applies domain-agnostic L1 optimizations, decides accelerator placement and
+hands the executor a staged plan.  Individual passes can be toggled, which
+the ablation benchmark (experiment E10) uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accelerators.simulator import OffloadPlanner, PlacementDecision
+from repro.catalog import Catalog
+from repro.compiler.annotate import annotate_graph, total_estimated_bytes
+from repro.compiler.frontend import Frontend
+from repro.compiler.passes import (
+    choose_join_algorithms,
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    fuse_operators,
+    push_down_filters,
+    reorder_joins,
+)
+from repro.compiler.passes.placement import place_accelerators
+from repro.eide.program import HeterogeneousProgram
+from repro.ir.graph import IRGraph
+from repro.ir.validation import assert_valid
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Which optimizations the compiler applies."""
+
+    pushdown: bool = True
+    fusion: bool = True
+    cse: bool = True
+    join_reorder: bool = True
+    dce: bool = True
+    accelerator_placement: bool = True
+
+    @classmethod
+    def none(cls) -> "CompilerOptions":
+        """All optimizations disabled (the unoptimized baseline)."""
+        return cls(pushdown=False, fusion=False, cse=False, join_reorder=False,
+                   dce=False, accelerator_placement=False)
+
+
+@dataclass
+class CompilationResult:
+    """Everything the compiler produces for one program."""
+
+    graph: IRGraph
+    pass_counts: dict[str, int] = field(default_factory=dict)
+    placement_decisions: list[PlacementDecision] = field(default_factory=list)
+    estimated_bytes_before: int = 0
+    estimated_bytes_after: int = 0
+
+    @property
+    def offloaded_operators(self) -> int:
+        """Number of operators placed on an accelerator."""
+        return sum(1 for node in self.graph.nodes() if node.accelerator)
+
+    def summary(self) -> dict[str, object]:
+        """Compact dictionary for logs and reports."""
+        return {
+            "nodes": len(self.graph),
+            "offloaded": self.offloaded_operators,
+            "passes": dict(self.pass_counts),
+            "estimated_bytes_before": self.estimated_bytes_before,
+            "estimated_bytes_after": self.estimated_bytes_after,
+        }
+
+
+class Compiler:
+    """Compiles heterogeneous programs to optimized, placed IR graphs."""
+
+    def __init__(self, catalog: Catalog, *, planner: OffloadPlanner | None = None,
+                 options: CompilerOptions | None = None) -> None:
+        self.catalog = catalog
+        self.planner = planner
+        self.options = options if options is not None else CompilerOptions()
+        self.frontend = Frontend(catalog)
+
+    def compile(self, program: HeterogeneousProgram,
+                options: CompilerOptions | None = None) -> CompilationResult:
+        """Run the full pipeline on ``program``."""
+        opts = options if options is not None else self.options
+        graph = self.frontend.lower(program)
+        assert_valid(graph)
+        annotate_graph(graph, self.catalog)
+        result = CompilationResult(graph=graph,
+                                   estimated_bytes_before=total_estimated_bytes(graph))
+        self._optimize(result, opts)
+        annotate_graph(graph, self.catalog)
+        result.estimated_bytes_after = total_estimated_bytes(graph)
+        if opts.accelerator_placement and self.planner is not None:
+            result.placement_decisions = place_accelerators(graph, self.planner)
+        assert_valid(graph)
+        return result
+
+    def optimize_graph(self, graph: IRGraph,
+                       options: CompilerOptions | None = None) -> CompilationResult:
+        """Apply passes to an already-lowered graph (used by tests and benches)."""
+        opts = options if options is not None else self.options
+        annotate_graph(graph, self.catalog)
+        result = CompilationResult(graph=graph,
+                                   estimated_bytes_before=total_estimated_bytes(graph))
+        self._optimize(result, opts)
+        annotate_graph(graph, self.catalog)
+        result.estimated_bytes_after = total_estimated_bytes(graph)
+        return result
+
+    def _optimize(self, result: CompilationResult, opts: CompilerOptions) -> None:
+        graph = result.graph
+        if opts.cse:
+            result.pass_counts["cse"] = eliminate_common_subexpressions(graph)
+        if opts.pushdown:
+            result.pass_counts["pushdown"] = push_down_filters(graph, self.catalog)
+        if opts.fusion:
+            result.pass_counts["fusion"] = fuse_operators(graph)
+        annotate_graph(graph, self.catalog)
+        if opts.join_reorder:
+            result.pass_counts["join_reorder"] = reorder_joins(graph)
+            result.pass_counts["join_algorithms"] = choose_join_algorithms(graph)
+        if opts.dce:
+            result.pass_counts["dce"] = eliminate_dead_code(graph)

@@ -1,0 +1,195 @@
+"""The Polystore++ system facade.
+
+:class:`PolystorePlusPlus` wires together the whole stack of the paper's
+Figure 4: the catalog of engines and accelerators, the compiler (frontend +
+L1 passes + accelerator placement), the middleware (optimizer cost model,
+data migrator, executor) and returns execution results with full cost
+reports.  It also exposes the three execution modes the benchmarks compare
+(one-size-fits-all, CPU polystore, accelerated Polystore++).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.accelerators.base import Accelerator, HostCPU
+from repro.accelerators.kernels import KernelRegistry
+from repro.accelerators.simulator import Objective, OffloadPlanner
+from repro.catalog import Catalog
+from repro.compiler.pipeline import CompilationResult, Compiler, CompilerOptions
+from repro.eide.program import HeterogeneousProgram
+from repro.exceptions import ConfigurationError
+from repro.middleware.executor import ExecutionReport, Executor
+from repro.middleware.migration import DataMigrator, SimulatedNetwork
+from repro.middleware.optimizer import CostModel
+from repro.stores.base import Engine
+
+#: Execution modes supported by :meth:`PolystorePlusPlus.execute`.
+EXECUTION_MODES = ("one_size_fits_all", "cpu_polystore", "polystore++")
+
+
+@dataclass
+class ExecutionResult:
+    """Outputs plus cost accounting for one program run."""
+
+    outputs: dict[str, Any]
+    report: ExecutionReport
+    compilation: CompilationResult
+    mode: str
+
+    @property
+    def total_time_s(self) -> float:
+        """Sequential charged execution time."""
+        return self.report.total_time_s
+
+    @property
+    def pipelined_time_s(self) -> float:
+        """Stage-pipelined charged execution time."""
+        return self.report.pipelined_time_s
+
+    def output(self, name: str) -> Any:
+        """One named output (fragment name)."""
+        return self.outputs[name]
+
+    def summary(self) -> dict[str, Any]:
+        """Compact dictionary combining compile- and run-time accounting."""
+        summary = self.report.summary()
+        summary["compilation"] = self.compilation.summary()
+        return summary
+
+
+@dataclass
+class SystemConfig:
+    """Deployment configuration for a Polystore++ instance."""
+
+    migration_strategy: str = "binary_pipe"
+    accelerated_migration_strategy: str = "accelerated"
+    objective: Objective = Objective.LATENCY
+    host: HostCPU = field(default_factory=HostCPU)
+    host_cores: int = 1
+    compiler_options: CompilerOptions = field(default_factory=CompilerOptions)
+
+
+class PolystorePlusPlus:
+    """The accelerated polystore system."""
+
+    def __init__(self, config: SystemConfig | None = None) -> None:
+        self.config = config if config is not None else SystemConfig()
+        self.catalog = Catalog()
+        self.cost_model = CostModel()
+        self._network = SimulatedNetwork()
+        self._serializer_accelerator: Accelerator | None = None
+
+    # -- deployment -----------------------------------------------------------------------
+
+    def register_engine(self, engine: Engine) -> Engine:
+        """Attach a data-processing engine."""
+        self.catalog.register_engine(engine)
+        return engine
+
+    def register_accelerator(self, accelerator: Accelerator, *,
+                             use_for_migration: bool = False) -> Accelerator:
+        """Attach a hardware accelerator (optionally used for migrations)."""
+        self.catalog.register_accelerator(accelerator)
+        if use_for_migration or (self._serializer_accelerator is None
+                                 and accelerator.supports("serialize")):
+            self._serializer_accelerator = accelerator
+        return accelerator
+
+    def engine(self, name: str) -> Engine:
+        """A registered engine by name."""
+        return self.catalog.engine(name)
+
+    def describe(self) -> dict[str, Any]:
+        """The deployment description (engines, accelerators, config)."""
+        description = self.catalog.describe()
+        description["config"] = {
+            "migration_strategy": self.config.migration_strategy,
+            "objective": self.config.objective.value,
+            "host_cores": self.config.host_cores,
+        }
+        return description
+
+    # -- compilation -----------------------------------------------------------------------
+
+    def compiler(self, *, accelerated: bool = True,
+                 options: CompilerOptions | None = None) -> Compiler:
+        """Build a compiler bound to this deployment."""
+        planner = self.offload_planner() if accelerated else None
+        return Compiler(self.catalog, planner=planner,
+                        options=options or self.config.compiler_options)
+
+    def offload_planner(self) -> OffloadPlanner:
+        """An offload planner over the registered accelerator fleet."""
+        registry = KernelRegistry(self.catalog.accelerators())
+        return OffloadPlanner(registry, self.config.host,
+                              objective=self.config.objective,
+                              host_cores=self.config.host_cores)
+
+    def compile(self, program: HeterogeneousProgram, *,
+                accelerated: bool = True,
+                options: CompilerOptions | None = None) -> CompilationResult:
+        """Compile a heterogeneous program against this deployment."""
+        return self.compiler(accelerated=accelerated, options=options).compile(program)
+
+    # -- execution --------------------------------------------------------------------------
+
+    def execute(self, program: HeterogeneousProgram, *, mode: str = "polystore++",
+                options: CompilerOptions | None = None) -> ExecutionResult:
+        """Compile and run a program under one of the execution modes.
+
+        * ``"polystore++"`` — federated execution with accelerator placement
+          and accelerated migration (the paper's proposal).
+        * ``"cpu_polystore"`` — federated execution on CPU engines only
+          (BigDAWG-like baseline).
+        * ``"one_size_fits_all"`` — for comparison purposes the program still
+          runs federated, but with all optimizations off and the slowest
+          (CSV) migration path, standing in for the copy-everything-to-one-
+          store strawman of the paper's introduction.
+        """
+        if mode not in EXECUTION_MODES:
+            raise ConfigurationError(
+                f"unknown execution mode {mode!r}; choose one of {EXECUTION_MODES}"
+            )
+        accelerated = mode == "polystore++"
+        if mode == "one_size_fits_all":
+            compile_options = CompilerOptions.none()
+            migration_strategy = "csv"
+        elif mode == "cpu_polystore":
+            compile_options = options or self.config.compiler_options
+            migration_strategy = self.config.migration_strategy
+        else:
+            compile_options = options or self.config.compiler_options
+            migration_strategy = (self.config.accelerated_migration_strategy
+                                  if self._serializer_accelerator is not None
+                                  else self.config.migration_strategy)
+        compilation = self.compile(program, accelerated=accelerated,
+                                   options=compile_options)
+        migrator = DataMigrator(
+            self._network,
+            serializer_accelerator=self._serializer_accelerator if accelerated else None,
+            default_strategy=migration_strategy,
+        )
+        executor = Executor(self.catalog, migrator,
+                            migration_strategy=migration_strategy)
+        outputs, report = executor.execute(compilation.graph, mode=mode)
+        report.migration_time_s = migrator.total_time_s()
+        report.migration_bytes = migrator.total_migrated_bytes()
+        return ExecutionResult(outputs=outputs, report=report,
+                               compilation=compilation, mode=mode)
+
+    def compare_modes(self, program: HeterogeneousProgram,
+                      modes: tuple[str, ...] = EXECUTION_MODES
+                      ) -> dict[str, ExecutionResult]:
+        """Run the same program under several modes (experiments E7/E8/E9)."""
+        return {mode: self.execute(program, mode=mode) for mode in modes}
+
+    # -- calibration ---------------------------------------------------------------------------
+
+    def recalibrate_cost_model(self) -> int:
+        """Feed every engine's recorded metrics back into the cost model."""
+        metrics = []
+        for engine in self.catalog.engines():
+            metrics.extend(engine.metrics.records)
+        return self.cost_model.calibrate(metrics)

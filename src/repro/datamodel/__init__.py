@@ -1,0 +1,20 @@
+"""Shared data model: schemas, tables, serialization and cross-model conversion."""
+
+from repro.datamodel.schema import Column, DataType, Schema
+from repro.datamodel.serialization import (
+    BinarySerializer,
+    CsvSerializer,
+    SerializationReport,
+)
+from repro.datamodel.table import Table, make_schema
+
+__all__ = [
+    "Column",
+    "DataType",
+    "Schema",
+    "Table",
+    "make_schema",
+    "CsvSerializer",
+    "BinarySerializer",
+    "SerializationReport",
+]

@@ -1,0 +1,223 @@
+"""In-memory tables shared across the polystore.
+
+:class:`Table` is the exchange format between engines, adapters and the data
+migrator: a schema plus a list of positional rows.  It deliberately supports
+both row-wise access (what the relational engine's volcano operators want)
+and column-wise access (what the array/ML engines and the serializers want).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.datamodel.schema import Column, DataType, Schema
+from repro.exceptions import DataModelError, SchemaError
+
+Row = tuple[Any, ...]
+
+
+class Table:
+    """A schema-typed, in-memory collection of rows.
+
+    Rows are stored as tuples in declaration order of the schema.  The class
+    is intentionally small: engines wrap it with their own storage and index
+    structures; the polystore middleware uses it as the common currency for
+    results and migrations.
+    """
+
+    def __init__(self, schema: Schema, rows: Iterable[Sequence[Any]] = (), *,
+                 validate: bool = False) -> None:
+        self._schema = schema
+        self._rows: list[Row] = [tuple(row) for row in rows]
+        if validate:
+            for row in self._rows:
+                schema.validate_row(row)
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_dicts(cls, rows: Sequence[Mapping[str, Any]],
+                   schema: Schema | None = None) -> "Table":
+        """Build a table from dictionaries, inferring the schema if needed."""
+        if schema is None:
+            schema = Schema.infer(rows)
+        names = schema.names
+        data = [tuple(row.get(name) for name in names) for row in rows]
+        return cls(schema, data)
+
+    @classmethod
+    def from_columns(cls, columns: Mapping[str, Sequence[Any]],
+                     schema: Schema | None = None) -> "Table":
+        """Build a table from a mapping of column name to values."""
+        if not columns:
+            raise DataModelError("from_columns requires at least one column")
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise DataModelError(f"columns have mismatched lengths: {sorted(lengths)}")
+        if schema is None:
+            sample = [{name: values[0] if values else None for name, values in columns.items()}]
+            schema = Schema.infer(sample)
+        names = schema.names
+        missing = [n for n in names if n not in columns]
+        if missing:
+            raise SchemaError(f"missing columns {missing}")
+        n_rows = lengths.pop() if lengths else 0
+        rows = [tuple(columns[name][i] for name in names) for i in range(n_rows)]
+        return cls(schema, rows)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        """An empty table with the given schema."""
+        return cls(schema, [])
+
+    # -- container protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self._rows[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self._schema == other._schema and self._rows == other._rows
+
+    def __repr__(self) -> str:
+        return f"Table(schema={self._schema!r}, rows={len(self._rows)})"
+
+    # -- accessors -------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The table's schema."""
+        return self._schema
+
+    @property
+    def rows(self) -> list[Row]:
+        """The underlying row list (not a copy; treat as read-only)."""
+        return self._rows
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return len(self._rows)
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns."""
+        return len(self._schema)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of a single column, in row order."""
+        idx = self._schema.index_of(name)
+        return [row[idx] for row in self._rows]
+
+    def columns(self) -> dict[str, list[Any]]:
+        """A columnar view: ``{name: [values...]}``."""
+        return {name: self.column(name) for name in self._schema.names}
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries keyed by column name."""
+        names = self._schema.names
+        return [dict(zip(names, row)) for row in self._rows]
+
+    def estimated_bytes(self) -> int:
+        """Approximate in-memory/serialized size, used by cost models."""
+        return self._schema.row_width() * len(self._rows)
+
+    # -- mutation ----------------------------------------------------------------------
+
+    def append(self, row: Sequence[Any], *, validate: bool = False) -> None:
+        """Append a positional row."""
+        row_t = tuple(row)
+        if validate:
+            self._schema.validate_row(row_t)
+        self._rows.append(row_t)
+
+    def append_dict(self, row: Mapping[str, Any], *, validate: bool = False) -> None:
+        """Append a row given as a dictionary."""
+        self.append(tuple(row.get(name) for name in self._schema.names), validate=validate)
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append many positional rows."""
+        self._rows.extend(tuple(row) for row in rows)
+
+    # -- relational-style derivations ----------------------------------------------------
+
+    def select(self, predicate: Callable[[dict[str, Any]], bool]) -> "Table":
+        """Rows for which ``predicate(row_dict)`` is true."""
+        names = self._schema.names
+        kept = [row for row in self._rows if predicate(dict(zip(names, row)))]
+        return Table(self._schema, kept)
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """A table containing only the named columns."""
+        schema = self._schema.project(names)
+        indexes = [self._schema.index_of(name) for name in names]
+        rows = [tuple(row[i] for i in indexes) for row in self._rows]
+        return Table(schema, rows)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """A table with columns renamed; data is shared."""
+        return Table(self._schema.rename(mapping), self._rows)
+
+    def sort(self, by: Sequence[str], *, descending: bool = False) -> "Table":
+        """A table sorted by the named columns.
+
+        ``None`` values sort first (last when ``descending``).
+        """
+        indexes = [self._schema.index_of(name) for name in by]
+
+        def key(row: Row) -> tuple[Any, ...]:
+            parts = []
+            for i in indexes:
+                value = row[i]
+                parts.append((value is not None, value))
+            return tuple(parts)
+
+        return Table(self._schema, sorted(self._rows, key=key, reverse=descending))
+
+    def limit(self, n: int) -> "Table":
+        """The first ``n`` rows."""
+        if n < 0:
+            raise DataModelError("limit must be non-negative")
+        return Table(self._schema, self._rows[:n])
+
+    def concat(self, other: "Table") -> "Table":
+        """Union-all of two tables with identical schemas."""
+        if other.schema != self._schema:
+            raise SchemaError("cannot concat tables with different schemas")
+        return Table(self._schema, self._rows + other._rows)
+
+    def distinct(self) -> "Table":
+        """A table with duplicate rows removed (order-preserving)."""
+        seen: set[Row] = set()
+        rows: list[Row] = []
+        for row in self._rows:
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return Table(self._schema, rows)
+
+    def with_column(self, column: Column, values: Sequence[Any]) -> "Table":
+        """A table with one extra column appended."""
+        if len(values) != len(self._rows):
+            raise DataModelError(
+                f"column has {len(values)} values but table has {len(self._rows)} rows"
+            )
+        schema = self._schema.with_column(column)
+        rows = [row + (value,) for row, value in zip(self._rows, values)]
+        return Table(schema, rows)
+
+    def head(self, n: int = 5) -> list[dict[str, Any]]:
+        """The first ``n`` rows as dictionaries, for interactive inspection."""
+        return self.limit(n).to_dicts()
+
+
+def make_schema(*pairs: tuple[str, DataType]) -> Schema:
+    """Shorthand for building a schema from ``(name, dtype)`` pairs."""
+    return Schema.from_pairs(list(pairs))

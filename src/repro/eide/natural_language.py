@@ -1,0 +1,128 @@
+"""A small natural-language frontend.
+
+Paper §IV-A-e asks how a natural-language query should be compiled into a
+semantically-equivalent heterogeneous program (citing SQLizer and Almond).
+This module implements the modest, template-based version of that idea: a
+handful of intent patterns are recognized with keyword matching and expanded
+into :class:`~repro.eide.program.HeterogeneousProgram` templates over the
+deployed stores.  It is intentionally rule-based — the paper treats the full
+problem as open research.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.eide.program import HeterogeneousProgram
+from repro.exceptions import CompilationError
+
+
+@dataclass(frozen=True)
+class Intent:
+    """A recognized intent with its extracted slots."""
+
+    name: str
+    slots: dict[str, str]
+
+
+_PATTERNS: list[tuple[str, re.Pattern[str]]] = [
+    ("predict_stay", re.compile(
+        r"(long stay|length of stay|stay at the hospital|stay in (the )?icu)", re.I)),
+    ("recommend", re.compile(r"(recommend|next best offer|suggest.*product)", re.I)),
+    ("patient_history", re.compile(
+        r"(admission history|history of (the )?patient|patient.*admissions)", re.I)),
+    ("top_customers", re.compile(r"(top|best).*(customers|spenders)", re.I)),
+]
+
+_PATIENT_ID = re.compile(r"patient\s+(?:id\s*)?(\w+)", re.I)
+_NUMBER = re.compile(r"\b(\d+)\b")
+
+
+def recognize_intent(text: str) -> Intent:
+    """Classify a natural-language request into one of the known intents."""
+    for name, pattern in _PATTERNS:
+        if pattern.search(text):
+            slots: dict[str, str] = {}
+            patient = _PATIENT_ID.search(text)
+            if patient:
+                slots["patient_id"] = patient.group(1)
+            number = _NUMBER.search(text)
+            if number:
+                slots["number"] = number.group(1)
+            return Intent(name, slots)
+    raise CompilationError(
+        f"cannot recognize an intent in {text!r}; known intents: "
+        f"{[name for name, _ in _PATTERNS]}"
+    )
+
+
+def compile_natural_language(text: str, *, relational_engine: str = "relational",
+                             timeseries_engine: str = "timeseries",
+                             text_engine: str = "text",
+                             ml_engine: str = "ml",
+                             kv_engine: str = "keyvalue") -> HeterogeneousProgram:
+    """Translate a natural-language request into a heterogeneous program."""
+    intent = recognize_intent(text)
+    if intent.name == "predict_stay":
+        return _predict_stay_program(relational_engine, timeseries_engine, text_engine,
+                                     ml_engine)
+    if intent.name == "patient_history":
+        return _patient_history_program(intent, relational_engine)
+    if intent.name == "top_customers":
+        return _top_customers_program(intent, relational_engine)
+    return _recommendation_program(relational_engine, kv_engine, ml_engine)
+
+
+def _predict_stay_program(relational: str, timeseries: str, text: str,
+                          ml: str) -> HeterogeneousProgram:
+    """The paper's Figure 2 query: will the patient stay more than five days."""
+    program = HeterogeneousProgram("nl-predict-stay")
+    program.sql("admissions", "SELECT pid, age, num_procedures, prior_admissions, "
+                              "long_stay FROM admissions", engine=relational)
+    program.timeseries_summary("vitals", series_prefix="hr/", engine=timeseries)
+    program.text_features("notes", keywords=["sepsis", "ventilator", "stable"],
+                          engine=text)
+    program.join("clinical", left="admissions", right="vitals", on="pid")
+    program.join("features", left="clinical", right="notes", on="pid")
+    program.train("model", features="features", label_column="long_stay", engine=ml)
+    program.output("model")
+    return program
+
+
+def _patient_history_program(intent: Intent, relational: str) -> HeterogeneousProgram:
+    patient_id = intent.slots.get("patient_id", "1")
+    program = HeterogeneousProgram("nl-patient-history")
+    program.sql(
+        "history",
+        f"SELECT pid, admit_date, diagnosis FROM admissions WHERE pid = {patient_id} "
+        "ORDER BY admit_date",
+        engine=relational,
+    )
+    program.output("history")
+    return program
+
+
+def _top_customers_program(intent: Intent, relational: str) -> HeterogeneousProgram:
+    k = intent.slots.get("number", "10")
+    program = HeterogeneousProgram("nl-top-customers")
+    program.sql(
+        "spend",
+        "SELECT customer_id, sum(amount) AS total_spend FROM transactions "
+        f"GROUP BY customer_id ORDER BY total_spend DESC LIMIT {k}",
+        engine=relational,
+    )
+    program.output("spend")
+    return program
+
+
+def _recommendation_program(relational: str, kv: str, ml: str) -> HeterogeneousProgram:
+    program = HeterogeneousProgram("nl-recommendation")
+    program.sql("purchases", "SELECT customer_id, sum(amount) AS total_spend, "
+                             "count(*) AS n_orders FROM transactions GROUP BY customer_id",
+                engine=relational)
+    program.kv_lookup("profiles", key_prefix="customer/", engine=kv)
+    program.join("features", left="purchases", right="profiles", on="customer_id")
+    program.train("model", features="features", label_column="converted", engine=ml)
+    program.output("model")
+    return program

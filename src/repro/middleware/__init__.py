@@ -1,0 +1,20 @@
+"""Polystore++ middleware: adapters, data migration, executor and optimizer."""
+
+from repro.middleware.adapters import Adapter, adapter_for
+from repro.middleware.executor import ExecutionReport, Executor, TaskRecord
+from repro.middleware.migration import DataMigrator, MigrationReport, SimulatedNetwork
+from repro.middleware.optimizer import ActiveLearningOptimizer, CostModel, DesignSpace
+
+__all__ = [
+    "Adapter",
+    "adapter_for",
+    "Executor",
+    "ExecutionReport",
+    "TaskRecord",
+    "DataMigrator",
+    "MigrationReport",
+    "SimulatedNetwork",
+    "CostModel",
+    "DesignSpace",
+    "ActiveLearningOptimizer",
+]

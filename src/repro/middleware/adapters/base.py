@@ -1,0 +1,47 @@
+"""Adapter base class.
+
+An adapter co-locates with each data-processing engine (paper §III, Figure 4)
+and translates IR operators into the engine's native calls.  The executor
+hands an adapter one operator plus the materialized outputs of the operator's
+inputs; the adapter returns the operator's output (usually a
+:class:`~repro.datamodel.table.Table`) and execution metrics flow back
+through the engine's :class:`~repro.stores.base.MetricsRecorder`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.exceptions import AdapterError
+from repro.ir.nodes import Operator
+from repro.stores.base import Engine
+
+
+class Adapter(abc.ABC):
+    """Translates and executes IR operators on one engine."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+
+    @abc.abstractmethod
+    def supported_kinds(self) -> frozenset[str]:
+        """IR operator kinds this adapter can execute."""
+
+    @abc.abstractmethod
+    def execute(self, node: Operator, inputs: list[Any]) -> Any:
+        """Execute ``node`` given its input values (in ``node.inputs`` order)."""
+
+    def can_execute(self, node: Operator) -> bool:
+        """Whether this adapter handles the node's kind."""
+        return node.kind in self.supported_kinds()
+
+    def _require_inputs(self, node: Operator, inputs: list[Any], expected: int) -> None:
+        if len(inputs) != expected:
+            raise AdapterError(
+                f"{type(self).__name__} expected {expected} inputs for "
+                f"{node.kind} ({node.op_id}), got {len(inputs)}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(engine={self.engine.name!r})"

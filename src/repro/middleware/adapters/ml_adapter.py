@@ -1,0 +1,185 @@
+"""Adapters for the ML/DL engine and the array engine.
+
+The ML adapter closes the loop of the paper's Figure 2: the feature table
+assembled by the relational/stream/text fragments arrives here, is converted
+into a dense matrix, and a model is trained or scored on the ML engine (with
+the GEMM work counted for accelerator offload accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.datamodel.conversion import table_to_matrix
+from repro.datamodel.schema import Column, DataType
+from repro.datamodel.table import Table
+from repro.exceptions import AdapterError
+from repro.ir.nodes import Operator
+from repro.middleware.adapters.base import Adapter
+from repro.stores.array.engine import ArrayEngine
+from repro.stores.ml.engine import MLEngine
+
+
+def _numeric_feature_columns(table: Table, label_column: str | None,
+                             key_column: str | None) -> list[str]:
+    """Numeric columns usable as features, excluding the label and join key."""
+    excluded = {label_column, key_column}
+    names = []
+    for column in table.schema:
+        if column.name in excluded:
+            continue
+        if column.dtype in (DataType.INT, DataType.FLOAT, DataType.BOOL, DataType.TIMESTAMP):
+            names.append(column.name)
+    return names
+
+
+class MLAdapter(Adapter):
+    """Executes train/predict/kmeans/feature_matrix operators on the ML engine."""
+
+    def __init__(self, engine: MLEngine) -> None:
+        super().__init__(engine)
+        self.engine: MLEngine = engine
+        # Per-model feature statistics so inference normalizes like training did.
+        self._normalization: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        # Per-model feature column lists so inference uses the training features.
+        self._feature_columns: dict[str, list[str]] = {}
+
+    def supported_kinds(self) -> frozenset[str]:
+        return frozenset({"train", "predict", "kmeans", "feature_matrix"})
+
+    def _normalize(self, model_name: str, features: np.ndarray, *,
+                   fit: bool) -> np.ndarray:
+        """Z-score features, fitting the statistics at training time."""
+        if fit:
+            mean = features.mean(axis=0)
+            std = features.std(axis=0)
+            std[std == 0] = 1.0
+            self._normalization[model_name] = (mean, std)
+        stats = self._normalization.get(model_name)
+        if stats is None:
+            return features
+        mean, std = stats
+        return (features - mean) / std
+
+    def execute(self, node: Operator, inputs: list[Any]) -> Any:
+        kind = node.kind
+        if kind == "feature_matrix":
+            self._require_inputs(node, inputs, 1)
+            table = self._as_table(inputs[0], node)
+            columns = node.params.get("feature_columns") or _numeric_feature_columns(
+                table, node.params.get("label_column"), node.params.get("key_column"))
+            return table_to_matrix(table, columns)
+        if kind == "train":
+            return self._train(node, inputs)
+        if kind == "predict":
+            return self._predict(node, inputs)
+        return self._kmeans(node, inputs)
+
+    # -- operators ----------------------------------------------------------------------
+
+    def _train(self, node: Operator, inputs: list[Any]) -> dict[str, Any]:
+        if not inputs:
+            raise AdapterError(f"train {node.op_id} needs a feature input")
+        table = self._as_table(inputs[0], node)
+        label_column = node.params.get("label_column")
+        if not label_column or label_column not in table.schema:
+            raise AdapterError(
+                f"train {node.op_id} needs a label_column present in its input"
+            )
+        key_column = node.params.get("key_column", "pid")
+        feature_columns = node.params.get("feature_columns") or _numeric_feature_columns(
+            table, label_column, key_column)
+        if not feature_columns:
+            raise AdapterError(f"train {node.op_id} found no numeric feature columns")
+        features = table_to_matrix(table, feature_columns)
+        features = np.nan_to_num(features, nan=0.0)
+        labels = np.array([float(v) if v is not None else 0.0
+                           for v in table.column(label_column)])
+        model_name = str(node.params.get("model_name", node.op_id))
+        features = self._normalize(model_name, features, fit=True)
+        self._feature_columns[model_name] = list(feature_columns)
+        model_type = str(node.params.get("model_type", "mlp"))
+        epochs = int(node.params.get("epochs", 5))
+        batch_size = int(node.params.get("batch_size", 32))
+        if model_type == "logistic":
+            losses = self.engine.train_logistic(model_name, features, labels,
+                                                epochs=epochs, batch_size=batch_size)
+            history = {"losses": losses}
+        else:
+            training = self.engine.train_classifier(
+                model_name, features, labels,
+                hidden_dims=tuple(node.params.get("hidden_dims", (32,))),
+                epochs=epochs, batch_size=batch_size,
+            )
+            history = {"losses": training.losses, "accuracies": training.accuracies}
+        metrics = self.engine.evaluate(model_name, features, labels)
+        return {
+            "model_name": model_name,
+            "model_type": model_type,
+            "feature_columns": feature_columns,
+            "rows": len(table),
+            "history": history,
+            "metrics": metrics,
+        }
+
+    def _predict(self, node: Operator, inputs: list[Any]) -> Table:
+        self._require_inputs(node, inputs, 1)
+        table = self._as_table(inputs[0], node)
+        model_name = str(node.params["model_name"])
+        if not self.engine.has_model(model_name):
+            raise AdapterError(f"predict {node.op_id}: model {model_name!r} is not trained")
+        feature_columns = (node.params.get("feature_columns")
+                           or self._feature_columns.get(model_name)
+                           or _numeric_feature_columns(
+                               table, node.params.get("label_column"),
+                               node.params.get("key_column", "pid")))
+        feature_columns = [c for c in feature_columns if c in table.schema]
+        features = np.nan_to_num(table_to_matrix(table, feature_columns), nan=0.0)
+        features = self._normalize(model_name, features, fit=False)
+        probabilities = self.engine.predict_proba(model_name, features)
+        predictions = (probabilities >= 0.5).astype(int)
+        result = table.with_column(Column("probability", DataType.FLOAT),
+                                   [float(p) for p in probabilities])
+        return result.with_column(Column("prediction", DataType.INT),
+                                  [int(p) for p in predictions])
+
+    def _kmeans(self, node: Operator, inputs: list[Any]) -> dict[str, Any]:
+        self._require_inputs(node, inputs, 1)
+        table = self._as_table(inputs[0], node)
+        feature_columns = node.params.get("feature_columns") or _numeric_feature_columns(
+            table, None, node.params.get("key_column"))
+        features = np.nan_to_num(table_to_matrix(table, feature_columns), nan=0.0)
+        result = self.engine.cluster(features, int(node.params["n_clusters"]),
+                                     seed=int(node.params.get("seed", 0)))
+        return {
+            "assignments": result.assignments.tolist(),
+            "inertia": result.inertia,
+            "iterations": result.iterations,
+            "n_clusters": int(node.params["n_clusters"]),
+        }
+
+    @staticmethod
+    def _as_table(value: Any, node: Operator) -> Table:
+        if isinstance(value, Table):
+            return value
+        raise AdapterError(
+            f"operator {node.op_id} expected a Table input, got {type(value).__name__}"
+        )
+
+
+class ArrayAdapter(Adapter):
+    """Executes matmul/gemv operators on the array engine."""
+
+    def __init__(self, engine: ArrayEngine) -> None:
+        super().__init__(engine)
+        self.engine: ArrayEngine = engine
+
+    def supported_kinds(self) -> frozenset[str]:
+        return frozenset({"matmul", "gemv"})
+
+    def execute(self, node: Operator, inputs: list[Any]) -> np.ndarray:
+        self._require_inputs(node, inputs, 2)
+        left, right = (np.asarray(v, dtype=np.float64) for v in inputs)
+        return self.engine.matmul(left, right)

@@ -1,0 +1,229 @@
+"""Adapters for the key/value, timeseries, graph and text engines.
+
+Each adapter converts its engine's native results into
+:class:`~repro.datamodel.table.Table` objects so that downstream relational
+operators (joins, filters, feature assembly) can consume them uniformly —
+this is the "transform to the data model of the receiving application" step
+a polystore automates.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datamodel.schema import Column, DataType, Schema
+from repro.datamodel.table import Table
+from repro.exceptions import AdapterError
+from repro.ir.nodes import Operator
+from repro.middleware.adapters.base import Adapter
+from repro.stores.graph.engine import GraphEngine
+from repro.stores.keyvalue.engine import KeyValueEngine
+from repro.stores.text.engine import TextEngine
+from repro.stores.timeseries.engine import TimeseriesEngine
+
+
+def _key_value_to_cell(value: Any) -> Any:
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _coerce_key(key: str) -> Any:
+    """Keys embedded in series/doc names are often numeric ids; keep joins typed."""
+    try:
+        return int(key)
+    except ValueError:
+        return key
+
+
+class KeyValueAdapter(Adapter):
+    """Executes ``kv_get`` and ``kv_range`` operators on the key/value engine."""
+
+    def __init__(self, engine: KeyValueEngine) -> None:
+        super().__init__(engine)
+        self.engine: KeyValueEngine = engine
+
+    def supported_kinds(self) -> frozenset[str]:
+        return frozenset({"kv_get", "kv_range"})
+
+    def execute(self, node: Operator, inputs: list[Any]) -> Table:
+        if node.kind == "kv_get":
+            keys = node.params.get("keys")
+            prefix = node.params.get("key_prefix")
+            if keys:
+                pairs = [(k, self.engine.get(k)) for k in keys if self.engine.contains(k)]
+            elif prefix is not None:
+                end = prefix[:-1] + chr(ord(prefix[-1]) + 1) if prefix else None
+                pairs = list(self.engine.range(prefix, end))
+            else:
+                raise AdapterError(f"kv_get {node.op_id} needs keys or key_prefix")
+        else:
+            pairs = list(self.engine.range(node.params.get("start"), node.params.get("end")))
+            prefix = None
+        return self._pairs_to_table(pairs, node.params.get("key_prefix"),
+                                    node.params.get("key_column", "key"))
+
+    @staticmethod
+    def _pairs_to_table(pairs: list[tuple[str, Any]], prefix: str | None,
+                        key_column: str) -> Table:
+        rows = []
+        for key, value in pairs:
+            short_key = key[len(prefix):] if prefix and key.startswith(prefix) else key
+            record: dict[str, Any] = {key_column: _coerce_key(short_key)}
+            if isinstance(value, dict):
+                record.update({k: _key_value_to_cell(v) for k, v in value.items()})
+            else:
+                record["value"] = _key_value_to_cell(value)
+            rows.append(record)
+        if not rows:
+            return Table(Schema([Column(key_column, DataType.STRING)]), [])
+        return Table.from_dicts(rows)
+
+
+class TimeseriesAdapter(Adapter):
+    """Executes timeseries operators: range scans, windows and summaries."""
+
+    def __init__(self, engine: TimeseriesEngine) -> None:
+        super().__init__(engine)
+        self.engine: TimeseriesEngine = engine
+
+    def supported_kinds(self) -> frozenset[str]:
+        return frozenset({"ts_range", "window_aggregate", "ts_summarize"})
+
+    def execute(self, node: Operator, inputs: list[Any]) -> Table:
+        if node.kind == "ts_range":
+            points = self.engine.query_range(str(node.params["series"]),
+                                             node.params.get("start"),
+                                             node.params.get("end"))
+            rows = [{"timestamp": p.timestamp, "value": p.value} for p in points]
+            schema = Schema([Column("timestamp", DataType.FLOAT),
+                             Column("value", DataType.FLOAT)])
+            return Table.from_dicts(rows) if rows else Table(schema, [])
+        if node.kind == "window_aggregate":
+            results = self.engine.window_aggregate(
+                str(node.params["series"]),
+                float(node.params["window_s"]),
+                str(node.params.get("aggregation", "mean")),
+                node.params.get("start"),
+                node.params.get("end"),
+            )
+            rows = [{"window_start": r.window_start, "value": r.value, "count": r.count}
+                    for r in results]
+            schema = Schema([Column("window_start", DataType.FLOAT),
+                             Column("value", DataType.FLOAT),
+                             Column("count", DataType.INT)])
+            return Table.from_dicts(rows) if rows else Table(schema, [])
+        return self._summarize(node)
+
+    def _summarize(self, node: Operator) -> Table:
+        prefix = str(node.params["series_prefix"])
+        key_column = str(node.params.get("key_column", "pid"))
+        start = node.params.get("start")
+        end = node.params.get("end")
+        rows = []
+        for series_key in self.engine.list_series():
+            if not series_key.startswith(prefix):
+                continue
+            entity = _coerce_key(series_key[len(prefix):])
+            summary = self.engine.summarize(series_key, start, end)
+            rows.append({
+                key_column: entity,
+                "vital_count": summary["count"],
+                "vital_mean": summary["mean"],
+                "vital_min": summary["min"],
+                "vital_max": summary["max"],
+                "vital_last": summary["last"],
+            })
+        if not rows:
+            schema = Schema([Column(key_column, DataType.INT),
+                             Column("vital_count", DataType.FLOAT),
+                             Column("vital_mean", DataType.FLOAT),
+                             Column("vital_min", DataType.FLOAT),
+                             Column("vital_max", DataType.FLOAT),
+                             Column("vital_last", DataType.FLOAT)])
+            return Table(schema, [])
+        return Table.from_dicts(rows)
+
+
+class GraphAdapter(Adapter):
+    """Executes graph operators: node scans, paths and neighbourhood features."""
+
+    def __init__(self, engine: GraphEngine) -> None:
+        super().__init__(engine)
+        self.engine: GraphEngine = engine
+
+    def supported_kinds(self) -> frozenset[str]:
+        return frozenset({"graph_nodes", "shortest_path", "neighborhood", "graph_match"})
+
+    def execute(self, node: Operator, inputs: list[Any]) -> Any:
+        kind = node.kind
+        if kind == "graph_nodes":
+            label = str(node.params.get("label", ""))
+            rows = self.engine.node_properties(label)
+            return Table.from_dicts(rows) if rows else Table(
+                Schema([Column("node_id", DataType.STRING)]), [])
+        if kind == "shortest_path":
+            path, cost = self.engine.shortest_path(
+                str(node.params["start"]), str(node.params["end"]),
+                weighted=bool(node.params.get("weighted", False)),
+                edge_label=node.params.get("edge_label"),
+            )
+            return {"path": path, "cost": cost, "hops": len(path) - 1}
+        if kind == "neighborhood":
+            value = self.engine.neighborhood_aggregate(
+                str(node.params["node_id"]), str(node.params["property_name"]),
+                edge_label=node.params.get("edge_label"),
+                aggregation=str(node.params.get("aggregation", "mean")),
+            )
+            return {"node_id": node.params["node_id"], "value": value}
+        matches = self.engine.match(str(node.params["start_label"]),
+                                    list(node.params.get("steps", [])))
+        rows = [
+            {"start": m.nodes[0].node_id, "end": m.nodes[-1].node_id, "length": len(m.edges)}
+            for m in matches
+        ]
+        return Table.from_dicts(rows) if rows else Table(
+            Schema([Column("start", DataType.STRING), Column("end", DataType.STRING),
+                    Column("length", DataType.INT)]), [])
+
+
+class TextAdapter(Adapter):
+    """Executes text operators: ranked search and keyword feature extraction."""
+
+    def __init__(self, engine: TextEngine) -> None:
+        super().__init__(engine)
+        self.engine: TextEngine = engine
+
+    def supported_kinds(self) -> frozenset[str]:
+        return frozenset({"text_search", "keyword_features"})
+
+    def execute(self, node: Operator, inputs: list[Any]) -> Table:
+        if node.kind == "text_search":
+            results = self.engine.search(str(node.params["query"]),
+                                         top_k=int(node.params.get("top_k", 10)))
+            rows = [{"doc_id": doc_id, "score": score} for doc_id, score in results]
+            schema = Schema([Column("doc_id", DataType.STRING), Column("score", DataType.FLOAT)])
+            return Table.from_dicts(rows) if rows else Table(schema, [])
+        return self._keyword_features(node)
+
+    def _keyword_features(self, node: Operator) -> Table:
+        keywords = [str(k) for k in node.params.get("keywords", [])]
+        if not keywords:
+            raise AdapterError(f"keyword_features {node.op_id} needs at least one keyword")
+        prefix = node.params.get("doc_prefix")
+        id_column = str(node.params.get("id_column", "doc_id"))
+        rows = []
+        # documents_matching({}) returns every doc id.
+        for doc_id in self.engine.documents_matching({}):
+            if prefix is not None and not doc_id.startswith(prefix):
+                continue
+            entity = doc_id[len(prefix):] if prefix else doc_id
+            features = self.engine.keyword_features(doc_id, keywords)
+            row: dict[str, Any] = {id_column: _coerce_key(entity)}
+            row.update({f"kw_{keyword}": value for keyword, value in features.items()})
+            rows.append(row)
+        if not rows:
+            columns = [Column(id_column, DataType.STRING)]
+            columns += [Column(f"kw_{k}", DataType.FLOAT) for k in keywords]
+            return Table(Schema(columns), [])
+        return Table.from_dicts(rows)

@@ -1,0 +1,6 @@
+"""Executor: staged scheduling, offload routing and execution reports."""
+
+from repro.middleware.executor.report import ExecutionReport, TaskRecord
+from repro.middleware.executor.scheduler import Executor
+
+__all__ = ["Executor", "ExecutionReport", "TaskRecord"]

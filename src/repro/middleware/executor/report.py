@@ -1,0 +1,104 @@
+"""Execution reports: where the time went.
+
+The executor records, per operator, the *measured* Python time and the
+*simulated* device/network time (offloads, migrations).  Two totals are
+derived: the sequential total (every operator back to back) and the
+pipelined total (stages overlap: each stage costs its slowest operator),
+which is the execution model the paper's executor targets ("the whole
+workload execution can be perceived as a pipeline of the stages' execution").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class TaskRecord:
+    """Cost record for one executed operator."""
+
+    op_id: str
+    kind: str
+    engine: str | None
+    accelerator: str | None
+    stage: int
+    wall_time_s: float
+    simulated_time_s: float
+    rows_out: int = 0
+    offloaded: bool = False
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def charged_time_s(self) -> float:
+        """The time the scheduler charges this task (simulated when offloaded)."""
+        return self.simulated_time_s
+
+
+@dataclass
+class ExecutionReport:
+    """Aggregate report for one program execution."""
+
+    program: str
+    mode: str
+    records: list[TaskRecord] = field(default_factory=list)
+    migration_time_s: float = 0.0
+    migration_bytes: int = 0
+
+    def add(self, record: TaskRecord) -> None:
+        """Append one task record."""
+        self.records.append(record)
+
+    # -- totals -------------------------------------------------------------------------
+
+    @property
+    def total_time_s(self) -> float:
+        """Sequential execution time (sum over all operators)."""
+        return sum(r.charged_time_s for r in self.records)
+
+    @property
+    def pipelined_time_s(self) -> float:
+        """Pipelined execution time: per stage, the slowest operator binds."""
+        stage_times: dict[int, float] = {}
+        for record in self.records:
+            stage_times[record.stage] = max(stage_times.get(record.stage, 0.0),
+                                            record.charged_time_s)
+        return sum(stage_times.values())
+
+    @property
+    def wall_time_s(self) -> float:
+        """Measured Python time (excludes simulated device/network charges)."""
+        return sum(r.wall_time_s for r in self.records)
+
+    @property
+    def offloaded_tasks(self) -> int:
+        """Number of operators executed on an accelerator."""
+        return sum(1 for r in self.records if r.offloaded)
+
+    def time_by_kind(self) -> dict[str, float]:
+        """Charged time per operator kind (for breakdown plots)."""
+        breakdown: dict[str, float] = {}
+        for record in self.records:
+            breakdown[record.kind] = breakdown.get(record.kind, 0.0) + record.charged_time_s
+        return breakdown
+
+    def time_by_engine(self) -> dict[str, float]:
+        """Charged time per engine/accelerator target."""
+        breakdown: dict[str, float] = {}
+        for record in self.records:
+            target = record.accelerator or record.engine or "middleware"
+            breakdown[target] = breakdown.get(target, 0.0) + record.charged_time_s
+        return breakdown
+
+    def summary(self) -> dict[str, Any]:
+        """Compact dictionary for logs, benchmarks and EXPERIMENTS.md."""
+        return {
+            "program": self.program,
+            "mode": self.mode,
+            "operators": len(self.records),
+            "offloaded": self.offloaded_tasks,
+            "total_time_s": self.total_time_s,
+            "pipelined_time_s": self.pipelined_time_s,
+            "migration_time_s": self.migration_time_s,
+            "migration_bytes": self.migration_bytes,
+        }

@@ -1,0 +1,209 @@
+"""The executor: schedules an optimized IR graph across engines and accelerators.
+
+Responsibilities (paper §III, "Executor: manage and monitor execution across
+platforms"):
+
+* topological stage scheduling of the IR graph,
+* dispatching each operator to its engine's adapter,
+* routing operators the placement pass bound to an accelerator through the
+  device's functional kernel (and charging its simulated time),
+* invoking the data migrator for ``migrate`` operators,
+* collecting the per-operator cost records into an
+  :class:`~repro.middleware.executor.report.ExecutionReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.catalog import Catalog
+from repro.datamodel.table import Table
+from repro.exceptions import ExecutionError
+from repro.ir.graph import IRGraph
+from repro.ir.nodes import Operator
+from repro.middleware.adapters import Adapter, adapter_for
+from repro.middleware.executor.report import ExecutionReport, TaskRecord
+from repro.middleware.migration import DataMigrator
+from repro.stores.relational.expressions import Expression
+
+
+class Executor:
+    """Executes optimized IR graphs."""
+
+    def __init__(self, catalog: Catalog, migrator: DataMigrator | None = None, *,
+                 migration_strategy: str | None = None) -> None:
+        self.catalog = catalog
+        self.migrator = migrator if migrator is not None else DataMigrator()
+        self.migration_strategy = migration_strategy
+        self._adapters: dict[str, Adapter] = {}
+
+    # -- public API ---------------------------------------------------------------------
+
+    def execute(self, graph: IRGraph, *, mode: str = "polystore++") -> tuple[dict[str, Any], ExecutionReport]:
+        """Run ``graph`` and return ``(outputs, report)``.
+
+        ``outputs`` maps each output node's fragment name (falling back to its
+        op id) to its produced value.
+        """
+        report = ExecutionReport(program=graph.name, mode=mode)
+        results: dict[str, Any] = {}
+        for stage_index, stage in enumerate(graph.stages()):
+            for node in stage:
+                inputs = [results[input_id] for input_id in node.inputs]
+                value, record = self._execute_node(node, inputs, stage_index)
+                results[node.op_id] = value
+                report.add(record)
+        outputs: dict[str, Any] = {}
+        for output_id in graph.outputs:
+            node = graph.node(output_id)
+            name = node.annotations.get("fragment") or output_id
+            outputs[name] = results[output_id]
+        return outputs, report
+
+    # -- per-node execution --------------------------------------------------------------
+
+    def _execute_node(self, node: Operator, inputs: list[Any],
+                      stage: int) -> tuple[Any, TaskRecord]:
+        start = time.perf_counter()
+        simulated_extra = 0.0
+        offloaded = False
+        details: dict[str, Any] = {}
+        if node.kind == "migrate":
+            value, simulated_extra, details = self._execute_migration(node, inputs)
+        elif node.accelerator and node.kind in ("sort", "filter", "project",
+                                                "window_aggregate"):
+            value, simulated_extra, details = self._execute_offloaded(node, inputs)
+            offloaded = True
+        else:
+            value = self._execute_on_engine(node, inputs)
+            if node.accelerator and node.kind in ("train", "predict", "matmul", "gemv"):
+                # The GEMM work ran functionally on the host ML engine; charge
+                # the device's simulated time instead of the Python time.
+                simulated_extra, details = self._charge_ml_offload(node)
+                offloaded = True
+        wall = time.perf_counter() - start
+        simulated = simulated_extra if offloaded or node.kind == "migrate" else wall
+        if node.kind == "migrate":
+            simulated = simulated_extra
+        record = TaskRecord(
+            op_id=node.op_id,
+            kind=node.kind,
+            engine=node.engine,
+            accelerator=node.accelerator if offloaded else None,
+            stage=stage,
+            wall_time_s=wall,
+            simulated_time_s=simulated,
+            rows_out=self._rows_of(value),
+            offloaded=offloaded,
+            details=details,
+        )
+        return value, record
+
+    def _execute_on_engine(self, node: Operator, inputs: list[Any]) -> Any:
+        if node.engine is None:
+            raise ExecutionError(f"operator {node.op_id} has no engine binding")
+        adapter = self._adapter(node.engine)
+        if not adapter.can_execute(node):
+            raise ExecutionError(
+                f"adapter for engine {node.engine!r} cannot execute {node.kind!r} "
+                f"({node.op_id})"
+            )
+        return adapter.execute(node, inputs)
+
+    def _execute_migration(self, node: Operator,
+                           inputs: list[Any]) -> tuple[Any, float, dict[str, Any]]:
+        if len(inputs) != 1:
+            raise ExecutionError(f"migrate {node.op_id} expects exactly one input")
+        payload = inputs[0]
+        if not isinstance(payload, Table):
+            # Non-tabular values (model handles, dictionaries) move by reference;
+            # the middleware only charges real migration for tabular payloads.
+            return payload, 0.0, {"skipped": True}
+        strategy = node.params.get("strategy") or self.migration_strategy
+        received, migration = self.migrator.migrate(
+            payload,
+            source=str(node.params.get("source_engine", "")),
+            target=str(node.params.get("target_engine", "")),
+            strategy=strategy,
+        )
+        details = {
+            "strategy": migration.strategy,
+            "payload_bytes": migration.payload_bytes,
+            "transformation_s": migration.transformation_s,
+        }
+        return received, migration.total_s, details
+
+    def _execute_offloaded(self, node: Operator,
+                           inputs: list[Any]) -> tuple[Any, float, dict[str, Any]]:
+        device = self.catalog.accelerator(str(node.accelerator))
+        if len(inputs) != 1 or not isinstance(inputs[0], Table):
+            # Fall back to the engine when the input shape does not fit the kernel.
+            return self._execute_on_engine(node, inputs), 0.0, {"fallback": True}
+        table: Table = inputs[0]
+        rows = table.to_dicts()
+        if node.kind == "sort" and device.supports("bitonic_sort"):
+            by = str(node.params["by"])
+            descending = bool(node.params.get("descending", False))
+            sorted_rows, offload = device.offload(
+                "bitonic_sort", rows,
+                key=lambda r: (r.get(by) is None, r.get(by)), descending=descending)
+            return self._rows_to_table(sorted_rows, table), offload.total_s, \
+                {"kernel": offload.kernel}
+        if node.kind == "filter" and device.supports("filter"):
+            predicate = node.params.get("predicate")
+            if isinstance(predicate, Expression):
+                kept, offload = device.offload("filter", rows, predicate.evaluate)
+                return self._rows_to_table(kept, table), offload.total_s, \
+                    {"kernel": offload.kernel}
+        if node.kind == "project" and device.supports("project"):
+            columns = list(node.params.get("columns") or [])
+            projected, offload = device.offload("project", rows, columns)
+            return (Table.from_dicts(projected) if projected
+                    else Table(table.schema.project(columns), [])), offload.total_s, \
+                {"kernel": offload.kernel}
+        if node.kind == "window_aggregate" and device.supports("window_aggregate"):
+            engine_value = self._execute_on_engine(node, inputs)
+            estimate = device.estimate(_window_spec_from_table(table))
+            return engine_value, estimate.total_s, {"kernel": "window_aggregate"}
+        return self._execute_on_engine(node, inputs), 0.0, {"fallback": True}
+
+    def _charge_ml_offload(self, node: Operator) -> tuple[float, dict[str, Any]]:
+        device = self.catalog.accelerator(str(node.accelerator))
+        ml_engine = self.catalog.engine(str(node.engine))
+        counter = getattr(getattr(ml_engine, "ops", None), "counter", None)
+        flops = counter.flops if counter is not None else 0
+        bytes_moved = counter.bytes_moved if counter is not None else 0
+        from repro.accelerators.base import KernelSpec
+
+        spec = KernelSpec(name="gemm", bytes_in=bytes_moved, bytes_out=0,
+                          flops=flops, elements=max(1, flops // 2))
+        estimate = device.estimate(spec)
+        return estimate.total_s, {"kernel": "gemm", "flops": flops}
+
+    # -- helpers --------------------------------------------------------------------------------
+
+    def _adapter(self, engine_name: str) -> Adapter:
+        if engine_name not in self._adapters:
+            self._adapters[engine_name] = adapter_for(self.catalog.engine(engine_name))
+        return self._adapters[engine_name]
+
+    @staticmethod
+    def _rows_to_table(rows: list[dict[str, Any]], template: Table) -> Table:
+        return Table.from_dicts(rows) if rows else Table(template.schema, [])
+
+    @staticmethod
+    def _rows_of(value: Any) -> int:
+        if isinstance(value, Table):
+            return len(value)
+        if isinstance(value, list):
+            return len(value)
+        return 1
+
+
+def _window_spec_from_table(table: Table):
+    from repro.accelerators.base import KernelSpec
+
+    return KernelSpec(name="window_aggregate", bytes_in=table.estimated_bytes(),
+                      bytes_out=table.estimated_bytes() // 4, flops=2 * len(table),
+                      elements=len(table), pipelineable=True)

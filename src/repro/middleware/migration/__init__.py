@@ -1,0 +1,13 @@
+"""Data migration between engines: strategies, simulated network, reports."""
+
+from repro.middleware.migration.migrator import STRATEGIES, DataMigrator, MigrationReport
+from repro.middleware.migration.network import NetworkLink, SimulatedNetwork, TransferReport
+
+__all__ = [
+    "DataMigrator",
+    "MigrationReport",
+    "STRATEGIES",
+    "SimulatedNetwork",
+    "NetworkLink",
+    "TransferReport",
+]

@@ -1,0 +1,92 @@
+"""A simulated network between data-processing engines.
+
+Real polystores move data over a datacenter network; here the transfer is a
+cost model: a link with configurable bandwidth and latency, plus an
+RDMA-style fast path that bypasses the software protocol stack (the paper's
+§III-A-3 suggestion).  Transfers return simulated seconds, never sleep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import MigrationError
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """One link's characteristics.
+
+    Attributes:
+        bandwidth_gbs: Sustained bandwidth in gigabytes per second.
+        latency_s: One-way latency per message.
+        per_packet_overhead_s: Software protocol-stack overhead per packet
+            (memory copies, syscalls); RDMA bypasses most of it.
+        packet_bytes: Packet size used to count per-packet overheads.
+    """
+
+    bandwidth_gbs: float = 1.25          # ~10 GbE
+    latency_s: float = 100e-6
+    per_packet_overhead_s: float = 2e-6
+    packet_bytes: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0 or self.packet_bytes <= 0:
+            raise MigrationError("bandwidth and packet size must be positive")
+        if self.latency_s < 0 or self.per_packet_overhead_s < 0:
+            raise MigrationError("latencies must be non-negative")
+
+
+@dataclass(frozen=True)
+class TransferReport:
+    """Simulated cost of moving one payload."""
+
+    payload_bytes: int
+    wire_time_s: float
+    protocol_overhead_s: float
+    latency_s: float
+    total_s: float
+    rdma: bool
+
+
+class SimulatedNetwork:
+    """Transfers payloads over a :class:`NetworkLink`, charging simulated time."""
+
+    def __init__(self, link: NetworkLink | None = None, *,
+                 rdma_overhead_factor: float = 0.05) -> None:
+        self.link = link if link is not None else NetworkLink()
+        self.rdma_overhead_factor = rdma_overhead_factor
+        self.transfers: list[TransferReport] = []
+
+    def transfer(self, payload_bytes: int, *, rdma: bool = False) -> TransferReport:
+        """Simulate moving ``payload_bytes`` across the link."""
+        if payload_bytes < 0:
+            raise MigrationError("payload size must be non-negative")
+        link = self.link
+        wire_time = payload_bytes / (link.bandwidth_gbs * 1e9)
+        packets = max(1, -(-payload_bytes // link.packet_bytes))  # ceil division
+        protocol = packets * link.per_packet_overhead_s
+        if rdma:
+            protocol *= self.rdma_overhead_factor
+        report = TransferReport(
+            payload_bytes=payload_bytes,
+            wire_time_s=wire_time,
+            protocol_overhead_s=protocol,
+            latency_s=link.latency_s,
+            total_s=link.latency_s + wire_time + protocol,
+            rdma=rdma,
+        )
+        self.transfers.append(report)
+        return report
+
+    def total_transferred_bytes(self) -> int:
+        """Total bytes moved so far."""
+        return sum(t.payload_bytes for t in self.transfers)
+
+    def total_time_s(self) -> float:
+        """Total simulated transfer time so far."""
+        return sum(t.total_s for t in self.transfers)
+
+    def reset(self) -> None:
+        """Forget recorded transfers."""
+        self.transfers.clear()

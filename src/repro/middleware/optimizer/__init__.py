@@ -1,0 +1,34 @@
+"""Middleware optimizer: cost models, multi-objective search and active learning."""
+
+from repro.middleware.optimizer.active_learning import (
+    ActiveLearningOptimizer,
+    DSEResult,
+    compare_to_random,
+)
+from repro.middleware.optimizer.cost_model import CostEstimate, CostModel
+from repro.middleware.optimizer.design_space import DesignSpace, Parameter
+from repro.middleware.optimizer.multi_objective import (
+    Evaluation,
+    ParetoArchive,
+    hypervolume_2d,
+    is_pareto_efficient,
+    pareto_front,
+)
+from repro.middleware.optimizer.random_forest import RandomForestRegressor, RegressionTree
+
+__all__ = [
+    "CostModel",
+    "CostEstimate",
+    "DesignSpace",
+    "Parameter",
+    "Evaluation",
+    "ParetoArchive",
+    "pareto_front",
+    "is_pareto_efficient",
+    "hypervolume_2d",
+    "RandomForestRegressor",
+    "RegressionTree",
+    "ActiveLearningOptimizer",
+    "DSEResult",
+    "compare_to_random",
+]

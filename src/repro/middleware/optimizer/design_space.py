@@ -1,0 +1,145 @@
+"""Design spaces for the Polystore++ optimizer.
+
+Paper §IV-C formalizes optimization as black-box search over a design space
+``X`` of heterogeneous computing-unit configurations and accelerator design
+parameters.  The space mixes categorical variables (which engine, which
+device), ordinal variables (memory sizes, batch sizes) and continuous ones;
+derivatives are unavailable by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import OptimizationError
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One dimension of the design space.
+
+    Attributes:
+        name: Parameter name.
+        kind: ``"categorical"``, ``"ordinal"`` or ``"continuous"``.
+        values: Allowed values (categorical/ordinal) in order.
+        low, high: Bounds for continuous parameters.
+    """
+
+    name: str
+    kind: str
+    values: tuple[Any, ...] = ()
+    low: float = 0.0
+    high: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("categorical", "ordinal", "continuous"):
+            raise OptimizationError(f"unknown parameter kind {self.kind!r}")
+        if self.kind in ("categorical", "ordinal") and not self.values:
+            raise OptimizationError(f"parameter {self.name!r} needs explicit values")
+        if self.kind == "continuous" and self.high <= self.low:
+            raise OptimizationError(f"parameter {self.name!r} has an empty range")
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        """Draw one random value."""
+        if self.kind == "continuous":
+            return float(rng.uniform(self.low, self.high))
+        return self.values[int(rng.integers(len(self.values)))]
+
+    def encode(self, value: Any) -> float:
+        """Map a value to a numeric feature for the surrogate model."""
+        if self.kind == "continuous":
+            return float(value)
+        try:
+            return float(self.values.index(value))
+        except ValueError as exc:
+            raise OptimizationError(
+                f"value {value!r} is not valid for parameter {self.name!r}"
+            ) from exc
+
+
+class DesignSpace:
+    """A named collection of parameters with sampling and encoding helpers."""
+
+    def __init__(self, parameters: Sequence[Parameter]) -> None:
+        if not parameters:
+            raise OptimizationError("design space needs at least one parameter")
+        names = [p.name for p in parameters]
+        if len(names) != len(set(names)):
+            raise OptimizationError("duplicate parameter names in design space")
+        self.parameters = tuple(parameters)
+
+    @classmethod
+    def polystore_default(cls, engine_names: Sequence[str],
+                          accelerator_names: Sequence[str]) -> "DesignSpace":
+        """The configuration space a Polystore++ deployment exposes."""
+        accelerators = tuple(accelerator_names) + ("none",)
+        return cls([
+            Parameter("join_engine", "categorical", tuple(engine_names) or ("relational",)),
+            Parameter("sort_target", "categorical", accelerators),
+            Parameter("ml_target", "categorical", accelerators),
+            Parameter("migration_strategy", "categorical",
+                      ("csv", "binary_pipe", "rdma", "accelerated")),
+            Parameter("batch_size", "ordinal", (16, 32, 64, 128, 256, 512)),
+            Parameter("host_cores", "ordinal", (1, 2, 4, 8)),
+        ])
+
+    # -- sampling ------------------------------------------------------------------------
+
+    def sample(self, rng: np.random.Generator) -> dict[str, Any]:
+        """Draw one random configuration."""
+        return {p.name: p.sample(rng) for p in self.parameters}
+
+    def sample_many(self, n: int, *, seed: int = 0) -> list[dict[str, Any]]:
+        """Draw ``n`` random configurations."""
+        rng = np.random.default_rng(seed)
+        return [self.sample(rng) for _ in range(n)]
+
+    def enumerate(self, *, max_points: int = 10_000) -> Iterator[dict[str, Any]]:
+        """Exhaustively enumerate discrete spaces (continuous params use 5 steps)."""
+        grids: list[list[Any]] = []
+        for parameter in self.parameters:
+            if parameter.kind == "continuous":
+                grids.append(list(np.linspace(parameter.low, parameter.high, 5)))
+            else:
+                grids.append(list(parameter.values))
+        total = 1
+        for grid in grids:
+            total *= len(grid)
+        if total > max_points:
+            raise OptimizationError(
+                f"design space has {total} points, above the enumeration limit {max_points}"
+            )
+        indexes = [0] * len(grids)
+        while True:
+            yield {p.name: grids[i][indexes[i]] for i, p in enumerate(self.parameters)}
+            for position in range(len(grids) - 1, -1, -1):
+                indexes[position] += 1
+                if indexes[position] < len(grids[position]):
+                    break
+                indexes[position] = 0
+            else:
+                return
+
+    # -- encoding -------------------------------------------------------------------------
+
+    def encode(self, configuration: dict[str, Any]) -> np.ndarray:
+        """Encode a configuration as a numeric feature vector."""
+        return np.array([p.encode(configuration[p.name]) for p in self.parameters],
+                        dtype=np.float64)
+
+    def encode_many(self, configurations: Sequence[dict[str, Any]]) -> np.ndarray:
+        """Encode several configurations as a matrix."""
+        return np.array([self.encode(c) for c in configurations], dtype=np.float64)
+
+    @property
+    def size(self) -> int | None:
+        """Number of points for fully discrete spaces, else ``None``."""
+        total = 1
+        for parameter in self.parameters:
+            if parameter.kind == "continuous":
+                return None
+            total *= len(parameter.values)
+        return total

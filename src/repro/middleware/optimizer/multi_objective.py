@@ -1,0 +1,112 @@
+"""Multi-objective utilities: Pareto fronts and hypervolume.
+
+The Polystore++ optimizer trades at least two objectives (execution time and
+energy/power); its output is a Pareto front, "a generalized notion of
+optimality" (paper Figure 8).  All objectives are minimized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.exceptions import OptimizationError
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One evaluated configuration with its objective values."""
+
+    configuration: dict[str, Any]
+    objectives: tuple[float, ...]
+
+    def dominates(self, other: "Evaluation") -> bool:
+        """Whether this point is at least as good everywhere and better somewhere."""
+        if len(self.objectives) != len(other.objectives):
+            raise OptimizationError("evaluations have different objective counts")
+        at_least_as_good = all(a <= b for a, b in zip(self.objectives, other.objectives))
+        strictly_better = any(a < b for a, b in zip(self.objectives, other.objectives))
+        return at_least_as_good and strictly_better
+
+
+def pareto_front(evaluations: Sequence[Evaluation]) -> list[Evaluation]:
+    """Non-dominated subset of ``evaluations`` (order preserved)."""
+    front: list[Evaluation] = []
+    for candidate in evaluations:
+        if any(other.dominates(candidate) for other in evaluations if other is not candidate):
+            continue
+        front.append(candidate)
+    return front
+
+
+def is_pareto_efficient(points: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated rows of a ``(n, k)`` objective matrix."""
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    efficient = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not efficient[i]:
+            continue
+        dominated = np.all(points <= points[i], axis=1) & np.any(points < points[i], axis=1)
+        dominated[i] = False
+        if dominated.any():
+            efficient[i] = False
+    return efficient
+
+
+def hypervolume_2d(front: Sequence[tuple[float, float]],
+                   reference: tuple[float, float]) -> float:
+    """Hypervolume dominated by a 2-objective front w.r.t. ``reference``.
+
+    Both objectives are minimized; points outside the reference box contribute
+    nothing.  Used by the DSE benchmark to compare active learning against
+    random sampling at equal budget.
+    """
+    if not front:
+        return 0.0
+    clipped = [(min(x, reference[0]), min(y, reference[1])) for x, y in front]
+    ordered = sorted(set(clipped))
+    volume = 0.0
+    previous_y = reference[1]
+    for x, y in ordered:
+        if y >= previous_y:
+            continue
+        volume += (reference[0] - x) * (previous_y - y)
+        previous_y = y
+    return volume
+
+
+@dataclass
+class ParetoArchive:
+    """Keeps the running non-dominated set as evaluations stream in."""
+
+    evaluations: list[Evaluation] = field(default_factory=list)
+
+    def add(self, evaluation: Evaluation) -> bool:
+        """Add an evaluation; returns ``True`` when it joins the front."""
+        if any(other.dominates(evaluation) for other in self.evaluations):
+            self.evaluations.append(evaluation)
+            return False
+        self.evaluations.append(evaluation)
+        return True
+
+    @property
+    def front(self) -> list[Evaluation]:
+        """Current Pareto front."""
+        return pareto_front(self.evaluations)
+
+    def front_points(self) -> list[tuple[float, ...]]:
+        """Objective tuples of the current front."""
+        return [e.objectives for e in self.front]
+
+    def best_scalarized(self, weights: Sequence[float]) -> Evaluation:
+        """The evaluation minimizing a weighted sum of objectives."""
+        if not self.evaluations:
+            raise OptimizationError("archive is empty")
+        return min(self.evaluations,
+                   key=lambda e: sum(w * o for w, o in zip(weights, e.objectives)))
+
+    def __len__(self) -> int:
+        return len(self.evaluations)

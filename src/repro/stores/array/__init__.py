@@ -1,0 +1,6 @@
+"""Array store: chunked dense arrays with matrix operators."""
+
+from repro.stores.array.chunks import ChunkedArray
+from repro.stores.array.engine import ArrayEngine
+
+__all__ = ["ArrayEngine", "ChunkedArray"]

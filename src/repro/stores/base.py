@@ -1,0 +1,185 @@
+"""Common abstractions for the polystore's data-processing engines.
+
+Every substrate engine (relational, key/value, timeseries, graph, array,
+text, ML) implements :class:`Engine`.  The middleware only depends on this
+interface: engine capabilities drive operator placement, and the metrics each
+engine records after executing a native request feed the optimizer's cost
+models (paper §III, "adapter ... collects the performance metrics after the
+workload execution and sends it to the middleware's optimizer").
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.exceptions import UnsupportedOperationError
+
+
+class DataModel(enum.Enum):
+    """Native data model exposed by an engine."""
+
+    RELATIONAL = "relational"
+    KEY_VALUE = "key_value"
+    TIMESERIES = "timeseries"
+    GRAPH = "graph"
+    ARRAY = "array"
+    DOCUMENT = "document"
+    TENSOR = "tensor"
+
+
+class Capability(enum.Enum):
+    """Native operations an engine can execute without middleware help.
+
+    The compiler's placement pass consults these to decide which IR operators
+    can be pushed down into which engine.
+    """
+
+    SCAN = "scan"
+    INDEX_SEEK = "index_seek"
+    FILTER = "filter"
+    PROJECT = "project"
+    JOIN = "join"
+    SORT = "sort"
+    GROUP_BY = "group_by"
+    AGGREGATE = "aggregate"
+    POINT_LOOKUP = "point_lookup"
+    RANGE_SCAN = "range_scan"
+    WINDOW_AGGREGATE = "window_aggregate"
+    DOWNSAMPLE = "downsample"
+    PATTERN_MATCH = "pattern_match"
+    SHORTEST_PATH = "shortest_path"
+    NEIGHBORHOOD = "neighborhood"
+    MATMUL = "matmul"
+    SLICE = "slice"
+    TEXT_SEARCH = "text_search"
+    TRAIN_MODEL = "train_model"
+    PREDICT = "predict"
+
+
+@dataclass
+class OperationMetrics:
+    """Metrics recorded for one native engine operation."""
+
+    engine: str
+    operation: str
+    wall_time_s: float
+    rows_in: int = 0
+    rows_out: int = 0
+    bytes_out: int = 0
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class MetricsRecorder:
+    """Accumulates :class:`OperationMetrics` for an engine instance."""
+
+    def __init__(self) -> None:
+        self._records: list[OperationMetrics] = []
+
+    def record(self, metrics: OperationMetrics) -> None:
+        """Store one operation's metrics."""
+        self._records.append(metrics)
+
+    def timed(self, engine: str, operation: str, **details: Any) -> "_Timer":
+        """Context manager that records wall time for ``operation``."""
+        return _Timer(self, engine, operation, details)
+
+    @property
+    def records(self) -> list[OperationMetrics]:
+        """All recorded metrics, oldest first."""
+        return list(self._records)
+
+    def total_time(self, operation: str | None = None) -> float:
+        """Total wall time across records, optionally filtered by operation."""
+        return sum(
+            r.wall_time_s for r in self._records
+            if operation is None or r.operation == operation
+        )
+
+    def clear(self) -> None:
+        """Drop all recorded metrics."""
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class _Timer:
+    """Implementation detail of :meth:`MetricsRecorder.timed`."""
+
+    def __init__(self, recorder: MetricsRecorder, engine: str, operation: str,
+                 details: dict[str, Any]) -> None:
+        self._recorder = recorder
+        self._engine = engine
+        self._operation = operation
+        self.details = details
+        self.rows_in = 0
+        self.rows_out = 0
+        self.bytes_out = 0
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._recorder.record(OperationMetrics(
+            engine=self._engine,
+            operation=self._operation,
+            wall_time_s=elapsed,
+            rows_in=self.rows_in,
+            rows_out=self.rows_out,
+            bytes_out=self.bytes_out,
+            details=dict(self.details),
+        ))
+
+
+class Engine(abc.ABC):
+    """Abstract base class for every data-processing engine in the polystore."""
+
+    #: Native data model; subclasses override.
+    data_model: DataModel = DataModel.RELATIONAL
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.metrics = MetricsRecorder()
+
+    @abc.abstractmethod
+    def capabilities(self) -> frozenset[Capability]:
+        """The native operations this engine supports."""
+
+    def supports(self, capability: Capability) -> bool:
+        """Whether this engine natively supports ``capability``."""
+        return capability in self.capabilities()
+
+    def require(self, capability: Capability) -> None:
+        """Raise :class:`UnsupportedOperationError` unless supported."""
+        if not self.supports(capability):
+            raise UnsupportedOperationError(
+                f"engine {self.name!r} ({type(self).__name__}) does not support "
+                f"{capability.value}"
+            )
+
+    def describe(self) -> dict[str, Any]:
+        """A small metadata dictionary used by the catalog and the EIDE config."""
+        return {
+            "name": self.name,
+            "type": type(self).__name__,
+            "data_model": self.data_model.value,
+            "capabilities": sorted(c.value for c in self.capabilities()),
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def iter_batches(rows: list, batch_size: int) -> Iterator[list]:
+    """Yield ``rows`` in contiguous batches of at most ``batch_size``."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    for start in range(0, len(rows), batch_size):
+        yield rows[start:start + batch_size]

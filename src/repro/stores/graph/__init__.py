@@ -1,0 +1,29 @@
+"""Graph store: property graph with pattern matching and path queries."""
+
+from repro.stores.graph.engine import GraphEngine
+from repro.stores.graph.graph import Edge, Node, PropertyGraph
+from repro.stores.graph.query import (
+    Match,
+    PatternStep,
+    bfs_reachable,
+    degree_centrality,
+    match_pattern,
+    neighborhood_aggregate,
+    shortest_path,
+    subtree,
+)
+
+__all__ = [
+    "GraphEngine",
+    "PropertyGraph",
+    "Node",
+    "Edge",
+    "Match",
+    "PatternStep",
+    "match_pattern",
+    "shortest_path",
+    "bfs_reachable",
+    "subtree",
+    "neighborhood_aggregate",
+    "degree_centrality",
+]

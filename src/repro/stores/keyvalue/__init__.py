@@ -1,0 +1,7 @@
+"""Key/value store: LSM-style engine with memtable, SSTables and WAL."""
+
+from repro.stores.keyvalue.engine import KeyValueEngine
+from repro.stores.keyvalue.memtable import MemTable
+from repro.stores.keyvalue.sstable import SSTable, merge_sstables
+
+__all__ = ["KeyValueEngine", "MemTable", "SSTable", "merge_sstables"]

@@ -1,0 +1,157 @@
+"""The key/value data-processing engine.
+
+A small LSM-style store: writes land in a write-ahead log and a memtable;
+full memtables are frozen into immutable SSTables; reads check the memtable
+first and then SSTables newest-to-oldest; an explicit :meth:`compact`
+merges all SSTables.  The recommendation workload of the paper's Figure 1
+uses it for user profiles and external events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.exceptions import StorageError
+from repro.stores.base import Capability, DataModel, Engine
+from repro.stores.keyvalue.memtable import TOMBSTONE, MemTable
+from repro.stores.keyvalue.sstable import SSTable, merge_sstables
+
+
+class KeyValueEngine(Engine):
+    """An LSM-style key/value store with point and range reads."""
+
+    data_model = DataModel.KEY_VALUE
+
+    def __init__(self, name: str = "keyvalue", *, memtable_capacity: int = 1024) -> None:
+        super().__init__(name)
+        self._memtable = MemTable(memtable_capacity)
+        self._sstables: list[SSTable] = []
+        self._wal: list[tuple[str, str, Any]] = []
+
+    def capabilities(self) -> frozenset[Capability]:
+        return frozenset({
+            Capability.POINT_LOOKUP,
+            Capability.RANGE_SCAN,
+            Capability.SCAN,
+        })
+
+    # -- writes -----------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        self._wal.append(("put", key, value))
+        self._memtable.put(key, value)
+        if self._memtable.is_full:
+            self.flush()
+
+    def put_many(self, items: dict[str, Any]) -> None:
+        """Insert or overwrite many keys."""
+        with self.metrics.timed(self.name, "put_many") as timer:
+            for key, value in items.items():
+                self.put(key, value)
+            timer.rows_in = len(items)
+
+    def delete(self, key: str) -> None:
+        """Delete ``key`` (tombstoned until the next compaction)."""
+        self._wal.append(("delete", key, None))
+        self._memtable.delete(key)
+        if self._memtable.is_full:
+            self.flush()
+
+    def flush(self) -> None:
+        """Freeze the memtable into a new SSTable."""
+        if len(self._memtable) == 0:
+            return
+        self._sstables.append(SSTable.from_memtable(self._memtable))
+        self._memtable.clear()
+
+    def compact(self) -> None:
+        """Merge every SSTable into one, discarding shadowed entries."""
+        self.flush()
+        if len(self._sstables) <= 1:
+            return
+        with self.metrics.timed(self.name, "compact") as timer:
+            merged = merge_sstables(self._sstables)
+            timer.rows_out = len(merged)
+        self._sstables = [merged]
+
+    # -- reads -------------------------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Value for ``key``, or ``default`` when missing or deleted."""
+        with self.metrics.timed(self.name, "get", key=key) as timer:
+            found, value = self._memtable.get(key)
+            if not found:
+                for sstable in reversed(self._sstables):
+                    found, value = sstable.get(key)
+                    if found:
+                        break
+            timer.rows_out = 1 if found and value is not TOMBSTONE else 0
+        if not found or value is TOMBSTONE:
+            return default
+        return value
+
+    def multi_get(self, keys: list[str]) -> dict[str, Any]:
+        """Values for several keys; missing keys are omitted."""
+        out: dict[str, Any] = {}
+        for key in keys:
+            sentinel = object()
+            value = self.get(key, sentinel)
+            if value is not sentinel:
+                out[key] = value
+        return out
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` currently has a live value."""
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def range(self, start: str | None = None, end: str | None = None) -> Iterator[tuple[str, Any]]:
+        """Live entries with ``start <= key < end`` in key order."""
+        with self.metrics.timed(self.name, "range", start=start, end=end) as timer:
+            merged: dict[str, Any] = {}
+            for sstable in self._sstables:
+                for key, value in sstable.range(start, end):
+                    merged[key] = value
+            for key, value in self._memtable.items():
+                if (start is None or key >= start) and (end is None or key < end):
+                    merged[key] = value
+            live = [(k, v) for k, v in sorted(merged.items()) if v is not TOMBSTONE]
+            timer.rows_out = len(live)
+        yield from live
+
+    def scan(self) -> Iterator[tuple[str, Any]]:
+        """Every live entry in key order."""
+        yield from self.range(None, None)
+
+    def keys(self) -> list[str]:
+        """All live keys in order."""
+        return [key for key, _ in self.scan()]
+
+    # -- recovery and statistics -----------------------------------------------------
+
+    def recover_from_wal(self) -> "KeyValueEngine":
+        """Rebuild a fresh engine by replaying this engine's write-ahead log."""
+        replayed = KeyValueEngine(f"{self.name}-recovered",
+                                  memtable_capacity=self._memtable.capacity)
+        for op, key, value in self._wal:
+            if op == "put":
+                replayed.put(key, value)
+            elif op == "delete":
+                replayed.delete(key)
+            else:
+                raise StorageError(f"unknown WAL record {op!r}")
+        return replayed
+
+    def statistics(self) -> dict[str, Any]:
+        """Engine statistics for the catalog."""
+        return {
+            "memtable_entries": len(self._memtable),
+            "sstables": len(self._sstables),
+            "sstable_entries": sum(len(t) for t in self._sstables),
+            "wal_records": len(self._wal),
+            "live_keys": len(self.keys()),
+        }
+
+    def __len__(self) -> int:
+        return len(self.keys())

@@ -1,0 +1,73 @@
+"""Immutable sorted runs for the key/value engine."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+from repro.stores.keyvalue.memtable import TOMBSTONE, MemTable
+
+
+class SSTable:
+    """A sorted, immutable array of ``(key, value)`` entries.
+
+    Values may be the tombstone sentinel, meaning "deleted at this level".
+    Lookups use binary search; range scans slice the sorted key array.
+    """
+
+    def __init__(self, entries: list[tuple[str, Any]]) -> None:
+        self._keys = [key for key, _ in entries]
+        self._values = [value for _, value in entries]
+        if self._keys != sorted(self._keys):
+            raise ValueError("SSTable entries must be sorted by key")
+
+    @classmethod
+    def from_memtable(cls, memtable: MemTable) -> "SSTable":
+        """Freeze a memtable into an SSTable."""
+        return cls(list(memtable.items()))
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """Return ``(found, value)`` for ``key``."""
+        pos = bisect.bisect_left(self._keys, key)
+        if pos < len(self._keys) and self._keys[pos] == key:
+            return True, self._values[pos]
+        return False, None
+
+    def range(self, start: str | None = None, end: str | None = None) -> Iterator[tuple[str, Any]]:
+        """Entries with ``start <= key < end`` (open ends allowed)."""
+        lo = 0 if start is None else bisect.bisect_left(self._keys, start)
+        hi = len(self._keys) if end is None else bisect.bisect_left(self._keys, end)
+        for i in range(lo, hi):
+            yield self._keys[i], self._values[i]
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        """All entries in key order."""
+        yield from zip(self._keys, self._values)
+
+    @property
+    def min_key(self) -> str | None:
+        """Smallest key, or ``None`` when empty."""
+        return self._keys[0] if self._keys else None
+
+    @property
+    def max_key(self) -> str | None:
+        """Largest key, or ``None`` when empty."""
+        return self._keys[-1] if self._keys else None
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+def merge_sstables(tables: list[SSTable]) -> SSTable:
+    """Compact several SSTables into one, newest table winning per key.
+
+    Tombstones are dropped from the merged output (a full compaction), so the
+    result contains only live entries.
+    """
+    merged: dict[str, Any] = {}
+    # Oldest first so that newer tables overwrite older entries.
+    for table in tables:
+        for key, value in table.items():
+            merged[key] = value
+    live = [(key, value) for key, value in sorted(merged.items()) if value is not TOMBSTONE]
+    return SSTable(live)

@@ -1,0 +1,18 @@
+"""ML/DL engine: counted tensor ops, MLP, logistic regression and k-means."""
+
+from repro.stores.ml.engine import MLEngine
+from repro.stores.ml.kmeans import KMeansResult, kmeans
+from repro.stores.ml.logistic import LogisticRegression
+from repro.stores.ml.nn import MLPClassifier, TrainingHistory
+from repro.stores.ml.tensor_ops import OpCounter, TensorOps
+
+__all__ = [
+    "MLEngine",
+    "MLPClassifier",
+    "TrainingHistory",
+    "LogisticRegression",
+    "KMeansResult",
+    "kmeans",
+    "TensorOps",
+    "OpCounter",
+]

@@ -1,0 +1,159 @@
+"""The ML/DL data-processing engine.
+
+Trains and serves models (MLP, logistic regression, k-means) on feature
+matrices, typically produced by joining data from the other stores.  Work is
+counted through a shared :class:`TensorOps` instance so the middleware can
+decide whether the GEMM-heavy parts should be offloaded to a GPU/TPU
+simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.datamodel.conversion import table_to_matrix
+from repro.datamodel.table import Table
+from repro.exceptions import StorageError
+from repro.stores.base import Capability, DataModel, Engine
+from repro.stores.ml.kmeans import KMeansResult, kmeans
+from repro.stores.ml.logistic import LogisticRegression
+from repro.stores.ml.nn import MLPClassifier, TrainingHistory
+from repro.stores.ml.tensor_ops import TensorOps
+
+
+class MLEngine(Engine):
+    """Model training and inference engine built on counted tensor ops."""
+
+    data_model = DataModel.TENSOR
+
+    def __init__(self, name: str = "ml") -> None:
+        super().__init__(name)
+        self.ops = TensorOps()
+        self._models: dict[str, Any] = {}
+
+    def capabilities(self) -> frozenset[Capability]:
+        return frozenset({
+            Capability.TRAIN_MODEL,
+            Capability.PREDICT,
+            Capability.MATMUL,
+        })
+
+    # -- training -----------------------------------------------------------------
+
+    def train_classifier(self, model_name: str, features: np.ndarray | Table,
+                         labels: np.ndarray, *, hidden_dims: tuple[int, ...] = (32,),
+                         epochs: int = 5, batch_size: int = 32,
+                         learning_rate: float = 0.05, seed: int = 0
+                         ) -> TrainingHistory:
+        """Train an MLP classifier and register it under ``model_name``."""
+        x = self._as_matrix(features)
+        model = MLPClassifier(x.shape[1], hidden_dims, learning_rate=learning_rate,
+                              seed=seed, ops=self.ops)
+        with self.metrics.timed(self.name, "train_classifier", model=model_name) as timer:
+            history = model.fit(x, labels, epochs=epochs, batch_size=batch_size, seed=seed)
+            timer.rows_in = x.shape[0]
+            timer.details["flops"] = self.ops.counter.flops
+        self._models[model_name] = model
+        return history
+
+    def train_logistic(self, model_name: str, features: np.ndarray | Table,
+                       labels: np.ndarray, *, epochs: int = 10, batch_size: int = 64,
+                       learning_rate: float = 0.1, seed: int = 0) -> list[float]:
+        """Train a logistic-regression model and register it."""
+        x = self._as_matrix(features)
+        model = LogisticRegression(x.shape[1], learning_rate=learning_rate, ops=self.ops)
+        with self.metrics.timed(self.name, "train_logistic", model=model_name) as timer:
+            losses = model.fit(x, labels, epochs=epochs, batch_size=batch_size, seed=seed)
+            timer.rows_in = x.shape[0]
+        self._models[model_name] = model
+        return losses
+
+    def cluster(self, features: np.ndarray | Table, n_clusters: int, *,
+                max_iterations: int = 50, seed: int = 0) -> KMeansResult:
+        """Run k-means over a feature matrix."""
+        x = self._as_matrix(features)
+        with self.metrics.timed(self.name, "kmeans", clusters=n_clusters) as timer:
+            result = kmeans(x, n_clusters, max_iterations=max_iterations, seed=seed,
+                            ops=self.ops)
+            timer.rows_in = x.shape[0]
+        return result
+
+    # -- inference ---------------------------------------------------------------------
+
+    def predict(self, model_name: str, features: np.ndarray | Table) -> np.ndarray:
+        """Hard predictions from a registered model."""
+        model = self._model(model_name)
+        x = self._as_matrix(features)
+        with self.metrics.timed(self.name, "predict", model=model_name) as timer:
+            predictions = model.predict(x)
+            timer.rows_out = len(predictions)
+        return predictions
+
+    def predict_proba(self, model_name: str, features: np.ndarray | Table) -> np.ndarray:
+        """Probability predictions from a registered model."""
+        model = self._model(model_name)
+        x = self._as_matrix(features)
+        return model.predict_proba(x)
+
+    def evaluate(self, model_name: str, features: np.ndarray | Table,
+                 labels: np.ndarray) -> dict[str, float]:
+        """Accuracy / precision / recall of a registered model on a labelled set."""
+        predictions = self.predict(model_name, features)
+        y = np.asarray(labels).reshape(-1).astype(np.int64)
+        true_positive = int(np.sum((predictions == 1) & (y == 1)))
+        false_positive = int(np.sum((predictions == 1) & (y == 0)))
+        false_negative = int(np.sum((predictions == 0) & (y == 1)))
+        accuracy = float(np.mean(predictions == y)) if len(y) else 0.0
+        precision = true_positive / (true_positive + false_positive) \
+            if (true_positive + false_positive) else 0.0
+        recall = true_positive / (true_positive + false_negative) \
+            if (true_positive + false_negative) else 0.0
+        return {"accuracy": accuracy, "precision": precision, "recall": recall}
+
+    # -- model registry -------------------------------------------------------------------
+
+    def has_model(self, model_name: str) -> bool:
+        """Whether a model is registered."""
+        return model_name in self._models
+
+    def list_models(self) -> list[str]:
+        """Names of registered models."""
+        return sorted(self._models)
+
+    def model_info(self, model_name: str) -> dict[str, Any]:
+        """Metadata about a registered model."""
+        model = self._model(model_name)
+        info: dict[str, Any] = {"type": type(model).__name__}
+        if isinstance(model, MLPClassifier):
+            info["parameters"] = model.parameter_count()
+            info["hidden_dims"] = list(model.hidden_dims)
+        elif isinstance(model, LogisticRegression):
+            info["parameters"] = int(model.weights.size + 1)
+        return info
+
+    def statistics(self) -> dict[str, Any]:
+        """Engine statistics for the catalog."""
+        return {
+            "models": len(self._models),
+            "total_flops": self.ops.counter.flops,
+            "gemm_calls": self.ops.counter.gemm_calls,
+        }
+
+    # -- helpers -----------------------------------------------------------------------------
+
+    def _model(self, model_name: str) -> Any:
+        try:
+            return self._models[model_name]
+        except KeyError as exc:
+            raise StorageError(f"model {model_name!r} is not registered") from exc
+
+    @staticmethod
+    def _as_matrix(features: np.ndarray | Table) -> np.ndarray:
+        if isinstance(features, Table):
+            return table_to_matrix(features)
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        return x

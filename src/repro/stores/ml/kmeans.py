@@ -1,0 +1,110 @@
+"""K-means clustering.
+
+The paper's Figure 7 uses k-means as the example of an ML kernel translated
+from TensorFlow to an accelerator DSL (OptiML); here it is the clustering
+primitive the ML engine exposes, again routing its distance computations
+through the counted tensor ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataModelError
+from repro.stores.ml.tensor_ops import TensorOps
+
+
+@dataclass
+class KMeansResult:
+    """Output of :func:`kmeans`: centroids, assignments and inertia history."""
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+    iterations: int
+    inertia_history: list[float]
+
+
+def kmeans(points: np.ndarray, n_clusters: int, *, max_iterations: int = 50,
+           tolerance: float = 1e-6, seed: int = 0,
+           ops: TensorOps | None = None) -> KMeansResult:
+    """Lloyd's algorithm with k-means++-style seeding.
+
+    Args:
+        points: ``(n_samples, n_features)`` data matrix.
+        n_clusters: Number of clusters; must not exceed the sample count.
+        max_iterations: Upper bound on Lloyd iterations.
+        tolerance: Stop when inertia improves by less than this fraction.
+        seed: RNG seed for centroid initialization.
+        ops: Optional shared :class:`TensorOps` counter.
+    """
+    data = np.asarray(points, dtype=np.float64)
+    if data.ndim != 2:
+        raise DataModelError("points must be a 2-D matrix")
+    n_samples = data.shape[0]
+    if n_clusters <= 0 or n_clusters > n_samples:
+        raise DataModelError(
+            f"n_clusters must be in [1, {n_samples}], got {n_clusters}"
+        )
+    ops = ops if ops is not None else TensorOps()
+    rng = np.random.default_rng(seed)
+
+    centroids = _init_centroids(data, n_clusters, rng)
+    previous_inertia = float("inf")
+    inertia_history: list[float] = []
+    assignments = np.zeros(n_samples, dtype=np.int64)
+
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        distances = _pairwise_sq_distances(data, centroids, ops)
+        assignments = distances.argmin(axis=1)
+        inertia = float(distances[np.arange(n_samples), assignments].sum())
+        inertia_history.append(inertia)
+        for cluster in range(n_clusters):
+            members = data[assignments == cluster]
+            if len(members):
+                centroids[cluster] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster at the farthest point from its centroid.
+                farthest = distances.min(axis=1).argmax()
+                centroids[cluster] = data[farthest]
+        if previous_inertia - inertia <= tolerance * max(previous_inertia, 1e-12):
+            break
+        previous_inertia = inertia
+
+    return KMeansResult(
+        centroids=centroids,
+        assignments=assignments,
+        inertia=inertia_history[-1],
+        iterations=iteration,
+        inertia_history=inertia_history,
+    )
+
+
+def _init_centroids(data: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids apart."""
+    n_samples = data.shape[0]
+    centroids = [data[rng.integers(n_samples)]]
+    for _ in range(1, k):
+        distances = np.min(
+            [((data - c) ** 2).sum(axis=1) for c in centroids], axis=0
+        )
+        total = distances.sum()
+        if total <= 0:
+            centroids.append(data[rng.integers(n_samples)])
+            continue
+        probabilities = distances / total
+        centroids.append(data[rng.choice(n_samples, p=probabilities)])
+    return np.array(centroids, dtype=np.float64)
+
+
+def _pairwise_sq_distances(data: np.ndarray, centroids: np.ndarray,
+                           ops: TensorOps) -> np.ndarray:
+    """Squared Euclidean distances, expanded so the GEMM term is counted."""
+    cross = ops.gemm(data, centroids.T)
+    data_sq = (data ** 2).sum(axis=1, keepdims=True)
+    centroid_sq = (centroids ** 2).sum(axis=1)
+    distances = data_sq - 2.0 * cross + centroid_sq
+    return np.maximum(distances, 0.0)

@@ -1,0 +1,30 @@
+"""Relational store: SQL parsing, planning, indexes and volcano operators."""
+
+from repro.stores.relational.engine import RelationalEngine, StoredTable
+from repro.stores.relational.expressions import (
+    and_,
+    column,
+    compare,
+    literal,
+    not_,
+    or_,
+)
+from repro.stores.relational.operators import AggregateSpec, bitonic_sort
+from repro.stores.relational.planner import LogicalPlan, build_plan
+from repro.stores.relational.sql import parse_select
+
+__all__ = [
+    "RelationalEngine",
+    "StoredTable",
+    "AggregateSpec",
+    "bitonic_sort",
+    "LogicalPlan",
+    "build_plan",
+    "parse_select",
+    "column",
+    "literal",
+    "compare",
+    "and_",
+    "or_",
+    "not_",
+]

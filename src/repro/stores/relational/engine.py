@@ -1,0 +1,296 @@
+"""The relational data-processing engine.
+
+A from-scratch, single-node relational store: tables live in heap pages
+(:mod:`repro.stores.relational.storage`), optional secondary indexes provide
+point/range access paths, a small SQL dialect is parsed and planned, and
+volcano-style operators execute the plan.  The engine records per-operation
+metrics that the Polystore++ middleware's optimizer consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.datamodel.schema import Schema
+from repro.datamodel.table import Table
+from repro.exceptions import QueryError, StorageError
+from repro.stores.base import Capability, DataModel, Engine
+from repro.stores.relational.expressions import Expression
+from repro.stores.relational.index import HashIndex, SortedIndex
+from repro.stores.relational.operators import (
+    AggregateSpec,
+    Filter,
+    GroupByAggregate,
+    HashJoin,
+    Limit,
+    PhysicalOperator,
+    Project,
+    Sort,
+    SortMergeJoin,
+    TableScan,
+    TopK,
+)
+from repro.stores.relational.planner import (
+    AggregatePlan,
+    FilterPlan,
+    IndexSeekPlan,
+    JoinPlan,
+    LimitPlan,
+    LogicalPlan,
+    ProjectPlan,
+    ScanPlan,
+    SortPlan,
+    build_plan,
+)
+from repro.stores.relational.sql import parse_select
+from repro.stores.relational.storage import HeapStorage
+
+
+class StoredTable:
+    """A table registered in the engine: heap storage plus its indexes."""
+
+    def __init__(self, name: str, schema: Schema, page_capacity: int = 256) -> None:
+        self.name = name
+        self.schema = schema
+        self.heap = HeapStorage(schema, page_capacity)
+        self.hash_indexes: dict[str, HashIndex] = {}
+        self.sorted_indexes: dict[str, SortedIndex] = {}
+
+    def insert(self, row: Sequence[Any], *, validate: bool = False) -> None:
+        """Insert one positional row, maintaining all indexes."""
+        rid = self.heap.insert(row, validate=validate)
+        row_t = tuple(row)
+        for column, index in self.hash_indexes.items():
+            index.insert(row_t[self.schema.index_of(column)], rid)
+        for column, index in self.sorted_indexes.items():
+            index.insert(row_t[self.schema.index_of(column)], rid)
+
+    def statistics(self) -> dict[str, Any]:
+        """Table statistics for the catalog and cost models."""
+        stats = self.heap.statistics()
+        stats["hash_indexes"] = sorted(self.hash_indexes)
+        stats["sorted_indexes"] = sorted(self.sorted_indexes)
+        return stats
+
+
+class RelationalEngine(Engine):
+    """A single-node relational engine with SQL, indexes and join algorithms."""
+
+    data_model = DataModel.RELATIONAL
+
+    def __init__(self, name: str = "relational") -> None:
+        super().__init__(name)
+        self._tables: dict[str, StoredTable] = {}
+
+    def capabilities(self) -> frozenset[Capability]:
+        return frozenset({
+            Capability.SCAN,
+            Capability.INDEX_SEEK,
+            Capability.FILTER,
+            Capability.PROJECT,
+            Capability.JOIN,
+            Capability.SORT,
+            Capability.GROUP_BY,
+            Capability.AGGREGATE,
+        })
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema, *, page_capacity: int = 256) -> None:
+        """Create an empty table."""
+        if name in self._tables:
+            raise StorageError(f"table {name!r} already exists")
+        self._tables[name] = StoredTable(name, schema, page_capacity)
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and its indexes."""
+        if name not in self._tables:
+            raise StorageError(f"table {name!r} does not exist")
+        del self._tables[name]
+
+    def create_index(self, table: str, column: str, *, kind: str = "hash") -> None:
+        """Create a secondary index on an existing table column."""
+        stored = self._stored(table)
+        if column not in stored.schema:
+            raise StorageError(f"table {table!r} has no column {column!r}")
+        column_pos = stored.schema.index_of(column)
+        entries = [(row[column_pos], rid) for rid, row in stored.heap.scan_with_rids()]
+        if kind == "hash":
+            index = HashIndex(column)
+            index.bulk_load(entries)
+            stored.hash_indexes[column] = index
+        elif kind == "sorted":
+            sorted_index = SortedIndex(column)
+            sorted_index.bulk_load(entries)
+            stored.sorted_indexes[column] = sorted_index
+        else:
+            raise StorageError(f"unknown index kind {kind!r}")
+
+    def list_tables(self) -> list[str]:
+        """Names of all registered tables."""
+        return sorted(self._tables)
+
+    def has_table(self, name: str) -> bool:
+        """Whether ``name`` is a registered table."""
+        return name in self._tables
+
+    def table_schema(self, name: str) -> Schema:
+        """Schema of a registered table."""
+        return self._stored(name).schema
+
+    def table_statistics(self, name: str) -> dict[str, Any]:
+        """Statistics of a registered table."""
+        return self._stored(name).statistics()
+
+    # -- DML ---------------------------------------------------------------------
+
+    def insert(self, table: str, rows: Iterable[Sequence[Any]], *,
+               validate: bool = False) -> int:
+        """Insert positional rows into a table; returns the count inserted."""
+        stored = self._stored(table)
+        count = 0
+        with self.metrics.timed(self.name, "insert", table=table) as timer:
+            for row in rows:
+                stored.insert(row, validate=validate)
+                count += 1
+            timer.rows_in = count
+        return count
+
+    def insert_dicts(self, table: str, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Insert dictionary rows into a table."""
+        stored = self._stored(table)
+        names = stored.schema.names
+        return self.insert(table, (tuple(row.get(n) for n in names) for row in rows))
+
+    def load_table(self, name: str, table: Table, *, page_capacity: int = 256) -> None:
+        """Create ``name`` from an in-memory :class:`Table` and load its rows."""
+        self.create_table(name, table.schema, page_capacity=page_capacity)
+        self.insert(name, table.rows)
+
+    # -- query execution ------------------------------------------------------------
+
+    def execute_sql(self, sql: str) -> Table:
+        """Parse, plan and execute a SELECT statement."""
+        statement = parse_select(sql)
+        plan = build_plan(statement)
+        return self.execute_plan(plan)
+
+    def plan_sql(self, sql: str) -> LogicalPlan:
+        """Parse and plan a SELECT statement without executing it."""
+        return build_plan(parse_select(sql))
+
+    def execute_plan(self, plan: LogicalPlan) -> Table:
+        """Execute a logical plan and return the result table."""
+        with self.metrics.timed(self.name, "execute_plan", plan=plan.describe()) as timer:
+            operator = self._lower(plan)
+            rows = operator.execute()
+            timer.rows_out = len(rows)
+        if rows:
+            result = Table.from_dicts(rows)
+        else:
+            result = Table(self._plan_schema(plan), [])
+        return result
+
+    # -- direct native operations (used by the adapter) ---------------------------------
+
+    def scan(self, table: str, columns: Sequence[str] | None = None) -> Table:
+        """Full scan of a table, optionally projecting columns."""
+        stored = self._stored(table)
+        with self.metrics.timed(self.name, "scan", table=table) as timer:
+            result = stored.heap.to_table()
+            timer.rows_out = len(result)
+            timer.bytes_out = result.estimated_bytes()
+        if columns is not None:
+            result = result.project(columns)
+        return result
+
+    def index_lookup(self, table: str, column: str, value: Any) -> Table:
+        """Equality lookup through an index (hash preferred, sorted fallback)."""
+        stored = self._stored(table)
+        with self.metrics.timed(self.name, "index_seek", table=table, column=column) as timer:
+            if column in stored.hash_indexes:
+                rids = stored.hash_indexes[column].lookup(value)
+            elif column in stored.sorted_indexes:
+                rids = stored.sorted_indexes[column].lookup(value)
+            else:
+                raise StorageError(f"no index on {table}.{column}")
+            rows = [stored.heap.fetch(*rid) for rid in rids]
+            timer.rows_out = len(rows)
+        return Table(stored.schema, rows)
+
+    def range_lookup(self, table: str, column: str, low: Any = None,
+                     high: Any = None) -> Table:
+        """Range lookup through a sorted index."""
+        stored = self._stored(table)
+        if column not in stored.sorted_indexes:
+            raise StorageError(f"no sorted index on {table}.{column}")
+        with self.metrics.timed(self.name, "range_seek", table=table, column=column) as timer:
+            rids = list(stored.sorted_indexes[column].range(low, high))
+            rows = [stored.heap.fetch(*rid) for rid in rids]
+            timer.rows_out = len(rows)
+        return Table(stored.schema, rows)
+
+    def top_k(self, table: str, by: str, k: int, *, descending: bool = True) -> Table:
+        """Top-k rows of a table by one column."""
+        stored = self._stored(table)
+        scan = TableScan(stored.heap.to_table().to_dicts())
+        rows = TopK(scan, by, k, descending=descending).execute()
+        return Table.from_dicts(rows) if rows else Table(stored.schema, [])
+
+    # -- plan lowering -------------------------------------------------------------------
+
+    def _lower(self, plan: LogicalPlan) -> PhysicalOperator:
+        if isinstance(plan, ScanPlan):
+            stored = self._stored(plan.table)
+            dicts = stored.heap.to_table().to_dicts()
+            operator: PhysicalOperator = TableScan(dicts)
+            if plan.columns is not None:
+                operator = Project(operator, plan.columns)
+            return operator
+        if isinstance(plan, IndexSeekPlan):
+            result = self.index_lookup(plan.table, plan.column, plan.value)
+            return TableScan(result.to_dicts())
+        if isinstance(plan, FilterPlan):
+            return Filter(self._lower(plan.child), plan.predicate)
+        if isinstance(plan, ProjectPlan):
+            return Project(self._lower(plan.child), plan.columns)
+        if isinstance(plan, JoinPlan):
+            left = self._lower(plan.left)
+            right = self._lower(plan.right)
+            if plan.algorithm == "sort_merge":
+                return SortMergeJoin(left, right, plan.left_key, plan.right_key)
+            return HashJoin(left, right, plan.left_key, plan.right_key, how=plan.how)
+        if isinstance(plan, AggregatePlan):
+            return GroupByAggregate(self._lower(plan.child), plan.group_by, plan.aggregates)
+        if isinstance(plan, SortPlan):
+            return Sort(self._lower(plan.child), [plan.by], descending=plan.descending)
+        if isinstance(plan, LimitPlan):
+            return Limit(self._lower(plan.child), plan.n)
+        raise QueryError(f"cannot lower plan node {type(plan).__name__}")
+
+    def _plan_schema(self, plan: LogicalPlan) -> Schema:
+        """Best-effort output schema for a plan (used for empty results)."""
+        if isinstance(plan, (ScanPlan, IndexSeekPlan)):
+            return self._stored(plan.table).schema
+        if isinstance(plan, ProjectPlan):
+            return self._plan_schema(plan.child).project(list(plan.columns))
+        if isinstance(plan, (FilterPlan, SortPlan, LimitPlan)):
+            return self._plan_schema(plan.child)
+        if isinstance(plan, JoinPlan):
+            left = self._plan_schema(plan.left)
+            right = self._plan_schema(plan.right)
+            extra = [c for c in right if c.name not in left.names]
+            return Schema(list(left) + extra)
+        if isinstance(plan, AggregatePlan):
+            child = self._plan_schema(plan.child)
+            from repro.datamodel.schema import Column, DataType
+            columns = [child[name] for name in plan.group_by]
+            columns += [Column(a.alias, DataType.FLOAT) for a in plan.aggregates]
+            return Schema(columns)
+        raise QueryError(f"cannot infer schema for plan node {type(plan).__name__}")
+
+    def _stored(self, name: str) -> StoredTable:
+        try:
+            return self._tables[name]
+        except KeyError as exc:
+            raise StorageError(f"table {name!r} does not exist") from exc

@@ -1,0 +1,298 @@
+"""Scalar expressions evaluated by the relational engine.
+
+Expressions appear in WHERE predicates, projections and join conditions.
+They form a small tree of :class:`Expression` nodes which can be evaluated
+against a row dictionary, inspected for referenced columns (used by the
+compiler's predicate-pushdown pass) and estimated for selectivity (used by
+the cost model).
+"""
+
+from __future__ import annotations
+
+import abc
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.exceptions import QueryError
+
+_COMPARISONS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "%": operator.mod,
+}
+
+
+class Expression(abc.ABC):
+    """Base class for scalar expressions."""
+
+    @abc.abstractmethod
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        """Evaluate against a row given as ``{column: value}``."""
+
+    @abc.abstractmethod
+    def referenced_columns(self) -> frozenset[str]:
+        """Names of columns this expression reads."""
+
+    def estimated_selectivity(self) -> float:
+        """Fraction of rows expected to satisfy this expression as a predicate."""
+        return 0.5
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A reference to a column by name."""
+
+    name: str
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        try:
+            return row[self.name]
+        except KeyError as exc:
+            raise QueryError(f"unknown column {self.name!r} in expression") from exc
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """A binary comparison such as ``age >= 65``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISONS:
+            raise QueryError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return False
+        return bool(_COMPARISONS[self.op](left, right))
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def estimated_selectivity(self) -> float:
+        if self.op in ("=", "=="):
+            return 0.1
+        if self.op in ("!=", "<>"):
+            return 0.9
+        return 0.33
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class BooleanOp(Expression):
+    """AND / OR / NOT combination of predicates."""
+
+    op: str
+    operands: tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in ("and", "or", "not"):
+            raise QueryError(f"unknown boolean operator {self.op!r}")
+        if self.op == "not" and len(self.operands) != 1:
+            raise QueryError("NOT takes exactly one operand")
+        if self.op in ("and", "or") and len(self.operands) < 2:
+            raise QueryError(f"{self.op.upper()} needs at least two operands")
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        if self.op == "and":
+            return all(op.evaluate(row) for op in self.operands)
+        if self.op == "or":
+            return any(op.evaluate(row) for op in self.operands)
+        return not self.operands[0].evaluate(row)
+
+    def referenced_columns(self) -> frozenset[str]:
+        columns: frozenset[str] = frozenset()
+        for operand in self.operands:
+            columns |= operand.referenced_columns()
+        return columns
+
+    def estimated_selectivity(self) -> float:
+        child = [op.estimated_selectivity() for op in self.operands]
+        if self.op == "and":
+            product = 1.0
+            for s in child:
+                product *= s
+            return product
+        if self.op == "or":
+            miss = 1.0
+            for s in child:
+                miss *= (1.0 - s)
+            return 1.0 - miss
+        return 1.0 - child[0]
+
+    def __str__(self) -> str:
+        if self.op == "not":
+            return f"(NOT {self.operands[0]})"
+        joiner = f" {self.op.upper()} "
+        return "(" + joiner.join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    """A binary arithmetic expression such as ``price * quantity``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC:
+            raise QueryError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return None
+        try:
+            return _ARITHMETIC[self.op](left, right)
+        except ZeroDivisionError:
+            return None
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``column IN (v1, v2, ...)``."""
+
+    operand: Expression
+    values: tuple[Any, ...]
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        value = self.operand.evaluate(row)
+        return value in self.values
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.operand.referenced_columns()
+
+    def estimated_selectivity(self) -> float:
+        return min(1.0, 0.1 * max(1, len(self.values)))
+
+    def __str__(self) -> str:
+        values = ", ".join(repr(v) for v in self.values)
+        return f"({self.operand} IN ({values}))"
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``column IS NULL`` / ``IS NOT NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        is_null = self.operand.evaluate(row) is None
+        return not is_null if self.negated else is_null
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.operand.referenced_columns()
+
+    def estimated_selectivity(self) -> float:
+        return 0.9 if self.negated else 0.1
+
+    def __str__(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand} {suffix})"
+
+
+def column(name: str) -> ColumnRef:
+    """Shorthand for :class:`ColumnRef`."""
+    return ColumnRef(name)
+
+
+def literal(value: Any) -> Literal:
+    """Shorthand for :class:`Literal`."""
+    return Literal(value)
+
+
+def compare(left: Expression | str, op: str, right: Any) -> Comparison:
+    """Build a comparison, wrapping bare names/values for convenience."""
+    left_expr = ColumnRef(left) if isinstance(left, str) else left
+    right_expr = right if isinstance(right, Expression) else Literal(right)
+    return Comparison(op, left_expr, right_expr)
+
+
+def and_(*operands: Expression) -> Expression:
+    """AND of one or more predicates (a single predicate passes through)."""
+    if not operands:
+        raise QueryError("and_ needs at least one operand")
+    if len(operands) == 1:
+        return operands[0]
+    return BooleanOp("and", tuple(operands))
+
+
+def or_(*operands: Expression) -> Expression:
+    """OR of one or more predicates (a single predicate passes through)."""
+    if not operands:
+        raise QueryError("or_ needs at least one operand")
+    if len(operands) == 1:
+        return operands[0]
+    return BooleanOp("or", tuple(operands))
+
+
+def not_(operand: Expression) -> BooleanOp:
+    """Negation of a predicate."""
+    return BooleanOp("not", (operand,))
+
+
+def split_conjunction(expression: Expression) -> list[Expression]:
+    """Split a predicate into its top-level AND conjuncts.
+
+    Used by the predicate-pushdown pass: each conjunct can be pushed to the
+    engine that owns all of its referenced columns independently.
+    """
+    if isinstance(expression, BooleanOp) and expression.op == "and":
+        parts: list[Expression] = []
+        for operand in expression.operands:
+            parts.extend(split_conjunction(operand))
+        return parts
+    return [expression]

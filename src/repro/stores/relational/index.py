@@ -1,0 +1,128 @@
+"""Secondary indexes for the relational engine.
+
+Two index types are provided, matching the access paths the paper discusses
+in §III-A-2 (sequential scan vs index seek):
+
+* :class:`HashIndex` — equality lookups in O(1).
+* :class:`SortedIndex` — equality and range lookups via binary search over a
+  sorted key array (a flat stand-in for a B-tree).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator
+
+from repro.exceptions import StorageError
+
+RowId = tuple[int, int]
+
+
+class HashIndex:
+    """Equality index mapping a key value to row identifiers."""
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._buckets: dict[Any, list[RowId]] = {}
+        self._num_entries = 0
+
+    def insert(self, key: Any, rid: RowId) -> None:
+        """Add an entry for ``key`` pointing at ``rid``."""
+        self._buckets.setdefault(key, []).append(rid)
+        self._num_entries += 1
+
+    def lookup(self, key: Any) -> list[RowId]:
+        """Row ids whose indexed column equals ``key``."""
+        return list(self._buckets.get(key, []))
+
+    def bulk_load(self, entries: Iterable[tuple[Any, RowId]]) -> None:
+        """Insert many ``(key, rid)`` entries."""
+        for key, rid in entries:
+            self.insert(key, rid)
+
+    def __len__(self) -> int:
+        return self._num_entries
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._buckets
+
+    @property
+    def num_keys(self) -> int:
+        """Number of distinct keys."""
+        return len(self._buckets)
+
+
+class SortedIndex:
+    """Ordered index supporting equality and range lookups.
+
+    Keys are kept in a sorted array rebuilt lazily after inserts; lookups use
+    binary search.  ``None`` keys are not indexed (SQL semantics: NULL never
+    matches a range predicate).
+    """
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._keys: list[Any] = []
+        self._rids: list[RowId] = []
+        self._pending: list[tuple[Any, RowId]] = []
+
+    def insert(self, key: Any, rid: RowId) -> None:
+        """Add an entry; the sorted array is rebuilt on next lookup."""
+        if key is None:
+            return
+        self._pending.append((key, rid))
+
+    def bulk_load(self, entries: Iterable[tuple[Any, RowId]]) -> None:
+        """Insert many ``(key, rid)`` entries."""
+        for key, rid in entries:
+            self.insert(key, rid)
+
+    def _flush(self) -> None:
+        if not self._pending:
+            return
+        merged = list(zip(self._keys, self._rids)) + self._pending
+        try:
+            merged.sort(key=lambda pair: pair[0])
+        except TypeError as exc:
+            raise StorageError(
+                f"index on {self.column!r} received keys of incomparable types"
+            ) from exc
+        self._keys = [key for key, _ in merged]
+        self._rids = [rid for _, rid in merged]
+        self._pending = []
+
+    def lookup(self, key: Any) -> list[RowId]:
+        """Row ids whose indexed column equals ``key``."""
+        self._flush()
+        lo = bisect.bisect_left(self._keys, key)
+        hi = bisect.bisect_right(self._keys, key)
+        return self._rids[lo:hi]
+
+    def range(self, low: Any = None, high: Any = None, *,
+              include_low: bool = True, include_high: bool = True) -> Iterator[RowId]:
+        """Row ids whose key falls within ``[low, high]`` (open ends allowed)."""
+        self._flush()
+        if low is None:
+            lo = 0
+        else:
+            lo = bisect.bisect_left(self._keys, low) if include_low \
+                else bisect.bisect_right(self._keys, low)
+        if high is None:
+            hi = len(self._keys)
+        else:
+            hi = bisect.bisect_right(self._keys, high) if include_high \
+                else bisect.bisect_left(self._keys, high)
+        yield from self._rids[lo:hi]
+
+    def min_key(self) -> Any:
+        """Smallest indexed key (``None`` when empty)."""
+        self._flush()
+        return self._keys[0] if self._keys else None
+
+    def max_key(self) -> Any:
+        """Largest indexed key (``None`` when empty)."""
+        self._flush()
+        return self._keys[-1] if self._keys else None
+
+    def __len__(self) -> int:
+        return len(self._keys) + len(self._pending)

@@ -1,0 +1,372 @@
+"""Volcano-style physical operators for the relational engine.
+
+Each operator is an iterator over row dictionaries.  The set matches the
+operators the paper lists as what SQL queries are lowered to (§III-A-1):
+projection, hash, sort, group-by and join, plus scans, filters and limits.
+
+The sort operator has two implementations: the engine's native CPU sort
+(Timsort) and a software model of a *bitonic sorting network*, the algorithm
+the paper calls out as inherently pipeline-parallel and therefore a natural
+FPGA offload target.  The bitonic implementation counts its compare-exchange
+stages so the FPGA simulator can map them onto pipeline cycles.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import QueryError
+from repro.stores.relational.expressions import Expression
+
+RowDict = dict[str, Any]
+
+
+class PhysicalOperator(abc.ABC):
+    """Base class for iterator-model physical operators."""
+
+    @abc.abstractmethod
+    def __iter__(self) -> Iterator[RowDict]:
+        """Yield output rows."""
+
+    def execute(self) -> list[RowDict]:
+        """Materialize all output rows."""
+        return list(self)
+
+
+class TableScan(PhysicalOperator):
+    """Full sequential scan over an iterable of row dictionaries."""
+
+    def __init__(self, rows: Iterable[RowDict]) -> None:
+        self._rows = rows
+
+    def __iter__(self) -> Iterator[RowDict]:
+        for row in self._rows:
+            yield dict(row)
+
+
+class Filter(PhysicalOperator):
+    """Emit only rows satisfying a predicate expression."""
+
+    def __init__(self, child: PhysicalOperator, predicate: Expression) -> None:
+        self._child = child
+        self._predicate = predicate
+
+    def __iter__(self) -> Iterator[RowDict]:
+        for row in self._child:
+            if self._predicate.evaluate(row):
+                yield row
+
+
+class Project(PhysicalOperator):
+    """Keep only named columns, or compute derived columns from expressions."""
+
+    def __init__(self, child: PhysicalOperator, columns: Sequence[str],
+                 computed: Mapping[str, Expression] | None = None) -> None:
+        self._child = child
+        self._columns = list(columns)
+        self._computed = dict(computed or {})
+
+    def __iter__(self) -> Iterator[RowDict]:
+        for row in self._child:
+            out: RowDict = {}
+            for name in self._columns:
+                if name not in row:
+                    raise QueryError(f"projection references unknown column {name!r}")
+                out[name] = row[name]
+            for name, expr in self._computed.items():
+                out[name] = expr.evaluate(row)
+            yield out
+
+
+class Limit(PhysicalOperator):
+    """Emit at most ``n`` rows."""
+
+    def __init__(self, child: PhysicalOperator, n: int) -> None:
+        if n < 0:
+            raise QueryError("LIMIT must be non-negative")
+        self._child = child
+        self._n = n
+
+    def __iter__(self) -> Iterator[RowDict]:
+        count = 0
+        for row in self._child:
+            if count >= self._n:
+                return
+            yield row
+            count += 1
+
+
+class Sort(PhysicalOperator):
+    """In-memory sort by one or more columns (CPU Timsort path)."""
+
+    def __init__(self, child: PhysicalOperator, by: Sequence[str], *,
+                 descending: bool = False) -> None:
+        self._child = child
+        self._by = list(by)
+        self._descending = descending
+
+    def __iter__(self) -> Iterator[RowDict]:
+        rows = list(self._child)
+        rows.sort(key=_sort_key(self._by), reverse=self._descending)
+        yield from rows
+
+
+class HashJoin(PhysicalOperator):
+    """Equi-join using an in-memory hash table built on the right input."""
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 left_key: str, right_key: str, *, how: str = "inner") -> None:
+        if how not in ("inner", "left"):
+            raise QueryError(f"unsupported join type {how!r}")
+        self._left = left
+        self._right = right
+        self._left_key = left_key
+        self._right_key = right_key
+        self._how = how
+
+    def __iter__(self) -> Iterator[RowDict]:
+        buckets: dict[Any, list[RowDict]] = {}
+        right_columns: set[str] = set()
+        for row in self._right:
+            right_columns.update(row.keys())
+            key = row.get(self._right_key)
+            if key is None:
+                continue
+            buckets.setdefault(key, []).append(row)
+        null_right = {name: None for name in right_columns}
+        for left_row in self._left:
+            key = left_row.get(self._left_key)
+            matches = buckets.get(key, []) if key is not None else []
+            if matches:
+                for right_row in matches:
+                    merged = dict(left_row)
+                    for name, value in right_row.items():
+                        if name not in merged:
+                            merged[name] = value
+                    yield merged
+            elif self._how == "left":
+                merged = dict(left_row)
+                for name, value in null_right.items():
+                    if name not in merged:
+                        merged[name] = value
+                yield merged
+
+
+class SortMergeJoin(PhysicalOperator):
+    """Equi-join by sorting both inputs on the key and merging.
+
+    This is the join used in the paper's §III walk-through (Admission ⋈
+    Patients sorted on admission date), where the sort phase is the offload
+    candidate.
+    """
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 left_key: str, right_key: str) -> None:
+        self._left = left
+        self._right = right
+        self._left_key = left_key
+        self._right_key = right_key
+
+    def __iter__(self) -> Iterator[RowDict]:
+        left_rows = sorted(
+            (r for r in self._left if r.get(self._left_key) is not None),
+            key=lambda r: r[self._left_key],
+        )
+        right_rows = sorted(
+            (r for r in self._right if r.get(self._right_key) is not None),
+            key=lambda r: r[self._right_key],
+        )
+        i = j = 0
+        while i < len(left_rows) and j < len(right_rows):
+            lkey = left_rows[i][self._left_key]
+            rkey = right_rows[j][self._right_key]
+            if lkey < rkey:
+                i += 1
+            elif lkey > rkey:
+                j += 1
+            else:
+                j_end = j
+                while j_end < len(right_rows) and right_rows[j_end][self._right_key] == lkey:
+                    j_end += 1
+                i_end = i
+                while i_end < len(left_rows) and left_rows[i_end][self._left_key] == lkey:
+                    i_end += 1
+                for li in range(i, i_end):
+                    for rj in range(j, j_end):
+                        merged = dict(left_rows[li])
+                        for name, value in right_rows[rj].items():
+                            if name not in merged:
+                                merged[name] = value
+                        yield merged
+                i, j = i_end, j_end
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate to compute: ``function(column) AS alias``."""
+
+    function: str
+    column: str | None
+    alias: str
+
+    _SUPPORTED = ("count", "sum", "avg", "min", "max")
+
+    def __post_init__(self) -> None:
+        if self.function not in self._SUPPORTED:
+            raise QueryError(f"unsupported aggregate function {self.function!r}")
+        if self.function != "count" and self.column is None:
+            raise QueryError(f"aggregate {self.function!r} requires a column")
+
+
+class GroupByAggregate(PhysicalOperator):
+    """Hash group-by with the standard SQL aggregates."""
+
+    def __init__(self, child: PhysicalOperator, group_by: Sequence[str],
+                 aggregates: Sequence[AggregateSpec]) -> None:
+        self._child = child
+        self._group_by = list(group_by)
+        self._aggregates = list(aggregates)
+
+    def __iter__(self) -> Iterator[RowDict]:
+        groups: dict[tuple, list[RowDict]] = {}
+        order: list[tuple] = []
+        for row in self._child:
+            key = tuple(row.get(name) for name in self._group_by)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        if not self._group_by and not groups:
+            # Aggregates over an empty input still produce a single row.
+            groups[()] = []
+            order.append(())
+        for key in order:
+            rows = groups[key]
+            out: RowDict = dict(zip(self._group_by, key))
+            for spec in self._aggregates:
+                out[spec.alias] = _aggregate(spec, rows)
+            yield out
+
+
+class TopK(PhysicalOperator):
+    """Heap-based top-k by a column, equivalent to ORDER BY ... LIMIT k."""
+
+    def __init__(self, child: PhysicalOperator, by: str, k: int, *,
+                 descending: bool = True) -> None:
+        if k < 0:
+            raise QueryError("k must be non-negative")
+        self._child = child
+        self._by = by
+        self._k = k
+        self._descending = descending
+
+    def __iter__(self) -> Iterator[RowDict]:
+        rows = [r for r in self._child if r.get(self._by) is not None]
+        if self._k == 0:
+            return
+        if self._descending:
+            top = heapq.nlargest(self._k, rows, key=lambda r: r[self._by])
+        else:
+            top = heapq.nsmallest(self._k, rows, key=lambda r: r[self._by])
+        yield from top
+
+
+def _aggregate(spec: AggregateSpec, rows: list[RowDict]) -> Any:
+    if spec.function == "count":
+        if spec.column is None:
+            return len(rows)
+        return sum(1 for r in rows if r.get(spec.column) is not None)
+    values = [r[spec.column] for r in rows if r.get(spec.column) is not None]
+    if not values:
+        return None
+    if spec.function == "sum":
+        return sum(values)
+    if spec.function == "avg":
+        return sum(values) / len(values)
+    if spec.function == "min":
+        return min(values)
+    return max(values)
+
+
+def _sort_key(by: Sequence[str]) -> Callable[[RowDict], tuple]:
+    def key(row: RowDict) -> tuple:
+        parts = []
+        for name in by:
+            value = row.get(name)
+            parts.append((value is not None, value))
+        return tuple(parts)
+    return key
+
+
+# -- bitonic sorting network ----------------------------------------------------------------
+
+
+@dataclass
+class BitonicSortStats:
+    """Work counters produced by :func:`bitonic_sort`.
+
+    Attributes:
+        n_padded: Input size after padding to the next power of two.
+        stages: Number of compare-exchange stages (the pipeline depth an FPGA
+            implementation would instantiate).
+        comparisons: Total compare-exchange operations performed.
+    """
+
+    n_padded: int
+    stages: int
+    comparisons: int
+
+
+def bitonic_sort(values: Sequence[Any], *, key: Callable[[Any], Any] | None = None,
+                 descending: bool = False) -> tuple[list[Any], BitonicSortStats]:
+    """Sort ``values`` with a bitonic sorting network.
+
+    The network's structure (log^2 n stages of n/2 independent compare-exchange
+    operations) is what makes it attractive for FPGA pipelining; the returned
+    statistics let the accelerator simulator translate the same work into
+    pipeline cycles.
+    """
+    items = list(values)
+    n = len(items)
+    if n <= 1:
+        return items, BitonicSortStats(n_padded=n, stages=0, comparisons=0)
+    key_fn = key if key is not None else (lambda x: x)
+
+    size = 1
+    while size < n:
+        size *= 2
+    sentinel = object()
+    padded: list[Any] = items + [sentinel] * (size - n)
+
+    def rank(item: Any) -> tuple[int, Any]:
+        # Sentinels sort after every real value so padding never interleaves.
+        if item is sentinel:
+            return (1, 0)
+        return (0, key_fn(item))
+
+    comparisons = 0
+    stages = 0
+    k = 2
+    while k <= size:
+        j = k // 2
+        while j >= 1:
+            stages += 1
+            for i in range(size):
+                partner = i ^ j
+                if partner > i:
+                    ascending = (i & k) == 0
+                    comparisons += 1
+                    a, b = padded[i], padded[partner]
+                    swap = rank(a) > rank(b) if ascending else rank(a) < rank(b)
+                    if swap:
+                        padded[i], padded[partner] = b, a
+            j //= 2
+        k *= 2
+
+    result = [item for item in padded if item is not sentinel]
+    if descending:
+        result.reverse()
+    return result, BitonicSortStats(n_padded=size, stages=stages, comparisons=comparisons)

@@ -1,0 +1,7 @@
+"""Text store: documents, inverted index and TF-IDF search."""
+
+from repro.stores.text.engine import TextEngine
+from repro.stores.text.inverted_index import InvertedIndex
+from repro.stores.text.tokenizer import ngrams, term_frequencies, tokenize
+
+__all__ = ["TextEngine", "InvertedIndex", "tokenize", "term_frequencies", "ngrams"]

@@ -1,0 +1,117 @@
+"""The text/document data-processing engine.
+
+Stores free-text documents (clinical notes in the MIMIC workload) with
+metadata, indexes them in an inverted index, and answers boolean and ranked
+searches.  It also extracts simple keyword features, which the heterogeneous
+MIMIC program joins into its per-patient feature vector.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import StorageError
+from repro.stores.base import Capability, DataModel, Engine
+from repro.stores.text.inverted_index import InvertedIndex
+from repro.stores.text.tokenizer import term_frequencies, tokenize
+
+
+class TextEngine(Engine):
+    """A document store with an inverted index and TF-IDF search."""
+
+    data_model = DataModel.DOCUMENT
+
+    def __init__(self, name: str = "text") -> None:
+        super().__init__(name)
+        self._documents: dict[str, dict[str, Any]] = {}
+        self._index = InvertedIndex()
+
+    def capabilities(self) -> frozenset[Capability]:
+        return frozenset({
+            Capability.TEXT_SEARCH,
+            Capability.SCAN,
+            Capability.FILTER,
+        })
+
+    # -- writes -----------------------------------------------------------------
+
+    def add_document(self, doc_id: str, text: str,
+                     metadata: dict[str, Any] | None = None) -> None:
+        """Add or replace a document."""
+        self._documents[doc_id] = {"text": text, "metadata": dict(metadata or {})}
+        self._index.add(doc_id, text)
+
+    def add_documents(self, documents: list[dict[str, Any]]) -> int:
+        """Bulk-add documents of the form ``{"doc_id", "text", "metadata"?}``."""
+        with self.metrics.timed(self.name, "add_documents") as timer:
+            for doc in documents:
+                self.add_document(str(doc["doc_id"]), str(doc.get("text", "")),
+                                  doc.get("metadata"))
+            timer.rows_in = len(documents)
+        return len(documents)
+
+    def remove_document(self, doc_id: str) -> None:
+        """Remove a document."""
+        if doc_id not in self._documents:
+            raise StorageError(f"document {doc_id!r} does not exist")
+        del self._documents[doc_id]
+        self._index.remove(doc_id)
+
+    # -- reads --------------------------------------------------------------------
+
+    def get(self, doc_id: str) -> dict[str, Any]:
+        """Text and metadata for one document."""
+        try:
+            return dict(self._documents[doc_id])
+        except KeyError as exc:
+            raise StorageError(f"document {doc_id!r} does not exist") from exc
+
+    def has_document(self, doc_id: str) -> bool:
+        """Whether a document exists."""
+        return doc_id in self._documents
+
+    def search(self, query: str, *, top_k: int = 10) -> list[tuple[str, float]]:
+        """TF-IDF ranked search over all documents."""
+        with self.metrics.timed(self.name, "tfidf_search", query=query) as timer:
+            results = self._index.tfidf_search(query, top_k=top_k)
+            timer.rows_out = len(results)
+        return results
+
+    def boolean_search(self, terms: list[str], *, mode: str = "and") -> set[str]:
+        """Boolean AND/OR search over all documents."""
+        with self.metrics.timed(self.name, "boolean_search") as timer:
+            results = self._index.boolean_search(terms, mode=mode)
+            timer.rows_out = len(results)
+        return results
+
+    def keyword_features(self, doc_id: str, keywords: list[str]) -> dict[str, float]:
+        """Per-keyword term frequencies for one document.
+
+        The MIMIC workload uses this to turn a clinical note into numeric
+        features (e.g. counts of "sepsis", "ventilator", "stable").
+        """
+        counts = term_frequencies(self.get(doc_id)["text"])
+        return {keyword: float(counts.get(keyword.lower(), 0)) for keyword in keywords}
+
+    def documents_matching(self, metadata_filter: dict[str, Any]) -> list[str]:
+        """Doc ids whose metadata matches every ``key == value`` pair."""
+        return sorted(
+            doc_id for doc_id, doc in self._documents.items()
+            if all(doc["metadata"].get(k) == v for k, v in metadata_filter.items())
+        )
+
+    def vocabulary_size(self) -> int:
+        """Number of distinct indexed terms."""
+        return self._index.num_terms
+
+    def statistics(self) -> dict[str, Any]:
+        """Engine statistics for the catalog."""
+        total_tokens = sum(len(tokenize(d["text"])) for d in self._documents.values())
+        return {
+            "documents": len(self._documents),
+            "terms": self._index.num_terms,
+            "tokens": total_tokens,
+        }
+
+    def __len__(self) -> int:
+        return len(self._documents)

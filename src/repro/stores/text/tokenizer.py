@@ -1,0 +1,44 @@
+"""Tokenization for the text store.
+
+Clinical notes (the paper's MIMIC example) are free text; the tokenizer
+lower-cases, strips punctuation, drops stopwords and optionally emits
+n-grams so the inverted index can answer phrase-ish queries.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: A minimal English stopword list; enough to keep the index compact without
+#: a external dependency.
+STOPWORDS = frozenset({
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has",
+    "he", "in", "is", "it", "its", "of", "on", "or", "she", "that", "the",
+    "to", "was", "were", "will", "with", "this", "they", "their", "not",
+    "but", "had", "have", "his", "her",
+})
+
+
+def tokenize(text: str, *, remove_stopwords: bool = True) -> list[str]:
+    """Split text into normalized tokens."""
+    tokens = _TOKEN_RE.findall(text.lower())
+    if remove_stopwords:
+        tokens = [t for t in tokens if t not in STOPWORDS]
+    return tokens
+
+
+def term_frequencies(text: str, *, remove_stopwords: bool = True) -> Counter:
+    """Token counts for one document."""
+    return Counter(tokenize(text, remove_stopwords=remove_stopwords))
+
+
+def ngrams(tokens: list[str], n: int) -> list[str]:
+    """Adjacent ``n``-token shingles joined by underscores."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return list(tokens)
+    return ["_".join(tokens[i:i + n]) for i in range(len(tokens) - n + 1)]

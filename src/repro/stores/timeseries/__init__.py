@@ -1,0 +1,22 @@
+"""Timeseries/stream store with window aggregation and streaming scans."""
+
+from repro.stores.timeseries.engine import TimeseriesEngine
+from repro.stores.timeseries.series import Point, Series
+from repro.stores.timeseries.window import (
+    WindowResult,
+    downsample,
+    moving_average,
+    supported_aggregations,
+    tumbling_window,
+)
+
+__all__ = [
+    "TimeseriesEngine",
+    "Point",
+    "Series",
+    "WindowResult",
+    "tumbling_window",
+    "downsample",
+    "moving_average",
+    "supported_aggregations",
+]

@@ -1,0 +1,158 @@
+"""The timeseries/stream data-processing engine.
+
+Stores named series of ``(timestamp, value)`` points (ICU vital signs and
+clickstreams in the paper's examples) and provides the streaming operators
+Polystore++ cares about: range scans, tumbling-window aggregation,
+downsampling and per-patient feature extraction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.exceptions import StorageError
+from repro.stores.base import Capability, DataModel, Engine
+from repro.stores.timeseries.series import Point, Series
+from repro.stores.timeseries.window import (
+    WindowResult,
+    downsample,
+    moving_average,
+    tumbling_window,
+)
+
+
+class TimeseriesEngine(Engine):
+    """A timeseries store keyed by series name with tag support."""
+
+    data_model = DataModel.TIMESERIES
+
+    def __init__(self, name: str = "timeseries") -> None:
+        super().__init__(name)
+        self._series: dict[str, Series] = {}
+
+    def capabilities(self) -> frozenset[Capability]:
+        return frozenset({
+            Capability.SCAN,
+            Capability.RANGE_SCAN,
+            Capability.WINDOW_AGGREGATE,
+            Capability.DOWNSAMPLE,
+            Capability.FILTER,
+        })
+
+    # -- writes ---------------------------------------------------------------------
+
+    def create_series(self, key: str, tags: dict[str, str] | None = None) -> Series:
+        """Create (or return an existing) series."""
+        if key not in self._series:
+            self._series[key] = Series(key, tags)
+        return self._series[key]
+
+    def append(self, key: str, timestamp: float, value: float) -> None:
+        """Append one point to a series, creating it if needed."""
+        self.create_series(key).append(timestamp, value)
+
+    def append_many(self, key: str, points: Iterable[tuple[float, float]]) -> int:
+        """Append many points to one series; returns the count appended."""
+        series = self.create_series(key)
+        count = 0
+        with self.metrics.timed(self.name, "append_many", series=key) as timer:
+            for timestamp, value in points:
+                series.append(timestamp, value)
+                count += 1
+            timer.rows_in = count
+        return count
+
+    # -- reads --------------------------------------------------------------------------
+
+    def series(self, key: str) -> Series:
+        """The series named ``key``."""
+        try:
+            return self._series[key]
+        except KeyError as exc:
+            raise StorageError(f"series {key!r} does not exist") from exc
+
+    def has_series(self, key: str) -> bool:
+        """Whether a series exists."""
+        return key in self._series
+
+    def list_series(self, tag_filter: dict[str, str] | None = None) -> list[str]:
+        """Names of all series, optionally filtered by exact tag matches."""
+        if not tag_filter:
+            return sorted(self._series)
+        return sorted(
+            key for key, series in self._series.items()
+            if all(series.tags.get(k) == v for k, v in tag_filter.items())
+        )
+
+    def query_range(self, key: str, start: float | None = None,
+                    end: float | None = None) -> list[Point]:
+        """Points of a series within ``[start, end)``."""
+        series = self.series(key)
+        with self.metrics.timed(self.name, "range_scan", series=key) as timer:
+            points = list(series.between(start, end))
+            timer.rows_out = len(points)
+        return points
+
+    def stream(self, key: str, start: float | None = None,
+               end: float | None = None, *, batch_size: int = 256
+               ) -> Iterator[list[Point]]:
+        """Yield a series range in batches, as a streaming scan would."""
+        batch: list[Point] = []
+        for point in self.series(key).between(start, end):
+            batch.append(point)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def latest(self, key: str) -> Point:
+        """Most recent point of a series."""
+        return self.series(key).latest()
+
+    # -- aggregation -----------------------------------------------------------------------
+
+    def window_aggregate(self, key: str, window_s: float, aggregation: str = "mean",
+                         start: float | None = None, end: float | None = None
+                         ) -> list[WindowResult]:
+        """Tumbling-window aggregation of one series."""
+        with self.metrics.timed(self.name, "window_aggregate", series=key,
+                                window_s=window_s, aggregation=aggregation) as timer:
+            points = self.series(key).between(start, end)
+            result = tumbling_window(points, window_s, aggregation)
+            timer.rows_out = len(result)
+        return result
+
+    def downsample(self, key: str, factor: int) -> list[Point]:
+        """Decimate a series by ``factor``."""
+        return downsample(self.series(key), factor)
+
+    def moving_average(self, key: str, window: int) -> list[Point]:
+        """Moving average over a series."""
+        return moving_average(list(self.series(key)), window)
+
+    def summarize(self, key: str, start: float | None = None,
+                  end: float | None = None) -> dict[str, float]:
+        """Summary statistics (count/mean/min/max/last) for a series range.
+
+        This is the per-patient vital-sign feature extraction used when the
+        MIMIC workload builds its feature vector.
+        """
+        points = list(self.series(key).between(start, end))
+        if not points:
+            return {"count": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0, "last": 0.0}
+        values = [p.value for p in points]
+        return {
+            "count": float(len(values)),
+            "mean": sum(values) / len(values),
+            "min": min(values),
+            "max": max(values),
+            "last": values[-1],
+        }
+
+    def statistics(self) -> dict[str, Any]:
+        """Engine statistics for the catalog."""
+        return {
+            "series": len(self._series),
+            "points": sum(len(s) for s in self._series.values()),
+        }

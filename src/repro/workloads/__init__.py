@@ -1,0 +1,43 @@
+"""Synthetic workload generators for the paper's motivating applications."""
+
+from repro.workloads.mimic import (
+    MimicDataset,
+    build_admission_history_program,
+    build_mimic_program,
+    generate_mimic,
+    load_mimic,
+)
+from repro.workloads.recommendation import (
+    RecommendationDataset,
+    build_recommendation_program,
+    build_top_spenders_program,
+    generate_recommendation,
+    load_recommendation,
+)
+from repro.workloads.snorkel import (
+    LabelingPipelineResult,
+    build_snorkel_program,
+    generate_documents,
+    load_documents,
+    run_labeling_pipeline,
+    weak_labels,
+)
+
+__all__ = [
+    "MimicDataset",
+    "generate_mimic",
+    "load_mimic",
+    "build_mimic_program",
+    "build_admission_history_program",
+    "RecommendationDataset",
+    "generate_recommendation",
+    "load_recommendation",
+    "build_recommendation_program",
+    "build_top_spenders_program",
+    "generate_documents",
+    "load_documents",
+    "run_labeling_pipeline",
+    "weak_labels",
+    "build_snorkel_program",
+    "LabelingPipelineResult",
+]

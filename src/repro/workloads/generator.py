@@ -1,0 +1,53 @@
+"""Shared random-data utilities for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_FIRST_NAMES = ("alex", "jordan", "casey", "taylor", "morgan", "riley", "avery",
+                "quinn", "rowan", "sage", "emerson", "finley")
+_LAST_NAMES = ("smith", "johnson", "lee", "garcia", "chen", "patel", "okafor",
+               "mueller", "rossi", "tanaka", "kim", "novak")
+
+_NOTE_PHRASES_STABLE = (
+    "patient resting comfortably", "vitals stable overnight", "tolerating diet well",
+    "pain controlled with medication", "ambulating without assistance",
+    "no acute distress observed", "wound healing as expected",
+)
+_NOTE_PHRASES_ACUTE = (
+    "possible sepsis workup started", "placed on ventilator support",
+    "elevated lactate levels", "fever spiking despite antibiotics",
+    "increasing oxygen requirement", "transferred to intensive care",
+    "blood cultures pending", "pressors initiated for hypotension",
+)
+
+
+def rng_for(seed: int) -> np.random.Generator:
+    """A reproducible random generator."""
+    return np.random.default_rng(seed)
+
+
+def random_name(rng: np.random.Generator) -> str:
+    """A plausible person name."""
+    first = _FIRST_NAMES[int(rng.integers(len(_FIRST_NAMES)))]
+    last = _LAST_NAMES[int(rng.integers(len(_LAST_NAMES)))]
+    return f"{first} {last}"
+
+
+def clinical_note(rng: np.random.Generator, *, acute: bool, sentences: int = 4) -> str:
+    """A synthetic clinical note; acute notes mention sepsis/ventilator terms."""
+    phrases = []
+    for _ in range(max(1, sentences)):
+        pool = _NOTE_PHRASES_ACUTE if (acute and rng.random() < 0.7) else _NOTE_PHRASES_STABLE
+        phrases.append(pool[int(rng.integers(len(pool)))])
+    return ". ".join(phrases) + "."
+
+
+def vital_sign_series(rng: np.random.Generator, *, n_points: int, base: float,
+                      spread: float, trend: float = 0.0,
+                      start_time: float = 0.0, interval_s: float = 60.0
+                      ) -> list[tuple[float, float]]:
+    """A synthetic vital-sign series with noise and an optional trend."""
+    times = start_time + interval_s * np.arange(n_points)
+    values = base + trend * np.arange(n_points) + rng.normal(0.0, spread, size=n_points)
+    return [(float(t), float(v)) for t, v in zip(times, values)]

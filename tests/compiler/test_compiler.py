@@ -1,0 +1,214 @@
+"""Tests for the compiler: frontend lowering, passes and the pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.compiler import Compiler, CompilerOptions, annotate_graph
+from repro.compiler.frontend import Frontend, insert_migrations
+from repro.compiler.passes import (
+    choose_join_algorithms,
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    fuse_operators,
+    infer_columns,
+    push_down_filters,
+    reorder_joins,
+)
+from repro.eide import HeterogeneousProgram
+from repro.exceptions import CompilationError
+from repro.ir import IRGraph, Operator, assert_valid
+from repro.stores import MLEngine, RelationalEngine, TextEngine, TimeseriesEngine
+from repro.stores.relational import compare
+from repro.workloads import build_mimic_program, generate_mimic, load_mimic
+
+
+@pytest.fixture
+def catalog(mimic_engines) -> Catalog:
+    catalog = Catalog()
+    for key in ("relational", "timeseries", "text", "ml"):
+        catalog.register_engine(mimic_engines[key])
+    return catalog
+
+
+@pytest.fixture
+def mimic_program() -> HeterogeneousProgram:
+    return build_mimic_program(epochs=1)
+
+
+class TestFrontend:
+    def test_sql_fragment_lowered_to_relational_operators(self, catalog):
+        program = HeterogeneousProgram("p")
+        program.sql("q", "SELECT pid, age FROM admissions WHERE age > 60 ORDER BY age",
+                    engine="clinical-db")
+        graph = Frontend(catalog).lower(program)
+        kinds = {node.kind for node in graph.nodes()}
+        assert {"scan", "filter", "project", "sort"} <= kinds
+        assert_valid(graph)
+
+    def test_cross_engine_edges_get_migrations(self, catalog, mimic_program):
+        graph = Frontend(catalog).lower(mimic_program)
+        migrations = graph.nodes_of_kind("migrate")
+        assert migrations, "expected migrate operators on cross-engine edges"
+        for node in migrations:
+            assert node.params["source_engine"] != node.params["target_engine"]
+
+    def test_unknown_engine_rejected(self, catalog):
+        program = HeterogeneousProgram("p")
+        program.sql("q", "SELECT pid FROM admissions", engine="missing-db")
+        with pytest.raises(CompilationError):
+            Frontend(catalog).lower(program)
+
+    def test_default_engine_chosen_by_paradigm(self, catalog):
+        program = HeterogeneousProgram("p")
+        program.sql("q", "SELECT pid FROM admissions")
+        graph = Frontend(catalog).lower(program)
+        assert all(node.engine == "clinical-db" for node in graph.nodes())
+
+    def test_insert_migrations_idempotent(self, catalog, mimic_program):
+        graph = Frontend(catalog).lower(mimic_program)
+        assert insert_migrations(graph) == 0
+
+
+class TestAnnotation:
+    def test_scan_rows_come_from_catalog(self, catalog):
+        program = HeterogeneousProgram("p")
+        program.sql("q", "SELECT pid FROM admissions", engine="clinical-db")
+        graph = Frontend(catalog).lower(program)
+        annotate_graph(graph, catalog)
+        scan = graph.nodes_of_kind("scan")[0]
+        assert scan.estimated_rows == 60
+        assert scan.estimated_bytes > 0
+
+    def test_filter_reduces_estimate(self, catalog):
+        program = HeterogeneousProgram("p")
+        program.sql("q", "SELECT pid FROM admissions WHERE age > 60", engine="clinical-db")
+        graph = Frontend(catalog).lower(program)
+        annotate_graph(graph, catalog)
+        scan = graph.nodes_of_kind("scan")[0]
+        filter_node = graph.nodes_of_kind("filter")[0]
+        assert filter_node.estimated_rows < scan.estimated_rows
+
+
+class TestPasses:
+    def _relational_graph(self, catalog) -> IRGraph:
+        program = HeterogeneousProgram("p")
+        program.sql(
+            "q",
+            "SELECT name FROM admissions JOIN visits ON admissions.pid = visits.pid "
+            "WHERE age > 60 AND ward = 'icu'",
+            engine="clinical-db",
+        )
+        return Frontend(catalog).lower(program)
+
+    def test_pushdown_moves_filter_below_join(self, catalog, mimic_engines):
+        from repro.datamodel import Table
+        visits = Table.from_dicts([{"pid": 1, "ward": "icu"}, {"pid": 2, "ward": "er"}])
+        mimic_engines["relational"].load_table("visits", visits)
+        graph = self._relational_graph(catalog)
+        joins_before = graph.nodes_of_kind("join")
+        assert len(joins_before) == 1
+        rewrites = push_down_filters(graph, catalog)
+        assert rewrites >= 1
+        assert_valid(graph)
+        # After pushdown at least one filter reads directly from a scan.
+        pushed = [
+            node for node in graph.nodes_of_kind("filter")
+            if graph.node(node.inputs[0]).kind == "scan"
+        ]
+        assert pushed
+
+    def test_fusion_merges_adjacent_filters(self, catalog):
+        graph = IRGraph("fusion")
+        scan = graph.add(Operator("scan", {"table": "admissions"}, engine="clinical-db"))
+        f1 = graph.add(Operator("filter", {"predicate": compare("age", ">", 60)},
+                                [scan.op_id], "clinical-db"))
+        f2 = graph.add(Operator("filter", {"predicate": compare("age", "<", 90)},
+                                [f1.op_id], "clinical-db"))
+        graph.mark_output(f2.op_id)
+        assert fuse_operators(graph) >= 1
+        assert len(graph.nodes_of_kind("filter")) == 1
+        assert_valid(graph)
+
+    def test_fusion_folds_project_into_scan(self, catalog):
+        graph = IRGraph("fusion2")
+        scan = graph.add(Operator("scan", {"table": "admissions"}, engine="clinical-db"))
+        project = graph.add(Operator("project", {"columns": ["pid", "age"]},
+                                     [scan.op_id], "clinical-db"))
+        graph.mark_output(project.op_id)
+        fuse_operators(graph)
+        assert graph.nodes_of_kind("project") == []
+        assert graph.nodes_of_kind("scan")[0].params["columns"] == ["pid", "age"]
+
+    def test_cse_merges_duplicate_scans(self, catalog):
+        graph = IRGraph("cse")
+        s1 = graph.add(Operator("scan", {"table": "admissions"}, engine="clinical-db"))
+        s2 = graph.add(Operator("scan", {"table": "admissions"}, engine="clinical-db"))
+        join = graph.add(Operator("join", {"left_key": "pid", "right_key": "pid"},
+                                  [s1.op_id, s2.op_id], "clinical-db"))
+        graph.mark_output(join.op_id)
+        removed = eliminate_common_subexpressions(graph)
+        assert removed == 1
+        assert len(graph.nodes_of_kind("scan")) == 1
+
+    def test_dce_removes_unreachable_nodes(self, catalog):
+        graph = IRGraph("dce")
+        live = graph.add(Operator("scan", {"table": "admissions"}, engine="clinical-db"))
+        graph.add(Operator("scan", {"table": "unused"}, engine="clinical-db"))
+        graph.mark_output(live.op_id)
+        assert eliminate_dead_code(graph) == 1
+        assert len(graph) == 1
+
+    def test_join_reorder_puts_smaller_side_right(self, catalog):
+        graph = IRGraph("reorder")
+        big = graph.add(Operator("scan", {"table": "big"}, engine="clinical-db"))
+        small = graph.add(Operator("scan", {"table": "small"}, engine="clinical-db"))
+        join = graph.add(Operator("join", {"left_key": "k", "right_key": "k"},
+                                  [small.op_id, big.op_id], "clinical-db"))
+        graph.mark_output(join.op_id)
+        small.estimated_rows, big.estimated_rows = 10, 10_000
+        assert reorder_joins(graph) == 1
+        assert join.inputs == [big.op_id, small.op_id]
+
+    def test_join_algorithm_selection(self, catalog):
+        graph = IRGraph("algo")
+        a = graph.add(Operator("scan", {"table": "a"}, engine="clinical-db"))
+        b = graph.add(Operator("scan", {"table": "b"}, engine="clinical-db"))
+        join = graph.add(Operator("join", {"left_key": "k", "right_key": "k"},
+                                  [a.op_id, b.op_id], "clinical-db"))
+        sort = graph.add(Operator("sort", {"by": "k"}, [join.op_id], "clinical-db"))
+        graph.mark_output(sort.op_id)
+        a.estimated_rows = b.estimated_rows = 10
+        choose_join_algorithms(graph)
+        assert join.params["algorithm"] == "sort_merge"
+
+    def test_infer_columns_for_scan(self, catalog):
+        program = HeterogeneousProgram("p")
+        program.sql("q", "SELECT pid FROM admissions", engine="clinical-db")
+        graph = Frontend(catalog).lower(program)
+        columns = infer_columns(graph, catalog)
+        scan = graph.nodes_of_kind("scan")[0]
+        assert "age" in columns[scan.op_id]
+
+
+class TestPipeline:
+    def test_compile_mimic_program(self, catalog, mimic_program):
+        result = Compiler(catalog).compile(mimic_program)
+        assert len(result.graph) > 5
+        assert result.pass_counts
+        assert_valid(result.graph)
+
+    def test_disabled_optimizations_do_nothing(self, catalog, mimic_program):
+        result = Compiler(catalog).compile(mimic_program, CompilerOptions.none())
+        assert result.pass_counts == {}
+        assert result.offloaded_operators == 0
+
+    def test_placement_requires_planner(self, catalog, mimic_program):
+        from repro.accelerators import FPGAAccelerator, KernelRegistry, OffloadPlanner
+        planner = OffloadPlanner(KernelRegistry([FPGAAccelerator()]))
+        compiler = Compiler(catalog, planner=planner)
+        result = compiler.compile(mimic_program)
+        assert isinstance(result.placement_decisions, list)
+        summary = result.summary()
+        assert summary["nodes"] == len(result.graph)

@@ -1,0 +1,108 @@
+"""Tests for CSV and binary serialization (migration payload formats)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datamodel import BinarySerializer, CsvSerializer, DataType, Schema, Table
+from repro.datamodel.schema import Column
+from repro.exceptions import DataModelError
+
+SCHEMA = Schema([
+    Column("id", DataType.INT),
+    Column("name", DataType.STRING),
+    Column("value", DataType.FLOAT),
+    Column("flag", DataType.BOOL),
+])
+
+
+def make_table(rows) -> Table:
+    return Table(SCHEMA, rows)
+
+
+SAMPLE = make_table([
+    (1, "alpha", 1.5, True),
+    (2, "beta, with comma", -2.25, False),
+    (3, None, None, None),
+    (4, "quote 'inside'", 0.0, True),
+])
+
+
+@pytest.mark.parametrize("serializer", [CsvSerializer(), BinarySerializer()],
+                         ids=["csv", "binary"])
+class TestRoundTrip:
+    def test_roundtrip_preserves_rows(self, serializer):
+        payload, report = serializer.serialize(SAMPLE)
+        restored, _ = serializer.deserialize(payload, SCHEMA)
+        assert restored.rows == SAMPLE.rows
+        assert report.rows == len(SAMPLE)
+
+    def test_report_counts_conversions(self, serializer):
+        _, report = serializer.serialize(SAMPLE)
+        assert report.payload_bytes > 0
+        assert report.value_conversions > 0
+
+    def test_empty_table(self, serializer):
+        empty = make_table([])
+        payload, _ = serializer.serialize(empty)
+        restored, _ = serializer.deserialize(payload, SCHEMA)
+        assert len(restored) == 0
+
+
+class TestCsv:
+    def test_header_mismatch_raises(self):
+        payload, _ = CsvSerializer().serialize(SAMPLE)
+        wrong = Schema([Column("other", DataType.INT)])
+        with pytest.raises(DataModelError):
+            CsvSerializer().deserialize(payload, wrong)
+
+    def test_empty_payload_raises(self):
+        with pytest.raises(DataModelError):
+            CsvSerializer().deserialize(b"", SCHEMA)
+
+    def test_csv_is_larger_than_binary_for_numeric_data(self):
+        schema = Schema([Column("a", DataType.FLOAT), Column("b", DataType.FLOAT)])
+        table = Table(schema, [(i * 1.000001, i * -2.5) for i in range(200)])
+        csv_payload, _ = CsvSerializer().serialize(table)
+        binary_payload, _ = BinarySerializer().serialize(table)
+        assert len(csv_payload) > len(binary_payload)
+
+
+class TestBinary:
+    def test_truncated_payload_raises(self):
+        payload, _ = BinarySerializer().serialize(SAMPLE)
+        with pytest.raises(DataModelError):
+            BinarySerializer().deserialize(payload[: len(payload) // 2], SCHEMA)
+
+    def test_too_short_payload_raises(self):
+        with pytest.raises(DataModelError):
+            BinarySerializer().deserialize(b"\x01", SCHEMA)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(
+    st.tuples(
+        st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+        st.one_of(st.none(), st.text(alphabet="abcxyz ',\"0189", max_size=20)),
+        st.one_of(st.none(),
+                  st.floats(allow_nan=False, allow_infinity=False, width=32)),
+        st.one_of(st.none(), st.booleans()),
+    ),
+    max_size=25,
+))
+def test_property_roundtrip_both_formats(rows):
+    """Any table of supported values survives both serialization formats."""
+    table = make_table(rows)
+    for serializer in (CsvSerializer(), BinarySerializer()):
+        payload, _ = serializer.serialize(table)
+        restored, _ = serializer.deserialize(payload, SCHEMA)
+        for original, recovered in zip(table.rows, restored.rows):
+            assert recovered[0] == original[0]
+            assert recovered[1] == original[1]
+            if original[2] is None:
+                assert recovered[2] is None
+            else:
+                assert recovered[2] == pytest.approx(original[2], rel=1e-9)
+            assert recovered[3] == original[3]

@@ -1,0 +1,114 @@
+"""Tests for the EIDE program model and the natural-language frontend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eide import (
+    HeterogeneousProgram,
+    SubProgram,
+    compile_natural_language,
+    recognize_intent,
+)
+from repro.exceptions import CompilationError
+
+
+class TestProgramModel:
+    def test_fluent_builder_and_dependencies(self):
+        program = HeterogeneousProgram("demo")
+        program.sql("a", "SELECT x FROM t", engine="db")
+        program.timeseries_summary("b", series_prefix="hr/")
+        program.join("c", left="a", right="b", on="x")
+        program.train("d", features="c", label_column="y")
+        program.output("d")
+        assert len(program) == 4
+        assert program.fragment("c").inputs == ["a", "b"]
+        assert program.outputs == ["d"]
+        assert set(program.paradigms_used()) == {"sql", "timeseries_summary", "join", "train"}
+
+    def test_duplicate_fragment_name_rejected(self):
+        program = HeterogeneousProgram("demo")
+        program.sql("a", "SELECT x FROM t")
+        with pytest.raises(CompilationError):
+            program.sql("a", "SELECT y FROM t")
+
+    def test_unknown_dependency_rejected(self):
+        program = HeterogeneousProgram("demo")
+        with pytest.raises(CompilationError):
+            program.join("j", left="ghost", right="ghost2", on="x")
+
+    def test_join_requires_keys(self):
+        program = HeterogeneousProgram("demo")
+        program.sql("a", "SELECT x FROM t")
+        program.sql("b", "SELECT x FROM u")
+        with pytest.raises(CompilationError):
+            program.join("c", left="a", right="b")
+
+    def test_kv_lookup_requires_keys_or_prefix(self):
+        program = HeterogeneousProgram("demo")
+        with pytest.raises(CompilationError):
+            program.kv_lookup("k")
+
+    def test_unknown_paradigm_rejected(self):
+        with pytest.raises(CompilationError):
+            SubProgram("x", "quantum", {})
+
+    def test_default_output_is_last_fragment(self):
+        program = HeterogeneousProgram("demo")
+        program.sql("a", "SELECT x FROM t")
+        program.sql("b", "SELECT y FROM t")
+        assert program.outputs == ["b"]
+
+    def test_output_requires_known_fragment(self):
+        program = HeterogeneousProgram("demo")
+        with pytest.raises(CompilationError):
+            program.output("nope")
+
+    def test_describe_lists_fragments(self):
+        program = HeterogeneousProgram("demo")
+        program.sql("a", "SELECT x FROM t", engine="db")
+        text = program.describe()
+        assert "a: sql @ db" in text
+
+
+class TestNaturalLanguage:
+    def test_recognize_icu_stay_intent(self):
+        intent = recognize_intent(
+            "Will patients have a long stay at the hospital when they exit the ICU?")
+        assert intent.name == "predict_stay"
+
+    def test_recognize_history_with_patient_slot(self):
+        intent = recognize_intent("Show the admission history of patient 42")
+        assert intent.name == "patient_history"
+        assert intent.slots["patient_id"] == "42"
+
+    def test_recognize_top_customers_with_number(self):
+        intent = recognize_intent("Who are the top 25 customers by spend?")
+        assert intent.name == "top_customers"
+        assert intent.slots["number"] == "25"
+
+    def test_unknown_text_raises(self):
+        with pytest.raises(CompilationError):
+            recognize_intent("please water the office plants")
+
+    def test_compile_predict_stay_program_shape(self):
+        program = compile_natural_language(
+            "Will patients have a long stay at the hospital (> 5 days)?")
+        assert "train" in program.paradigms_used()
+        assert "sql" in program.paradigms_used()
+        assert program.outputs == ["model"]
+
+    def test_compile_history_embeds_patient_id(self):
+        program = compile_natural_language("admission history of patient 7",
+                                           relational_engine="db1")
+        query = program.fragment("history").params["query"]
+        assert "pid = 7" in query
+        assert program.fragment("history").engine == "db1"
+
+    def test_compile_top_customers_limit(self):
+        program = compile_natural_language("top 3 customers this quarter")
+        assert "LIMIT 3" in program.fragment("spend").params["query"]
+
+    def test_compile_recommendation(self):
+        program = compile_natural_language("recommend the next best offer for users")
+        assert "kv_lookup" in program.paradigms_used()

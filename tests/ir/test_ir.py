@@ -1,0 +1,140 @@
+"""Tests for the IR: operators, graph structure and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import IRError
+from repro.ir import IRGraph, Operator, assert_valid, validate_graph, validate_operator
+
+
+def small_graph() -> IRGraph:
+    graph = IRGraph("test")
+    scan = graph.add(Operator("scan", {"table": "t"}, engine="db"))
+    filter_node = graph.add(Operator("filter", {"predicate": None}, [scan.op_id], "db"))
+    sort_node = graph.add(Operator("sort", {"by": "a"}, [filter_node.op_id], "db"))
+    graph.mark_output(sort_node.op_id)
+    return graph
+
+
+class TestOperator:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(IRError):
+            Operator("explode", {})
+
+    def test_ids_are_unique(self):
+        a, b = Operator("scan", {"table": "t"}), Operator("scan", {"table": "t"})
+        assert a.op_id != b.op_id
+
+    def test_annotations_properties(self):
+        node = Operator("scan", {"table": "t"})
+        node.estimated_rows = 100
+        node.estimated_bytes = 6400
+        assert node.estimated_rows == 100
+        assert node.estimated_bytes == 6400
+
+    def test_accelerable_kinds(self):
+        assert Operator("sort", {"by": "a"}, []).is_accelerable
+        assert not Operator("scan", {"table": "t"}).is_accelerable
+
+    def test_copy_is_independent(self):
+        node = Operator("scan", {"table": "t"})
+        duplicate = node.copy()
+        duplicate.params["table"] = "other"
+        assert node.params["table"] == "t"
+
+
+class TestGraph:
+    def test_add_requires_existing_inputs(self):
+        graph = IRGraph()
+        with pytest.raises(IRError):
+            graph.add(Operator("filter", {"predicate": None}, ["ghost"]))
+
+    def test_topological_order_and_stages(self):
+        graph = small_graph()
+        order = [n.kind for n in graph.topological_order()]
+        assert order == ["scan", "filter", "sort"]
+        assert [len(stage) for stage in graph.stages()] == [1, 1, 1]
+
+    def test_cycle_detection(self):
+        graph = IRGraph()
+        a = graph.add(Operator("scan", {"table": "t"}))
+        b = graph.add(Operator("filter", {"predicate": None}, [a.op_id]))
+        a.inputs = [b.op_id]
+        with pytest.raises(IRError):
+            graph.topological_order()
+
+    def test_consumers_and_producers(self):
+        graph = small_graph()
+        scan = graph.nodes_of_kind("scan")[0]
+        filter_node = graph.nodes_of_kind("filter")[0]
+        assert graph.consumers(scan.op_id)[0].op_id == filter_node.op_id
+        assert graph.producers(filter_node.op_id)[0].op_id == scan.op_id
+
+    def test_insert_between(self):
+        graph = small_graph()
+        scan = graph.nodes_of_kind("scan")[0]
+        filter_node = graph.nodes_of_kind("filter")[0]
+        migrate = graph.insert_between(scan.op_id, filter_node.op_id,
+                                       Operator("migrate", {"source_engine": "a",
+                                                            "target_engine": "b"}))
+        assert filter_node.inputs == [migrate.op_id]
+        assert migrate.inputs == [scan.op_id]
+        assert_valid(graph)
+
+    def test_remove_rewires_single_input_node(self):
+        graph = small_graph()
+        filter_node = graph.nodes_of_kind("filter")[0]
+        scan = graph.nodes_of_kind("scan")[0]
+        sort_node = graph.nodes_of_kind("sort")[0]
+        graph.remove(filter_node.op_id)
+        assert sort_node.inputs == [scan.op_id]
+
+    def test_replace_output(self):
+        graph = small_graph()
+        scan = graph.nodes_of_kind("scan")[0]
+        old_output = graph.outputs[0]
+        graph.replace_output(old_output, scan.op_id)
+        assert graph.outputs == [scan.op_id]
+
+    def test_prune_keeps_outputs(self):
+        graph = small_graph()
+        dangling = graph.add(Operator("scan", {"table": "unused"}, engine="db"))
+        removed = graph.prune(lambda node: node.kind != "scan" or node.params["table"] != "unused")
+        assert removed == 1
+        assert dangling.op_id not in graph
+
+    def test_copy_is_deep_enough(self):
+        graph = small_graph()
+        duplicate = graph.copy()
+        duplicate.nodes_of_kind("scan")[0].params["table"] = "changed"
+        assert graph.nodes_of_kind("scan")[0].params["table"] == "t"
+        assert duplicate.outputs == graph.outputs
+
+    def test_render_mentions_stages(self):
+        assert "stage 0" in small_graph().render()
+
+
+class TestValidation:
+    def test_valid_graph_has_no_problems(self):
+        assert validate_graph(small_graph()) == []
+
+    def test_missing_required_param_detected(self):
+        problems = validate_operator(Operator("scan", {}))
+        assert any("table" in p for p in problems)
+
+    def test_wrong_arity_detected(self):
+        node = Operator("join", {"left_key": "a", "right_key": "b"}, [])
+        problems = validate_operator(node)
+        assert any("expects 2 inputs" in p for p in problems)
+
+    def test_graph_without_outputs_flagged(self):
+        graph = IRGraph()
+        graph.add(Operator("scan", {"table": "t"}))
+        assert any("no output" in p for p in validate_graph(graph))
+
+    def test_assert_valid_raises(self):
+        graph = IRGraph()
+        graph.add(Operator("scan", {}))
+        with pytest.raises(IRError):
+            assert_valid(graph)

@@ -1,0 +1,182 @@
+"""Tests for the engine adapters and the executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.compiler import Compiler
+from repro.datamodel import Table
+from repro.exceptions import AdapterError, CatalogError, ExecutionError
+from repro.ir import IRGraph, Operator
+from repro.middleware.adapters import (
+    KeyValueAdapter,
+    MLAdapter,
+    RelationalAdapter,
+    TextAdapter,
+    TimeseriesAdapter,
+    adapter_for,
+)
+from repro.middleware.executor import Executor
+from repro.stores import KeyValueEngine, MLEngine, RelationalEngine
+from repro.stores.relational import compare
+from repro.stores.relational.operators import AggregateSpec
+from repro.workloads import build_mimic_program
+
+
+class TestAdapterDispatch:
+    def test_adapter_for_each_engine(self, mimic_engines):
+        assert isinstance(adapter_for(mimic_engines["relational"]), RelationalAdapter)
+        assert isinstance(adapter_for(mimic_engines["timeseries"]), TimeseriesAdapter)
+        assert isinstance(adapter_for(mimic_engines["text"]), TextAdapter)
+        assert isinstance(adapter_for(mimic_engines["ml"]), MLAdapter)
+        assert isinstance(adapter_for(KeyValueEngine()), KeyValueAdapter)
+
+
+class TestRelationalAdapter:
+    def test_scan_and_federated_operators(self, relational_engine):
+        adapter = RelationalAdapter(relational_engine)
+        scan = Operator("scan", {"table": "patients"}, engine="testdb")
+        table = adapter.execute(scan, [])
+        assert len(table) == 5
+        filtered = adapter.execute(
+            Operator("filter", {"predicate": compare("age", ">", 60)}, ["x"], "testdb"),
+            [table])
+        assert len(filtered) == 3
+        aggregated = adapter.execute(
+            Operator("aggregate", {"group_by": [],
+                                   "aggregates": [AggregateSpec("count", None, "n")]},
+                     ["x"], "testdb"),
+            [filtered])
+        assert aggregated.to_dicts()[0]["n"] == 3
+
+    def test_join_over_materialized_tables(self, relational_engine):
+        adapter = RelationalAdapter(relational_engine)
+        left = Table.from_dicts([{"pid": 1, "a": 10}, {"pid": 2, "a": 20}])
+        right = Table.from_dicts([{"pid": 1, "b": "x"}])
+        joined = adapter.execute(
+            Operator("join", {"left_key": "pid", "right_key": "pid"}, ["l", "r"], "testdb"),
+            [left, right])
+        assert joined.to_dicts() == [{"pid": 1, "a": 10, "b": "x"}]
+
+    def test_bad_input_type_raises(self, relational_engine):
+        adapter = RelationalAdapter(relational_engine)
+        with pytest.raises(AdapterError):
+            adapter.execute(Operator("filter", {"predicate": compare("a", "=", 1)},
+                                     ["x"], "testdb"), ["not a table"])
+
+
+class TestNoSQLAdapters:
+    def test_kv_prefix_lookup_builds_table(self):
+        engine = KeyValueEngine()
+        engine.put_many({f"customer/{i}": {"tier": i % 3} for i in range(5)})
+        adapter = KeyValueAdapter(engine)
+        table = adapter.execute(
+            Operator("kv_get", {"key_prefix": "customer/", "key_column": "customer_id"},
+                     engine="kv"), [])
+        assert len(table) == 5
+        assert set(table.schema.names) == {"customer_id", "tier"}
+        assert sorted(table.column("customer_id")) == [0, 1, 2, 3, 4]
+
+    def test_timeseries_summarize_extracts_entity_keys(self, mimic_engines):
+        adapter = TimeseriesAdapter(mimic_engines["timeseries"])
+        table = adapter.execute(
+            Operator("ts_summarize", {"series_prefix": "hr/"}, engine="monitors"), [])
+        assert len(table) == 60
+        assert "vital_mean" in table.schema.names
+        assert isinstance(table.column("pid")[0], int)
+
+    def test_text_keyword_features(self, mimic_engines):
+        adapter = TextAdapter(mimic_engines["text"])
+        table = adapter.execute(
+            Operator("keyword_features",
+                     {"keywords": ["sepsis", "stable"], "doc_prefix": "note/",
+                      "id_column": "pid"}, engine="notes-db"), [])
+        assert len(table) == 60
+        assert "kw_sepsis" in table.schema.names
+
+    def test_keyword_features_requires_keywords(self, mimic_engines):
+        adapter = TextAdapter(mimic_engines["text"])
+        with pytest.raises(AdapterError):
+            adapter.execute(Operator("keyword_features", {"keywords": []},
+                                     engine="notes-db"), [])
+
+
+class TestMLAdapter:
+    def test_train_then_predict(self, mimic_engines):
+        adapter = MLAdapter(mimic_engines["ml"])
+        features = Table.from_dicts([
+            {"pid": i, "x1": float(i % 7), "x2": float(i % 3), "long_stay": i % 2}
+            for i in range(120)
+        ])
+        result = adapter.execute(
+            Operator("train", {"model_name": "m", "label_column": "long_stay",
+                               "epochs": 3}, ["f"], "ml"), [features])
+        assert result["rows"] == 120
+        assert 0.0 <= result["metrics"]["accuracy"] <= 1.0
+        predictions = adapter.execute(
+            Operator("predict", {"model_name": "m"}, ["f"], "ml"), [features])
+        assert "prediction" in predictions.schema.names
+
+    def test_train_requires_label(self, mimic_engines):
+        adapter = MLAdapter(mimic_engines["ml"])
+        features = Table.from_dicts([{"x": 1.0}])
+        with pytest.raises(AdapterError):
+            adapter.execute(Operator("train", {"model_name": "m",
+                                               "label_column": "missing"}, ["f"], "ml"),
+                            [features])
+
+    def test_predict_unknown_model(self, mimic_engines):
+        adapter = MLAdapter(mimic_engines["ml"])
+        with pytest.raises(AdapterError):
+            adapter.execute(Operator("predict", {"model_name": "ghost"}, ["f"], "ml"),
+                            [Table.from_dicts([{"x": 1.0}])])
+
+
+class TestExecutor:
+    def _catalog(self, mimic_engines) -> Catalog:
+        catalog = Catalog()
+        for key in ("relational", "timeseries", "text", "ml"):
+            catalog.register_engine(mimic_engines[key])
+        return catalog
+
+    def test_execute_compiled_mimic_program(self, mimic_engines):
+        catalog = self._catalog(mimic_engines)
+        compilation = Compiler(catalog).compile(build_mimic_program(epochs=1))
+        outputs, report = Executor(catalog).execute(compilation.graph)
+        assert "stay_model" in outputs
+        assert report.total_time_s > 0
+        assert report.pipelined_time_s <= report.total_time_s + 1e-9
+        assert len(report.records) == len(compilation.graph)
+        assert report.time_by_kind() and report.time_by_engine()
+
+    def test_missing_engine_binding_fails(self, mimic_engines):
+        catalog = self._catalog(mimic_engines)
+        graph = IRGraph("broken")
+        node = graph.add(Operator("scan", {"table": "admissions"}))
+        graph.mark_output(node.op_id)
+        with pytest.raises(ExecutionError):
+            Executor(catalog).execute(graph)
+
+    def test_unknown_engine_name_fails(self, mimic_engines):
+        catalog = self._catalog(mimic_engines)
+        graph = IRGraph("broken")
+        node = graph.add(Operator("scan", {"table": "admissions"}, engine="ghost-db"))
+        graph.mark_output(node.op_id)
+        with pytest.raises(CatalogError):
+            Executor(catalog).execute(graph)
+
+    def test_migration_records_simulated_time(self, mimic_engines):
+        catalog = self._catalog(mimic_engines)
+        graph = IRGraph("migrate")
+        scan = graph.add(Operator("scan", {"table": "admissions"}, engine="clinical-db"))
+        migrate = graph.add(Operator(
+            "migrate", {"source_engine": "clinical-db", "target_engine": "dnn-engine"},
+            [scan.op_id], "dnn-engine"))
+        graph.mark_output(migrate.op_id)
+        executor = Executor(catalog)
+        outputs, report = executor.execute(graph)
+        migrate_record = [r for r in report.records if r.kind == "migrate"][0]
+        assert migrate_record.simulated_time_s > 0
+        assert migrate_record.details["strategy"]
+        assert len(list(outputs.values())[0]) == 60

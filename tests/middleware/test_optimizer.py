@@ -1,0 +1,195 @@
+"""Tests for the optimizer: cost model, Pareto utilities, random forest and DSE."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.ir import Operator
+from repro.middleware.optimizer import (
+    ActiveLearningOptimizer,
+    CostModel,
+    DesignSpace,
+    Evaluation,
+    Parameter,
+    ParetoArchive,
+    RandomForestRegressor,
+    RegressionTree,
+    compare_to_random,
+    hypervolume_2d,
+    is_pareto_efficient,
+    pareto_front,
+)
+
+
+class TestCostModel:
+    def test_operator_cost_scales_with_rows(self):
+        model = CostModel()
+        small = Operator("scan", {"table": "t"})
+        small.estimated_rows = 100
+        large = Operator("scan", {"table": "t"})
+        large.estimated_rows = 1_000_000
+        assert model.operator_cost(large).time_s > model.operator_cost(small).time_s
+
+    def test_sort_superlinear(self):
+        model = CostModel()
+        node = Operator("sort", {"by": "a"})
+        node.estimated_rows = 1_000_000
+        linear = Operator("filter", {"predicate": None})
+        linear.estimated_rows = 1_000_000
+        assert model.operator_cost(node).time_s > model.operator_cost(linear).time_s
+
+    def test_migration_cost_orders_strategies(self):
+        model = CostModel()
+        payload = 100_000_000
+        assert model.migration_cost(payload, "csv") > model.migration_cost(payload, "binary_pipe")
+        assert model.migration_cost(payload, "binary_pipe") > model.migration_cost(payload, "rdma")
+
+    def test_calibrate_updates_row_costs(self):
+        from repro.stores.base import OperationMetrics
+        model = CostModel()
+        before = model.row_costs["scan"]
+        metrics = [OperationMetrics("db", "scan", wall_time_s=1.0, rows_out=1000)]
+        assert model.calibrate(metrics) == 1
+        assert model.row_costs["scan"] != before
+
+
+class TestPareto:
+    def test_domination(self):
+        a = Evaluation({}, (1.0, 1.0))
+        b = Evaluation({}, (2.0, 2.0))
+        c = Evaluation({}, (0.5, 3.0))
+        assert a.dominates(b)
+        assert not a.dominates(c)
+        front = pareto_front([a, b, c])
+        assert b not in front and a in front and c in front
+
+    def test_is_pareto_efficient_matrix(self):
+        points = np.array([[1, 1], [2, 2], [0.5, 3]])
+        mask = is_pareto_efficient(points)
+        assert mask.tolist() == [True, False, True]
+
+    def test_hypervolume(self):
+        volume = hypervolume_2d([(1.0, 1.0)], reference=(2.0, 2.0))
+        assert volume == pytest.approx(1.0)
+        better = hypervolume_2d([(0.5, 0.5)], reference=(2.0, 2.0))
+        assert better > volume
+        assert hypervolume_2d([], reference=(1.0, 1.0)) == 0.0
+
+    def test_archive_tracks_front(self):
+        archive = ParetoArchive()
+        assert archive.add(Evaluation({"x": 1}, (1.0, 2.0)))
+        assert not archive.add(Evaluation({"x": 2}, (3.0, 3.0)))
+        assert len(archive.front) == 1
+        best = archive.best_scalarized([1.0, 1.0])
+        assert best.configuration == {"x": 1}
+
+
+class TestDesignSpace:
+    def test_sampling_and_encoding(self):
+        space = DesignSpace([
+            Parameter("engine", "categorical", ("a", "b")),
+            Parameter("batch", "ordinal", (16, 32, 64)),
+            Parameter("fraction", "continuous", low=0.0, high=1.0),
+        ])
+        samples = space.sample_many(20, seed=1)
+        assert len(samples) == 20
+        assert all(s["engine"] in ("a", "b") for s in samples)
+        encoded = space.encode_many(samples)
+        assert encoded.shape == (20, 3)
+
+    def test_enumerate_discrete_space(self):
+        space = DesignSpace([
+            Parameter("a", "categorical", ("x", "y")),
+            Parameter("b", "ordinal", (1, 2, 3)),
+        ])
+        assert space.size == 6
+        assert len(list(space.enumerate())) == 6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(OptimizationError):
+            Parameter("p", "categorical")
+        with pytest.raises(OptimizationError):
+            Parameter("p", "continuous", low=1.0, high=1.0)
+        with pytest.raises(OptimizationError):
+            DesignSpace([])
+
+    def test_polystore_default_space(self):
+        space = DesignSpace.polystore_default(["db1"], ["fpga0"])
+        names = [p.name for p in space.parameters]
+        assert "migration_strategy" in names and "sort_target" in names
+
+
+class TestRandomForest:
+    def test_tree_fits_step_function(self):
+        x = np.linspace(0, 1, 60).reshape(-1, 1)
+        y = (x[:, 0] > 0.5).astype(float) * 10.0
+        tree = RegressionTree(max_depth=3).fit(x, y)
+        assert tree.predict(np.array([[0.1]]))[0] < 1.0
+        assert tree.predict(np.array([[0.9]]))[0] > 9.0
+
+    def test_forest_predicts_smooth_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, size=(150, 2))
+        y = 3 * x[:, 0] + x[:, 1]
+        forest = RandomForestRegressor(n_trees=12, seed=1).fit(x, y)
+        predictions = forest.predict(x)
+        error = float(np.mean(np.abs(predictions - y)))
+        assert error < 0.5
+        assert forest.predict_std(x).shape == (150,)
+
+    def test_unfitted_forest_raises(self):
+        with pytest.raises(OptimizationError):
+            RandomForestRegressor().predict(np.ones((1, 2)))
+
+
+def _objective(configuration: dict) -> tuple[float, float]:
+    """A synthetic latency/energy tradeoff with known structure."""
+    latency = {"fpga": 1.0, "gpu": 0.6, "none": 2.0}[configuration["target"]]
+    latency *= 1.0 + 0.01 * (512 - configuration["batch"]) / 512
+    energy = {"fpga": 0.5, "gpu": 2.0, "none": 1.0}[configuration["target"]]
+    energy *= 1.0 + configuration["fraction"]
+    return latency, energy
+
+
+@pytest.fixture
+def space() -> DesignSpace:
+    return DesignSpace([
+        Parameter("target", "categorical", ("fpga", "gpu", "none")),
+        Parameter("batch", "ordinal", (64, 128, 256, 512)),
+        Parameter("fraction", "continuous", low=0.0, high=1.0),
+    ])
+
+
+class TestActiveLearning:
+    def test_budget_respected_and_front_nonempty(self, space):
+        optimizer = ActiveLearningOptimizer(space, _objective, initial_samples=8,
+                                            samples_per_iteration=4, seed=2)
+        result = optimizer.optimize(budget=24)
+        assert len(result.evaluations) == 24
+        assert result.front
+        assert result.iterations >= 1
+
+    def test_front_contains_both_extremes(self, space):
+        optimizer = ActiveLearningOptimizer(space, _objective, initial_samples=10, seed=3)
+        result = optimizer.optimize(budget=40)
+        targets = {e.configuration["target"] for e in result.front}
+        # gpu is the latency extreme, fpga the energy extreme; both should survive.
+        assert "gpu" in targets and "fpga" in targets
+
+    def test_active_learning_not_worse_than_random(self, space):
+        comparison = compare_to_random(space, _objective, budget=30,
+                                       reference=(3.0, 4.0), seed=4)
+        assert comparison["active_learning_hypervolume"] >= \
+            0.9 * comparison["random_hypervolume"]
+
+    def test_budget_below_initial_samples_rejected(self, space):
+        optimizer = ActiveLearningOptimizer(space, _objective, initial_samples=10)
+        with pytest.raises(OptimizationError):
+            optimizer.optimize(budget=5)
+
+    def test_objective_arity_checked(self, space):
+        optimizer = ActiveLearningOptimizer(space, lambda c: (1.0,), initial_samples=2)
+        with pytest.raises(OptimizationError):
+            optimizer.optimize(budget=4)

@@ -1,0 +1,168 @@
+"""Tests for volcano operators, expressions and the bitonic sorting network."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import QueryError
+from repro.stores.relational.expressions import (
+    and_,
+    column,
+    compare,
+    literal,
+    not_,
+    or_,
+    split_conjunction,
+)
+from repro.stores.relational.operators import (
+    AggregateSpec,
+    Filter,
+    GroupByAggregate,
+    HashJoin,
+    Limit,
+    Project,
+    Sort,
+    SortMergeJoin,
+    TableScan,
+    TopK,
+    bitonic_sort,
+)
+
+ROWS = [
+    {"pid": 1, "age": 72, "ward": "icu", "cost": 100.0},
+    {"pid": 2, "age": 35, "ward": "general", "cost": 20.0},
+    {"pid": 3, "age": 85, "ward": "icu", "cost": 250.0},
+    {"pid": 4, "age": 51, "ward": "recovery", "cost": 80.0},
+]
+
+
+class TestExpressions:
+    def test_comparison_and_boolean(self):
+        predicate = and_(compare("age", ">", 40), compare("ward", "=", "icu"))
+        assert predicate.evaluate(ROWS[0])
+        assert not predicate.evaluate(ROWS[1])
+
+    def test_or_and_not(self):
+        predicate = or_(compare("age", "<", 40), not_(compare("ward", "=", "icu")))
+        assert predicate.evaluate(ROWS[1])
+        assert not predicate.evaluate(ROWS[0])
+
+    def test_null_comparison_is_false(self):
+        assert not compare("age", ">", 10).evaluate({"age": None})
+
+    def test_referenced_columns(self):
+        predicate = and_(compare("age", ">", 40), compare("cost", "<", 200))
+        assert predicate.referenced_columns() == {"age", "cost"}
+
+    def test_split_conjunction(self):
+        predicate = and_(compare("a", "=", 1), compare("b", "=", 2), compare("c", "=", 3))
+        assert len(split_conjunction(predicate)) == 3
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            compare("a", "~", 1)
+
+    def test_selectivity_bounds(self):
+        predicate = or_(compare("a", "=", 1), compare("b", ">", 2))
+        assert 0.0 < predicate.estimated_selectivity() <= 1.0
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(QueryError):
+            column("missing").evaluate({"a": 1})
+
+    def test_literal_str(self):
+        assert str(literal("x")) == "'x'"
+
+
+class TestOperators:
+    def test_filter(self):
+        result = Filter(TableScan(ROWS), compare("ward", "=", "icu")).execute()
+        assert [r["pid"] for r in result] == [1, 3]
+
+    def test_project_unknown_column(self):
+        with pytest.raises(QueryError):
+            Project(TableScan(ROWS), ["nope"]).execute()
+
+    def test_limit_and_sort(self):
+        result = Limit(Sort(TableScan(ROWS), ["age"], descending=True), 2).execute()
+        assert [r["age"] for r in result] == [85, 72]
+
+    def test_top_k_equivalent_to_sort_limit(self):
+        top = TopK(TableScan(ROWS), "cost", 2).execute()
+        assert [r["pid"] for r in top] == [3, 1]
+
+    def test_hash_join_inner(self):
+        right = [{"pid": 1, "payer": "a"}, {"pid": 3, "payer": "b"}]
+        result = HashJoin(TableScan(ROWS), TableScan(right), "pid", "pid").execute()
+        assert {r["pid"] for r in result} == {1, 3}
+        assert all("payer" in r for r in result)
+
+    def test_hash_join_left_keeps_unmatched(self):
+        right = [{"pid": 1, "payer": "a"}]
+        result = HashJoin(TableScan(ROWS), TableScan(right), "pid", "pid",
+                          how="left").execute()
+        assert len(result) == 4
+        assert any(r["payer"] is None for r in result)
+
+    def test_sort_merge_join_matches_hash_join(self):
+        right = [{"pid": p, "extra": p * 10} for p in (1, 2, 3, 3)]
+        hash_rows = HashJoin(TableScan(ROWS), TableScan(right), "pid", "pid").execute()
+        merge_rows = SortMergeJoin(TableScan(ROWS), TableScan(right), "pid", "pid").execute()
+        key = lambda r: (r["pid"], r.get("extra"))
+        assert sorted(hash_rows, key=key) == sorted(merge_rows, key=key)
+
+    def test_group_by_aggregate(self):
+        result = GroupByAggregate(
+            TableScan(ROWS), ["ward"],
+            [AggregateSpec("count", None, "n"), AggregateSpec("avg", "cost", "avg_cost")],
+        ).execute()
+        by_ward = {r["ward"]: r for r in result}
+        assert by_ward["icu"]["n"] == 2
+        assert by_ward["icu"]["avg_cost"] == pytest.approx(175.0)
+
+    def test_global_aggregate_on_empty_input(self):
+        result = GroupByAggregate(TableScan([]), [],
+                                  [AggregateSpec("count", None, "n")]).execute()
+        assert result == [{"n": 0}]
+
+    def test_invalid_aggregate_function(self):
+        with pytest.raises(QueryError):
+            AggregateSpec("median", "cost", "m")
+
+
+class TestBitonicSort:
+    def test_sorts_non_power_of_two(self):
+        values, stats = bitonic_sort([5, 1, 9, 3, 7, 2])
+        assert values == [1, 2, 3, 5, 7, 9]
+        assert stats.n_padded == 8
+
+    def test_descending(self):
+        values, _ = bitonic_sort([4, 1, 3], descending=True)
+        assert values == [4, 3, 1]
+
+    def test_key_function(self):
+        values, _ = bitonic_sort(ROWS, key=lambda r: r["age"])
+        assert [r["age"] for r in values] == [35, 51, 72, 85]
+
+    def test_empty_and_singleton(self):
+        assert bitonic_sort([])[0] == []
+        assert bitonic_sort([42])[0] == [42]
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), max_size=120))
+    def test_property_matches_builtin_sort(self, values):
+        result, stats = bitonic_sort(values)
+        assert result == sorted(values)
+        if len(values) > 1:
+            assert stats.comparisons > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=2,
+                    max_size=64))
+    def test_property_stage_count_is_log_squared(self, values):
+        _, stats = bitonic_sort(values)
+        n = stats.n_padded
+        log_n = n.bit_length() - 1
+        assert stats.stages == log_n * (log_n + 1) // 2

@@ -1,0 +1,126 @@
+"""Tests for the synthetic workload generators and their programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_cpu_polystore
+from repro.stores import (
+    GraphEngine,
+    KeyValueEngine,
+    MLEngine,
+    RelationalEngine,
+    TimeseriesEngine,
+)
+from repro.workloads import (
+    build_recommendation_program,
+    build_snorkel_program,
+    build_top_spenders_program,
+    generate_documents,
+    generate_mimic,
+    generate_recommendation,
+    load_documents,
+    load_recommendation,
+    run_labeling_pipeline,
+    weak_labels,
+)
+from repro.workloads.mimic import load_mimic
+
+
+class TestMimicGenerator:
+    def test_generation_is_reproducible(self):
+        a = generate_mimic(40, seed=5)
+        b = generate_mimic(40, seed=5)
+        assert a.admissions.rows == b.admissions.rows
+        assert a.notes == b.notes
+
+    def test_shapes_and_label_balance(self):
+        dataset = generate_mimic(300, seed=1)
+        assert dataset.num_patients == 300
+        labels = dataset.admissions.column("long_stay")
+        positive_rate = sum(labels) / len(labels)
+        assert 0.05 < positive_rate < 0.8
+        assert len(dataset.vitals) == 300
+        assert len(dataset.notes) == 300
+
+    def test_acute_notes_mention_keywords_more_often(self):
+        dataset = generate_mimic(300, seed=2)
+        by_label = {0: 0, 1: 0}
+        counts = {0: 0, 1: 0}
+        for row in dataset.admissions.to_dicts():
+            note = dataset.notes[row["pid"]]
+            mentions = int("sepsis" in note or "ventilator" in note)
+            by_label[row["long_stay"]] += mentions
+            counts[row["long_stay"]] += 1
+        assert by_label[1] / counts[1] > by_label[0] / counts[0]
+
+    def test_load_into_engines_with_graph(self):
+        dataset = generate_mimic(20, seed=3)
+        relational, timeseries = RelationalEngine("clinical-db"), TimeseriesEngine("monitors")
+        from repro.stores import TextEngine
+        text, graph = TextEngine("notes-db"), GraphEngine("wards")
+        load_mimic(dataset, relational=relational, timeseries=timeseries, text=text,
+                   graph=graph)
+        assert relational.table_statistics("admissions")["rows"] == 20
+        assert len(timeseries.list_series()) == 20
+        assert graph.graph.num_edges > 0
+
+
+class TestRecommendation:
+    def test_generation_and_loading(self):
+        dataset = generate_recommendation(50, seed=4)
+        relational, kv, ts = RelationalEngine("sales-db"), KeyValueEngine("profiles"), \
+            TimeseriesEngine("clickstream")
+        load_recommendation(dataset, relational=relational, keyvalue=kv, timeseries=ts)
+        assert relational.table_statistics("customers")["rows"] == 50
+        assert relational.table_statistics("transactions")["rows"] > 50
+        assert len(kv) == 50
+        assert len(ts.list_series()) == 50
+
+    def test_end_to_end_recommendation_program(self):
+        dataset = generate_recommendation(120, seed=6)
+        relational, kv, ts, ml = (RelationalEngine("sales-db"), KeyValueEngine("profiles"),
+                                  TimeseriesEngine("clickstream"), MLEngine("reco-ml"))
+        load_recommendation(dataset, relational=relational, keyvalue=kv, timeseries=ts)
+        system = build_cpu_polystore([relational, kv, ts, ml])
+        result = system.execute(build_recommendation_program(epochs=2),
+                                mode="cpu_polystore")
+        model = result.output("offer_model")
+        assert model["rows"] == 120
+        assert model["metrics"]["accuracy"] > 0.5
+
+    def test_top_spenders_query(self):
+        dataset = generate_recommendation(60, seed=7)
+        relational = RelationalEngine("sales-db")
+        kv, ts = KeyValueEngine("profiles"), TimeseriesEngine("clickstream")
+        load_recommendation(dataset, relational=relational, keyvalue=kv, timeseries=ts)
+        system = build_cpu_polystore([relational, kv, ts, MLEngine("reco-ml")])
+        result = system.execute(build_top_spenders_program(5), mode="cpu_polystore")
+        table = result.output("top")
+        assert len(table) == 5
+        spends = table.column("total_spend")
+        assert spends == sorted(spends, reverse=True)
+
+
+class TestSnorkel:
+    def test_weak_labels_majority_vote(self):
+        rows = [{"length": 100, "num_tables": 5, "num_figures": 1,
+                 "caption_overlap": 0.9, "header_score": 0.9}]
+        assert weak_labels(rows)[0] == 1.0
+
+    def test_pipeline_issues_one_query_per_batch(self):
+        documents = generate_documents(300, seed=8)
+        relational = RelationalEngine("corpus-db")
+        load_documents(documents, relational)
+        result = run_labeling_pipeline(relational, epochs=2, batch_size=100)
+        assert result.sql_queries_issued == 2 * 3
+        assert result.rows_loaded == 2 * 300
+        assert result.accuracy_vs_true > 0.6
+
+    def test_declarative_program_equivalent(self):
+        documents = generate_documents(300, seed=9)
+        relational = RelationalEngine("corpus-db")
+        load_documents(documents, relational)
+        system = build_cpu_polystore([relational, MLEngine("label-ml")])
+        result = system.execute(build_snorkel_program(epochs=2), mode="cpu_polystore")
+        assert result.output("label_model")["metrics"]["accuracy"] > 0.8
