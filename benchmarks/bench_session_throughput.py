@@ -1,0 +1,91 @@
+"""Session throughput: one-shot execute() vs prepared runs vs batched submits.
+
+The quickstart program (SQL aggregation + timeseries features -> train) is
+executed three ways:
+
+* one-shot ``PolystorePlusPlus.execute`` — recompiles nothing after the first
+  call (plan cache) but re-reads every engine on every call,
+* ``PreparedProgram.run`` — compiled once, pure scan subtrees served from the
+  pinned snapshot, only the training head re-executes,
+* ``Session.run_batch`` — the same prepared program dispatched over the
+  session's worker pool.
+
+The headline check: prepared re-execution is >= 2x the one-shot throughput.
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_session_throughput.py -q
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from examples.quickstart import build_deployment, build_program  # noqa: E402
+
+REPEATS = 20
+#: Local runs assert the full 2x acceptance bar; CI can relax it because
+#: shared runners make wall-clock ratios noisy (see .github/workflows/ci.yml).
+MIN_SPEEDUP = float(os.environ.get("SESSION_BENCH_MIN_SPEEDUP", "2.0"))
+
+
+def _throughput(fn, repeats: int = REPEATS) -> float:
+    """Executions per second of ``fn`` over ``repeats`` timed calls."""
+    fn()  # warm caches (plan cache, adapters) outside the timed region
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    elapsed = time.perf_counter() - start
+    return repeats / elapsed
+
+
+def test_prepared_reexecution_at_least_twice_oneshot(benchmark=None):
+    system = build_deployment()
+    program = build_program()
+    session = system.session(name="bench")
+    prepared = session.prepare(program, mode="polystore++")
+
+    oneshot_rate = _throughput(lambda: system.execute(program, mode="polystore++"))
+    prepared_rate = _throughput(prepared.run)
+    speedup = prepared_rate / oneshot_rate
+
+    headline = {
+        "experiment": "session_throughput",
+        "oneshot_programs_per_s": oneshot_rate,
+        "prepared_programs_per_s": prepared_rate,
+        "prepared_speedup": speedup,
+    }
+    if benchmark is not None and hasattr(benchmark, "extra_info"):
+        benchmark.extra_info.update(headline)
+        benchmark(prepared.run)
+    print(f"\none-shot : {oneshot_rate:8.1f} programs/s")
+    print(f"prepared : {prepared_rate:8.1f} programs/s  ({speedup:.1f}x one-shot)")
+    assert speedup >= MIN_SPEEDUP, headline
+
+
+def test_batched_session_matches_prepared_outputs():
+    system = build_deployment()
+    program = build_program()
+    with system.session(name="bench-batch", max_workers=4) as session:
+        prepared = session.prepare(program)
+        serial = prepared.run()
+
+        batch_size = 8
+        start = time.perf_counter()
+        results = session.run_batch([prepared] * batch_size)
+        elapsed = time.perf_counter() - start
+        batched_rate = batch_size / elapsed
+
+    print(f"\nbatched  : {batched_rate:8.1f} programs/s ({batch_size} submits)")
+    assert len(results) == batch_size
+    expected_rows = serial.output("return_model")["rows"]
+    for result in results:
+        assert result.output("return_model")["rows"] == expected_rows
+
+
+if __name__ == "__main__":
+    test_prepared_reexecution_at_least_twice_oneshot()
+    test_batched_session_matches_prepared_outputs()

@@ -11,6 +11,7 @@ The public API is intentionally small; most users need only:
 """
 
 from repro.catalog import Catalog
+from repro.client import PreparedProgram, Session
 from repro.core import (
     EXECUTION_MODES,
     ExecutionResult,
@@ -19,16 +20,19 @@ from repro.core import (
     build_accelerated_polystore,
     build_cpu_polystore,
 )
-from repro.eide import HeterogeneousProgram, compile_natural_language
+from repro.eide import HeterogeneousProgram, Param, compile_natural_language
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PolystorePlusPlus",
     "SystemConfig",
     "ExecutionResult",
     "EXECUTION_MODES",
+    "Session",
+    "PreparedProgram",
     "HeterogeneousProgram",
+    "Param",
     "compile_natural_language",
     "Catalog",
     "build_cpu_polystore",

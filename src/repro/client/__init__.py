@@ -1,0 +1,17 @@
+"""Client API: sessions, prepared programs and plan caching.
+
+Create sessions through :meth:`repro.PolystorePlusPlus.session`; the classes
+here are what it hands back.
+"""
+
+from repro.client.cache import SNAPSHOT_KINDS, CachedPlan, PlanCache, ScanSnapshot
+from repro.client.session import PreparedProgram, Session
+
+__all__ = [
+    "Session",
+    "PreparedProgram",
+    "PlanCache",
+    "ScanSnapshot",
+    "CachedPlan",
+    "SNAPSHOT_KINDS",
+]

@@ -1,0 +1,240 @@
+"""Caches behind the session API: compiled plans and pinned scan snapshots.
+
+Two caches make :meth:`~repro.client.PreparedProgram.run` cheap:
+
+* :class:`PlanCache` — an LRU over compiled plans, keyed by the program's
+  deterministic fingerprint plus execution mode, compiler options and the
+  deployment's plan generation.  Registering a new engine or accelerator
+  bumps the generation, so every older plan is unreachable (and the system
+  additionally clears live session caches explicitly).
+* :class:`ScanSnapshot` — per-plan pinned results for *pure* operators whose
+  values depend only on engine state (scans, summaries, joins over them, and
+  the migrations that ship them).  Each pinned entry remembers the data
+  versions of every engine its subtree reads; a version bump invalidates
+  exactly the affected entries on the next run.  Operators with side effects
+  or nondeterminism (``train``, ``kmeans``, ``python_udf``, tensor ops that
+  mutate the FLOP counters) are never pinned and re-execute every run.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.catalog import Catalog
+from repro.compiler.pipeline import CompilationResult
+from repro.datamodel.table import Table
+from repro.ir.graph import IRGraph
+from repro.middleware.executor.report import TaskRecord
+
+#: Operator kinds whose results are pure functions of engine state and
+#: upstream values — the only kinds a prepared program may pin.
+SNAPSHOT_KINDS = frozenset({
+    "scan", "index_seek", "filter", "project", "join", "aggregate", "sort",
+    "limit", "top_k",
+    "kv_get", "kv_range",
+    "ts_range", "window_aggregate", "ts_summarize",
+    "graph_match", "shortest_path", "neighborhood", "graph_nodes",
+    "text_search", "keyword_features",
+    "feature_matrix", "predict",
+    "migrate", "materialize", "union",
+})
+
+
+class PlanCache:
+    """A thread-safe LRU cache of compiled plans with hit/miss statistics."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value for ``key`` (refreshing recency), or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``value``, evicting the least-recently-used entry if full."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate(self) -> int:
+        """Drop every entry; returns the number removed."""
+        with self._lock:
+            removed = len(self._entries)
+            self._entries.clear()
+            if removed:
+                self._invalidations += 1
+            return removed
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters plus current size."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "invalidations": self._invalidations,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+def _protective_copy(value: Any) -> Any:
+    """A container-level copy so caller mutation cannot reach a pinned value.
+
+    Rows/elements themselves are immutable tuples or scalars in practice;
+    copying the outer container is what protects against ``pop``/``append``/
+    key-assignment on returned results.
+    """
+    if isinstance(value, Table):
+        return Table(value.schema, value.rows)
+    if isinstance(value, list):
+        return list(value)
+    if isinstance(value, dict):
+        return dict(value)
+    return value
+
+
+class ScanSnapshot:
+    """Pinned pure-operator results for one compiled plan.
+
+    Implements the executor's ``ResultCache`` protocol.  Entries are only
+    pinned for operators whose whole upstream subtree consists of
+    :data:`SNAPSHOT_KINDS`; each entry is validated against the data versions
+    of the engines that subtree reads before every run.
+    """
+
+    def __init__(self, graph: IRGraph) -> None:
+        self._lock = threading.RLock()
+        self._eligible = self._eligible_subtrees(graph)
+        self._entries: dict[str, tuple[Any, TaskRecord]] = {}
+        self._entry_versions: dict[str, dict[str, int]] = {}
+        # Versions observed at each run's begin_run.  Thread-local because
+        # overlapping runs (Session.submit) share one snapshot: each run must
+        # tag its pins with the versions *it* started from, not a sibling's.
+        self._run_state = threading.local()
+        self.replays = 0
+        self.invalidated = 0
+
+    @staticmethod
+    def _eligible_subtrees(graph: IRGraph) -> dict[str, frozenset[str]]:
+        """Map each pinnable op id to the engine names its subtree reads."""
+        eligible: dict[str, frozenset[str]] = {}
+        for node in graph.topological_order():
+            if node.kind not in SNAPSHOT_KINDS:
+                continue
+            if any(input_id not in eligible for input_id in node.inputs):
+                continue
+            engines: set[str] = set()
+            for input_id in node.inputs:
+                engines.update(eligible[input_id])
+            if node.engine:
+                engines.add(node.engine)
+            for key in ("source_engine", "target_engine"):
+                name = node.params.get(key)
+                if name:
+                    engines.add(str(name))
+            eligible[node.op_id] = frozenset(engines)
+        return eligible
+
+    # -- executor ResultCache protocol ---------------------------------------------------
+
+    def begin_run(self, catalog: Catalog) -> None:
+        """Drop entries whose engines changed since they were pinned."""
+        with self._lock:
+            versions: dict[str, int] = {}
+            for engines in self._eligible.values():
+                for name in engines:
+                    if name not in versions and catalog.has_engine(name):
+                        versions[name] = catalog.engine(name).data_version
+            self._run_state.versions = versions
+            stale = [
+                op_id for op_id, pinned in self._entry_versions.items()
+                if any(versions.get(name) != version
+                       for name, version in pinned.items())
+            ]
+            for op_id in stale:
+                self._entries.pop(op_id, None)
+                self._entry_versions.pop(op_id, None)
+                self.invalidated += 1
+
+    def lookup(self, op_id: str) -> tuple[Any, TaskRecord] | None:
+        with self._lock:
+            entry = self._entries.get(op_id)
+            if entry is None:
+                return None
+            self.replays += 1
+            value, record = entry
+            # Hand out a defensive copy: callers own the result objects and
+            # may mutate them, which must never poison the pinned original.
+            return _protective_copy(value), record
+
+    def store(self, op_id: str, value: Any, record: TaskRecord) -> None:
+        with self._lock:
+            engines = self._eligible.get(op_id)
+            if engines is None or op_id in self._entries:
+                return
+            run_versions = getattr(self._run_state, "versions", {})
+            self._entries[op_id] = (_protective_copy(value), record)
+            self._entry_versions[op_id] = {
+                name: run_versions[name]
+                for name in engines if name in run_versions
+            }
+
+    # -- management ----------------------------------------------------------------------
+
+    def clear(self) -> int:
+        """Unpin everything (the next run re-reads every engine)."""
+        with self._lock:
+            removed = len(self._entries)
+            self._entries.clear()
+            self._entry_versions.clear()
+            return removed
+
+    @property
+    def pinned(self) -> int:
+        """Number of currently pinned operator results."""
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def pinnable(self) -> int:
+        """Number of operators in the plan eligible for pinning."""
+        return len(self._eligible)
+
+
+@dataclass
+class CachedPlan:
+    """One plan-cache entry: the compilation plus its shared scan snapshot."""
+
+    compilation: CompilationResult
+    snapshot: ScanSnapshot
+    generation: int
+    fingerprint: str
+    mode: str
+    hits: int = 0
+    declared_params: dict[str, Any] = field(default_factory=dict)

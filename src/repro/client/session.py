@@ -1,0 +1,383 @@
+"""The session layer: prepare once, run many, submit concurrently.
+
+A :class:`Session` is the client-facing handle onto one Polystore++
+deployment.  It separates *plan construction* from *execution* the way
+relation-tree libraries separate building an expression from handing it to
+an engine:
+
+* :meth:`Session.prepare` compiles a :class:`HeterogeneousProgram` once and
+  caches the plan in the session's LRU :class:`~repro.client.cache.PlanCache`
+  (keyed by program fingerprint + mode + compiler options + deployment
+  generation).
+* :meth:`PreparedProgram.run` re-executes the compiled plan with low
+  latency: compilation is skipped, runtime parameters (:class:`Param`
+  placeholders) are bound on a graph copy, and pure scan subtrees are served
+  from a pinned :class:`~repro.client.cache.ScanSnapshot` validated against
+  engine data versions.
+* :meth:`Session.submit` / :meth:`Session.run_batch` dispatch executions on
+  a thread pool, returning futures — the executor additionally overlaps
+  independent operators inside each run when engines are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.compiler.pipeline import CompilerOptions
+from repro.eide.program import HeterogeneousProgram, Param
+from repro.exceptions import ConfigurationError, ExecutionError
+from repro.ir.graph import IRGraph
+from repro.middleware.executor import Executor
+from repro.middleware.migration import DataMigrator
+from repro.client.cache import CachedPlan, PlanCache, ScanSnapshot
+
+if TYPE_CHECKING:  # avoid a circular import; the system creates sessions
+    from repro.core.system import ExecutionResult, ModePlan, PolystorePlusPlus
+
+
+def _bind_value(value: Any, bindings: dict[str, Any]) -> Any:
+    """Recursively substitute :class:`Param` placeholders with bound values."""
+    if isinstance(value, Param):
+        if value.name in bindings:
+            return bindings[value.name]
+        if value.has_default:
+            return value.default
+        raise ExecutionError(
+            f"no value bound for parameter {value.name!r} and it has no default"
+        )
+    if isinstance(value, dict):
+        return {k: _bind_value(v, bindings) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_bind_value(v, bindings) for v in value]
+    if isinstance(value, tuple):
+        return tuple(_bind_value(v, bindings) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return type(value)(_bind_value(v, bindings) for v in value)
+    return value
+
+
+class PreparedProgram:
+    """A compiled, cached, re-executable program bound to one session.
+
+    Obtained from :meth:`Session.prepare`; holding one amortizes compilation
+    (and, for pure subtrees, engine reads) across many :meth:`run` calls.
+    """
+
+    def __init__(self, session: "Session", program: HeterogeneousProgram,
+                 plan: "ModePlan", entry: CachedPlan,
+                 options: CompilerOptions | None = None) -> None:
+        self._session = session
+        self._program = program
+        self._plan = plan
+        self._entry = entry
+        self._options = options
+        self._runs = 0
+        self._lock = threading.RLock()
+
+    # -- introspection -------------------------------------------------------------------
+
+    @property
+    def program(self) -> HeterogeneousProgram:
+        """The source program (frozen if prepared with ``freeze=True``)."""
+        return self._program
+
+    @property
+    def mode(self) -> str:
+        """The execution mode the plan was compiled for."""
+        return self._plan.mode
+
+    @property
+    def fingerprint(self) -> str:
+        """The program fingerprint the plan cache keyed on."""
+        return self._entry.fingerprint
+
+    @property
+    def compilation(self):
+        """The (possibly re-)compiled plan currently backing this program."""
+        return self._entry.compilation
+
+    @property
+    def runs(self) -> int:
+        """How many times :meth:`run` completed on this handle."""
+        return self._runs
+
+    def parameters(self) -> dict[str, Param]:
+        """Declared runtime parameters (name -> placeholder)."""
+        return dict(self._entry.declared_params)
+
+    def explain(self) -> str:
+        """The staged physical plan plus cache/pin status, for humans."""
+        entry = self._entry
+        lines = [
+            f"PreparedProgram({self._program.name!r}, mode={self.mode!r}, "
+            f"fingerprint={entry.fingerprint[:12]}...)",
+            f"  compile_time_s: {entry.compilation.compile_time_s:.6f}"
+            f" (cache hits: {entry.hits})",
+            f"  pinned scans: {entry.snapshot.pinned}/{entry.snapshot.pinnable}",
+        ]
+        if entry.declared_params:
+            lines.append("  parameters: " + ", ".join(sorted(entry.declared_params)))
+        lines.append(entry.compilation.graph.render())
+        return "\n".join(lines)
+
+    # -- execution -----------------------------------------------------------------------
+
+    def run(self, *, refresh: bool = False, reuse_scans: bool = True,
+            **params: Any) -> "ExecutionResult":
+        """Execute the prepared plan and return an :class:`ExecutionResult`.
+
+        Keyword arguments bind the program's :class:`Param` placeholders.
+        ``refresh=True`` unpins every scan snapshot first, forcing a full
+        re-read of the engines (results are re-pinned).  ``reuse_scans=False``
+        executes everything fresh without touching the pins.
+        """
+        with self._lock:  # revalidate plan + entry atomically across threads
+            plan, entry = self._session._fresh_entry(
+                self._program, self._plan, self._entry, self._options)
+            self._plan, self._entry = plan, entry
+        graph = entry.compilation.graph
+        snapshot: ScanSnapshot | None = entry.snapshot
+        if refresh:
+            entry.snapshot.clear()
+        if params or entry.declared_params:
+            self._check_bindings(params, entry)
+            graph = self._bound_graph(graph, params)
+            snapshot = None  # results depend on this call's bindings
+        elif not reuse_scans:
+            snapshot = None
+        result = self._session._run_graph(entry.compilation, graph, plan,
+                                          snapshot)
+        with self._lock:
+            self._runs += 1
+        return result
+
+    def _check_bindings(self, params: dict[str, Any], entry: CachedPlan) -> None:
+        unknown = set(params) - set(entry.declared_params)
+        if unknown:
+            declared = sorted(entry.declared_params) or ["<none>"]
+            raise ExecutionError(
+                f"unknown parameter(s) {sorted(unknown)}; "
+                f"declared parameters: {declared}"
+            )
+
+    def _bound_graph(self, graph: IRGraph, params: dict[str, Any]) -> IRGraph:
+        bound = graph.copy()
+        for node in bound.nodes():
+            node.params = _bind_value(node.params, params)
+        return bound
+
+
+class Session:
+    """A client session over one Polystore++ deployment.
+
+    Sessions are cheap; create one per logical client (or use the system's
+    default session through :meth:`PolystorePlusPlus.execute`).  All methods
+    are thread-safe.  Use as a context manager to release the worker pool::
+
+        with system.session() as session:
+            prepared = session.prepare(program)
+            futures = [session.submit(prepared) for _ in range(8)]
+            results = [f.result() for f in futures]
+    """
+
+    def __init__(self, system: "PolystorePlusPlus", *, plan_cache_size: int = 64,
+                 max_workers: int = 4, name: str = "session") -> None:
+        if max_workers < 1:
+            raise ConfigurationError("session max_workers must be at least 1")
+        self.system = system
+        self.name = name
+        self.max_workers = max_workers
+        self.plan_cache = PlanCache(plan_cache_size)
+        self._lock = threading.RLock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._submitted = 0
+        self._closed = False
+
+    # -- preparation ---------------------------------------------------------------------
+
+    def prepare(self, program: HeterogeneousProgram, *, mode: str = "polystore++",
+                options: CompilerOptions | None = None,
+                freeze: bool = True) -> PreparedProgram:
+        """Compile ``program`` (or reuse a cached plan) for repeated execution.
+
+        ``freeze=True`` (the default) makes the program immutable so the
+        cached plan can never diverge from later edits; pass ``freeze=False``
+        to keep the program editable (edits change the fingerprint, so stale
+        plans are never reused either way).
+        """
+        self._check_open()
+        plan = self.system.plan_mode(mode, options)
+        if freeze:
+            program.freeze()
+        entry = self._lookup_or_compile(program, plan)
+        return PreparedProgram(self, program, plan, entry, options)
+
+    def _plan_key(self, fingerprint: str, plan: "ModePlan") -> tuple:
+        return (fingerprint, plan.mode, plan.compile_options,
+                self.system.plan_generation)
+
+    def _lookup_or_compile(self, program: HeterogeneousProgram,
+                           plan: "ModePlan") -> CachedPlan:
+        fingerprint = program.fingerprint()
+        key = self._plan_key(fingerprint, plan)
+        entry = self.plan_cache.get(key)
+        if entry is not None:
+            entry.hits += 1
+            return entry
+        compilation = self.system.compile(program, accelerated=plan.accelerated,
+                                          options=plan.compile_options)
+        compilation.source_fingerprint = fingerprint
+        entry = CachedPlan(
+            compilation=compilation,
+            snapshot=ScanSnapshot(compilation.graph),
+            generation=self.system.plan_generation,
+            fingerprint=fingerprint,
+            mode=plan.mode,
+            declared_params=program.declared_params(),
+        )
+        self.plan_cache.put(key, entry)
+        return entry
+
+    def _fresh_entry(self, program: HeterogeneousProgram, plan: "ModePlan",
+                     entry: CachedPlan,
+                     options: CompilerOptions | None) -> tuple["ModePlan", CachedPlan]:
+        """Revalidate a prepared program's plan + entry against the deployment.
+
+        When engines or accelerators were registered after preparation, the
+        execution mode is re-resolved (migration strategy and serializer may
+        have changed) and the plan recompiled (through the cache) against the
+        new deployment.  The program fingerprint is re-checked on every run,
+        so even an end-run around :meth:`HeterogeneousProgram.freeze` (for
+        example mutating ``fragment().params`` in place) can never replay a
+        stale plan — the changed program simply recompiles.
+        """
+        self._check_open()
+        if (entry.generation == self.system.plan_generation
+                and program.fingerprint() == entry.fingerprint):
+            return plan, entry
+        plan = self.system.plan_mode(plan.mode, options)
+        return plan, self._lookup_or_compile(program, plan)
+
+    # -- one-shot execution --------------------------------------------------------------
+
+    def execute(self, program: HeterogeneousProgram, *, mode: str = "polystore++",
+                options: CompilerOptions | None = None) -> "ExecutionResult":
+        """Compile-or-reuse and run once, always re-reading every engine.
+
+        This is the one-shot path :meth:`PolystorePlusPlus.execute` delegates
+        to: it benefits from the plan cache but never replays pinned scans.
+        """
+        prepared = self.prepare(program, mode=mode, options=options, freeze=False)
+        return prepared.run(reuse_scans=False)
+
+    # -- concurrent execution ------------------------------------------------------------
+
+    def submit(self, item: HeterogeneousProgram | PreparedProgram, *,
+               mode: str = "polystore++", options: CompilerOptions | None = None,
+               **run_kwargs: Any) -> "Future[ExecutionResult]":
+        """Schedule one execution on the session's worker pool.
+
+        ``item`` may be a raw program (prepared on the calling thread, so the
+        plan cache stays warm) or an existing :class:`PreparedProgram`.
+        ``run_kwargs`` are forwarded to :meth:`PreparedProgram.run`.
+        """
+        self._check_open()
+        if isinstance(item, PreparedProgram):
+            prepared = item
+        else:
+            prepared = self.prepare(item, mode=mode, options=options, freeze=False)
+        with self._lock:
+            self._submitted += 1
+        return self._worker_pool().submit(prepared.run, **run_kwargs)
+
+    def run_batch(self, items: Sequence[HeterogeneousProgram | PreparedProgram] |
+                  Iterable[HeterogeneousProgram | PreparedProgram], *,
+                  mode: str = "polystore++",
+                  options: CompilerOptions | None = None,
+                  **run_kwargs: Any) -> list["ExecutionResult"]:
+        """Run many programs concurrently; results come back in input order.
+
+        The first failure is re-raised after all submissions are in flight.
+        """
+        futures = [self.submit(item, mode=mode, options=options, **run_kwargs)
+                   for item in items]
+        return [future.result() for future in futures]
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _run_graph(self, compilation, graph: IRGraph, plan: "ModePlan",
+                   snapshot: ScanSnapshot | None) -> "ExecutionResult":
+        from repro.core.system import ExecutionResult
+
+        system = self.system
+        migrator = DataMigrator(
+            system.network,
+            serializer_accelerator=(system.serializer_accelerator
+                                    if plan.accelerated else None),
+            default_strategy=plan.migration_strategy,
+        )
+        executor = Executor(system.catalog, migrator,
+                            migration_strategy=plan.migration_strategy,
+                            max_workers=self.max_workers)
+        outputs, report = executor.execute(graph, mode=plan.mode,
+                                           result_cache=snapshot)
+        report.migration_time_s = migrator.total_time_s()
+        report.migration_bytes = migrator.total_migrated_bytes()
+        # Migrations replayed from the snapshot never reach the migrator, but
+        # their charges stay in total_time_s — keep the migration fields
+        # consistent with that by carrying the pinned charges over too.
+        for record in report.records:
+            if record.cached and record.kind == "migrate":
+                report.migration_time_s += record.simulated_time_s
+                report.migration_bytes += int(record.details.get("payload_bytes", 0))
+        return ExecutionResult(outputs=outputs, report=report,
+                               compilation=compilation, mode=plan.mode)
+
+    def _worker_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix=f"polystore-{self.name}",
+                )
+            return self._pool
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ExecutionError(f"session {self.name!r} is closed")
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def invalidate_plans(self) -> int:
+        """Drop every cached plan (called when the deployment changes)."""
+        return self.plan_cache.invalidate()
+
+    def stats(self) -> dict[str, Any]:
+        """Plan-cache counters plus submission accounting."""
+        return {
+            "name": self.name,
+            "plan_cache": self.plan_cache.stats(),
+            "submitted": self._submitted,
+            "max_workers": self.max_workers,
+            "closed": self._closed,
+        }
+
+    def close(self) -> None:
+        """Shut down the worker pool; further use raises ``ExecutionError``."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"Session(name={self.name!r}, plans={len(self.plan_cache)}, "
+                f"submitted={self._submitted})")

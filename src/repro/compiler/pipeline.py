@@ -9,6 +9,7 @@ the ablation benchmark (experiment E10) uses.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.accelerators.simulator import OffloadPlanner, PlacementDecision
@@ -56,6 +57,10 @@ class CompilationResult:
     placement_decisions: list[PlacementDecision] = field(default_factory=list)
     estimated_bytes_before: int = 0
     estimated_bytes_after: int = 0
+    #: Wall time the full pipeline took; the plan cache's saved cost.
+    compile_time_s: float = 0.0
+    #: Fingerprint of the source program (set when compiled via a session).
+    source_fingerprint: str | None = None
 
     @property
     def offloaded_operators(self) -> int:
@@ -70,6 +75,7 @@ class CompilationResult:
             "passes": dict(self.pass_counts),
             "estimated_bytes_before": self.estimated_bytes_before,
             "estimated_bytes_after": self.estimated_bytes_after,
+            "compile_time_s": self.compile_time_s,
         }
 
 
@@ -86,6 +92,7 @@ class Compiler:
     def compile(self, program: HeterogeneousProgram,
                 options: CompilerOptions | None = None) -> CompilationResult:
         """Run the full pipeline on ``program``."""
+        started = time.perf_counter()
         opts = options if options is not None else self.options
         graph = self.frontend.lower(program)
         assert_valid(graph)
@@ -98,6 +105,7 @@ class Compiler:
         if opts.accelerator_placement and self.planner is not None:
             result.placement_decisions = place_accelerators(graph, self.planner)
         assert_valid(graph)
+        result.compile_time_s = time.perf_counter() - started
         return result
 
     def optimize_graph(self, graph: IRGraph,

@@ -9,6 +9,7 @@ from repro.core.baselines import (
 from repro.core.system import (
     EXECUTION_MODES,
     ExecutionResult,
+    ModePlan,
     PolystorePlusPlus,
     SystemConfig,
 )
@@ -17,6 +18,7 @@ __all__ = [
     "PolystorePlusPlus",
     "SystemConfig",
     "ExecutionResult",
+    "ModePlan",
     "EXECUTION_MODES",
     "build_cpu_polystore",
     "build_accelerated_polystore",

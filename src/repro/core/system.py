@@ -10,6 +10,7 @@ reports.  It also exposes the three execution modes the benchmarks compare
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -19,14 +20,24 @@ from repro.accelerators.simulator import Objective, OffloadPlanner
 from repro.catalog import Catalog
 from repro.compiler.pipeline import CompilationResult, Compiler, CompilerOptions
 from repro.eide.program import HeterogeneousProgram
-from repro.exceptions import ConfigurationError
-from repro.middleware.executor import ExecutionReport, Executor
-from repro.middleware.migration import DataMigrator, SimulatedNetwork
+from repro.exceptions import ConfigurationError, ExecutionError
+from repro.middleware.executor import ExecutionReport
+from repro.middleware.migration import SimulatedNetwork
 from repro.middleware.optimizer import CostModel
 from repro.stores.base import Engine
 
 #: Execution modes supported by :meth:`PolystorePlusPlus.execute`.
 EXECUTION_MODES = ("one_size_fits_all", "cpu_polystore", "polystore++")
+
+
+@dataclass(frozen=True)
+class ModePlan:
+    """How one execution mode maps onto compiler and migration choices."""
+
+    mode: str
+    accelerated: bool
+    compile_options: CompilerOptions
+    migration_strategy: str
 
 
 @dataclass
@@ -50,7 +61,13 @@ class ExecutionResult:
 
     def output(self, name: str) -> Any:
         """One named output (fragment name)."""
-        return self.outputs[name]
+        try:
+            return self.outputs[name]
+        except KeyError:
+            available = ", ".join(sorted(self.outputs)) or "<none>"
+            raise ExecutionError(
+                f"no output named {name!r}; available outputs: {available}"
+            ) from None
 
     def summary(self) -> dict[str, Any]:
         """Compact dictionary combining compile- and run-time accounting."""
@@ -69,6 +86,10 @@ class SystemConfig:
     host: HostCPU = field(default_factory=HostCPU)
     host_cores: int = 1
     compiler_options: CompilerOptions = field(default_factory=CompilerOptions)
+    #: Compiled-plan LRU capacity of each session created from this system.
+    plan_cache_size: int = 64
+    #: Worker threads per session (batched submits and intra-stage dispatch).
+    session_workers: int = 4
 
 
 class PolystorePlusPlus:
@@ -80,34 +101,82 @@ class PolystorePlusPlus:
         self.cost_model = CostModel()
         self._network = SimulatedNetwork()
         self._serializer_accelerator: Accelerator | None = None
+        #: Whether the serializer was pinned by an explicit
+        #: ``use_for_migration=True`` (explicit pins are never displaced by
+        #: implicit serialize-capable registrations).
+        self._serializer_explicit = False
+        #: Bumped whenever the deployment changes; part of every plan-cache
+        #: key, so stale compiled plans are unreachable.
+        self._plan_generation = 0
+        self._sessions: "weakref.WeakSet" = weakref.WeakSet()
+        self._default_session = None
 
     # -- deployment -----------------------------------------------------------------------
 
     def register_engine(self, engine: Engine) -> Engine:
-        """Attach a data-processing engine."""
+        """Attach a data-processing engine (invalidates cached plans)."""
         self.catalog.register_engine(engine)
+        self._invalidate_plans()
         return engine
 
     def register_accelerator(self, accelerator: Accelerator, *,
                              use_for_migration: bool = False) -> Accelerator:
-        """Attach a hardware accelerator (optionally used for migrations)."""
+        """Attach a hardware accelerator (optionally used for migrations).
+
+        ``use_for_migration=True`` pins the accelerator as the migration
+        serializer; the *last* explicit pin wins.  Without an explicit pin,
+        the first serialize-capable accelerator is used.
+        """
+        if use_for_migration and not accelerator.supports("serialize"):
+            raise ConfigurationError(
+                f"accelerator {accelerator.profile.name!r} cannot serve as the "
+                f"migration serializer: it has no 'serialize' kernel"
+            )
         self.catalog.register_accelerator(accelerator)
-        if use_for_migration or (self._serializer_accelerator is None
-                                 and accelerator.supports("serialize")):
+        if use_for_migration:
             self._serializer_accelerator = accelerator
+            self._serializer_explicit = True
+        elif (self._serializer_accelerator is None
+              and accelerator.supports("serialize")):
+            self._serializer_accelerator = accelerator
+        self._invalidate_plans()
         return accelerator
 
     def engine(self, name: str) -> Engine:
         """A registered engine by name."""
         return self.catalog.engine(name)
 
+    @property
+    def network(self) -> SimulatedNetwork:
+        """The simulated interconnect migrations travel over."""
+        return self._network
+
+    @property
+    def serializer_accelerator(self) -> Accelerator | None:
+        """The accelerator accelerated migrations serialize through."""
+        return self._serializer_accelerator
+
+    @property
+    def plan_generation(self) -> int:
+        """Deployment generation; changes invalidate every cached plan."""
+        return self._plan_generation
+
+    def _invalidate_plans(self) -> None:
+        self._plan_generation += 1
+        for session in list(self._sessions):
+            session.invalidate_plans()
+
     def describe(self) -> dict[str, Any]:
         """The deployment description (engines, accelerators, config)."""
         description = self.catalog.describe()
+        serializer = self._serializer_accelerator
         description["config"] = {
             "migration_strategy": self.config.migration_strategy,
             "objective": self.config.objective.value,
             "host_cores": self.config.host_cores,
+            "migration_serializer": serializer.profile.name if serializer else None,
+            "migration_serializer_explicit": self._serializer_explicit,
+            "plan_generation": self._plan_generation,
         }
         return description
 
@@ -135,9 +204,9 @@ class PolystorePlusPlus:
 
     # -- execution --------------------------------------------------------------------------
 
-    def execute(self, program: HeterogeneousProgram, *, mode: str = "polystore++",
-                options: CompilerOptions | None = None) -> ExecutionResult:
-        """Compile and run a program under one of the execution modes.
+    def plan_mode(self, mode: str,
+                  options: CompilerOptions | None = None) -> ModePlan:
+        """Resolve an execution mode to compiler and migration choices.
 
         * ``"polystore++"`` — federated execution with accelerator placement
           and accelerated migration (the paper's proposal).
@@ -152,32 +221,52 @@ class PolystorePlusPlus:
             raise ConfigurationError(
                 f"unknown execution mode {mode!r}; choose one of {EXECUTION_MODES}"
             )
-        accelerated = mode == "polystore++"
         if mode == "one_size_fits_all":
-            compile_options = CompilerOptions.none()
-            migration_strategy = "csv"
-        elif mode == "cpu_polystore":
-            compile_options = options or self.config.compiler_options
-            migration_strategy = self.config.migration_strategy
-        else:
-            compile_options = options or self.config.compiler_options
-            migration_strategy = (self.config.accelerated_migration_strategy
-                                  if self._serializer_accelerator is not None
-                                  else self.config.migration_strategy)
-        compilation = self.compile(program, accelerated=accelerated,
-                                   options=compile_options)
-        migrator = DataMigrator(
-            self._network,
-            serializer_accelerator=self._serializer_accelerator if accelerated else None,
-            default_strategy=migration_strategy,
+            return ModePlan(mode, False, CompilerOptions.none(), "csv")
+        compile_options = options or self.config.compiler_options
+        if mode == "cpu_polystore":
+            return ModePlan(mode, False, compile_options,
+                            self.config.migration_strategy)
+        migration_strategy = (self.config.accelerated_migration_strategy
+                              if self._serializer_accelerator is not None
+                              else self.config.migration_strategy)
+        return ModePlan(mode, True, compile_options, migration_strategy)
+
+    def session(self, *, plan_cache_size: int | None = None,
+                max_workers: int | None = None, name: str = "session"):
+        """A new :class:`~repro.client.Session` bound to this deployment.
+
+        Sessions expose ``prepare``/``submit``/``run_batch`` for plan-cached
+        and concurrent execution; see :mod:`repro.client`.
+        """
+        from repro.client.session import Session
+
+        session = Session(
+            self,
+            plan_cache_size=(self.config.plan_cache_size
+                             if plan_cache_size is None else plan_cache_size),
+            max_workers=(self.config.session_workers
+                         if max_workers is None else max_workers),
+            name=name,
         )
-        executor = Executor(self.catalog, migrator,
-                            migration_strategy=migration_strategy)
-        outputs, report = executor.execute(compilation.graph, mode=mode)
-        report.migration_time_s = migrator.total_time_s()
-        report.migration_bytes = migrator.total_migrated_bytes()
-        return ExecutionResult(outputs=outputs, report=report,
-                               compilation=compilation, mode=mode)
+        self._sessions.add(session)
+        return session
+
+    def default_session(self):
+        """The session backing :meth:`execute` and :meth:`compare_modes`."""
+        if self._default_session is None:
+            self._default_session = self.session(name="default")
+        return self._default_session
+
+    def execute(self, program: HeterogeneousProgram, *, mode: str = "polystore++",
+                options: CompilerOptions | None = None) -> ExecutionResult:
+        """Compile (or reuse a cached plan) and run a program once.
+
+        A thin wrapper over the default session's one-shot path: plans are
+        cached across calls, but every engine is re-read on every call.  See
+        :meth:`plan_mode` for what each mode means.
+        """
+        return self.default_session().execute(program, mode=mode, options=options)
 
     def compare_modes(self, program: HeterogeneousProgram,
                       modes: tuple[str, ...] = EXECUTION_MODES

@@ -1,11 +1,12 @@
 """EIDE: the expressive programming environment for heterogeneous programs."""
 
 from repro.eide.natural_language import compile_natural_language, recognize_intent
-from repro.eide.program import PARADIGMS, HeterogeneousProgram, SubProgram
+from repro.eide.program import PARADIGMS, HeterogeneousProgram, Param, SubProgram
 
 __all__ = [
     "HeterogeneousProgram",
     "SubProgram",
+    "Param",
     "PARADIGMS",
     "compile_natural_language",
     "recognize_intent",

@@ -24,10 +24,66 @@ paper's pseudo-programs:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.exceptions import CompilationError
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class Param:
+    """A runtime-bound placeholder inside a fragment's parameters.
+
+    Prepared programs (``Session.prepare``) compile once with the placeholder
+    in place and substitute the bound value on every
+    :meth:`~repro.client.PreparedProgram.run` call, like a prepared
+    statement's ``?`` markers.  Placeholders may appear anywhere in a
+    fragment's ``params`` except inside SQL text (SQL is parsed at compile
+    time).
+    """
+
+    name: str
+    default: Any = _MISSING
+
+    @property
+    def has_default(self) -> bool:
+        """Whether the placeholder carries a fallback value."""
+        return self.default is not _MISSING
+
+    def __repr__(self) -> str:  # stable across runs, used by fingerprints
+        if self.has_default:
+            return f"Param({self.name!r}, default={self.default!r})"
+        return f"Param({self.name!r})"
+
+
+def canonical_value(value: Any) -> str:
+    """A deterministic string form of a fragment parameter value.
+
+    Containers are recursed; dictionaries are key-sorted.  Callables (the
+    ``python`` paradigm's functions) are identified *by identity*, not by
+    content — two distinct function objects never collide, so a plan cached
+    for one can never be replayed for the other.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(canonical_value(v) for v in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(canonical_value(v) for v in value)) + "}"
+    if isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: repr(kv[0]))
+        return "{" + ",".join(f"{canonical_value(k)}:{canonical_value(v)}"
+                              for k, v in items) + "}"
+    if isinstance(value, Param):
+        return repr(value)
+    if callable(value):
+        module = getattr(value, "__module__", "?")
+        qualname = getattr(value, "__qualname__", type(value).__name__)
+        return f"<callable {module}.{qualname}@{id(value):x}>"
+    return f"<{type(value).__name__}:{value!r}>"
 
 #: Paradigms a fragment may be written in.
 PARADIGMS = frozenset({
@@ -72,11 +128,13 @@ class HeterogeneousProgram:
         self._fragments: dict[str, SubProgram] = {}
         self._order: list[str] = []
         self._outputs: list[str] = []
+        self._frozen = False
 
     # -- generic construction ---------------------------------------------------------
 
     def add_fragment(self, fragment: SubProgram) -> SubProgram:
         """Add a fragment, checking name uniqueness and input availability."""
+        self._check_mutable()
         if fragment.name in self._fragments:
             raise CompilationError(f"duplicate fragment name {fragment.name!r}")
         for dependency in fragment.inputs:
@@ -90,6 +148,7 @@ class HeterogeneousProgram:
 
     def output(self, name: str) -> None:
         """Mark a fragment as a program output."""
+        self._check_mutable()
         if name not in self._fragments:
             raise CompilationError(f"unknown fragment {name!r}")
         if name not in self._outputs:
@@ -203,6 +262,70 @@ class HeterogeneousProgram:
         return self.add_fragment(
             SubProgram(name, "python", {"fn": fn}, engine, list(inputs))
         )
+
+    # -- identity ----------------------------------------------------------------------------
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise CompilationError(
+                f"program {self.name!r} is frozen; prepared programs cannot be mutated"
+            )
+
+    @property
+    def frozen(self) -> bool:
+        """Whether :meth:`freeze` was called (structure is now immutable)."""
+        return self._frozen
+
+    def freeze(self) -> "HeterogeneousProgram":
+        """Make the program immutable and pin its fingerprint.
+
+        Sessions freeze programs on :meth:`~repro.client.Session.prepare` so
+        a cached plan can never silently diverge from a later mutation.
+        Returns ``self`` for chaining.
+        """
+        self._frozen = True
+        return self
+
+    def fingerprint(self) -> str:
+        """A deterministic identity hash over the program structure.
+
+        Covers the program name, every fragment (name, paradigm, engine
+        binding, inputs and canonicalized parameters) and the output set.
+        ``python`` fragments' callables are hashed by identity — see
+        :func:`canonical_value`.  The plan cache keys on this.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.name.encode())
+        for fragment in self.fragments:
+            # \x00 separates fragments, \x1f separates fields — without the
+            # delimiters, adjacent fields could collide across programs.
+            digest.update(b"\x00")
+            for part in (fragment.name, fragment.paradigm,
+                         fragment.engine or "<auto>", ",".join(fragment.inputs),
+                         canonical_value(fragment.params)):
+                digest.update(part.encode())
+                digest.update(b"\x1f")
+        digest.update(b"\x01")
+        digest.update(",".join(self.outputs).encode())
+        return digest.hexdigest()
+
+    def declared_params(self) -> dict[str, Param]:
+        """All :class:`Param` placeholders appearing in fragment parameters."""
+        found: dict[str, Param] = {}
+
+        def visit(value: Any) -> None:
+            if isinstance(value, Param):
+                found[value.name] = value
+            elif isinstance(value, dict):
+                for v in value.values():
+                    visit(v)
+            elif isinstance(value, (list, tuple, set, frozenset)):
+                for v in value:
+                    visit(v)
+
+        for fragment in self.fragments:
+            visit(fragment.params)
+        return found
 
     # -- access ------------------------------------------------------------------------------
 

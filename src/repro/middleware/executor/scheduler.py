@@ -4,10 +4,15 @@ Responsibilities (paper §III, "Executor: manage and monitor execution across
 platforms"):
 
 * topological stage scheduling of the IR graph,
+* concurrent dispatch of independent operators within a stage when every
+  involved engine declares itself thread-safe
+  (:class:`~repro.stores.base.Concurrency`), serial fallback otherwise,
 * dispatching each operator to its engine's adapter,
 * routing operators the placement pass bound to an accelerator through the
   device's functional kernel (and charging its simulated time),
 * invoking the data migrator for ``migrate`` operators,
+* serving operators from a prepared program's pinned scan snapshot (the
+  ``result_cache``) and recording replays in the report,
 * collecting the per-operator cost records into an
   :class:`~repro.middleware.executor.report.ExecutionReport`.
 """
@@ -15,51 +20,142 @@ platforms"):
 from __future__ import annotations
 
 import time
-from typing import Any
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Protocol
 
 from repro.catalog import Catalog
 from repro.datamodel.table import Table
-from repro.exceptions import ExecutionError
+from repro.exceptions import CatalogError, ExecutionError
 from repro.ir.graph import IRGraph
 from repro.ir.nodes import Operator
 from repro.middleware.adapters import Adapter, adapter_for
 from repro.middleware.executor.report import ExecutionReport, TaskRecord
 from repro.middleware.migration import DataMigrator
+from repro.stores.base import Concurrency
 from repro.stores.relational.expressions import Expression
+
+
+class ResultCache(Protocol):
+    """What the executor needs from a prepared program's scan snapshot."""
+
+    def begin_run(self, catalog: Catalog) -> None:
+        """Validate pinned entries against current engine data versions."""
+
+    def lookup(self, op_id: str) -> tuple[Any, TaskRecord] | None:
+        """The pinned ``(value, record)`` for ``op_id``, or ``None``."""
+
+    def store(self, op_id: str, value: Any, record: TaskRecord) -> None:
+        """Offer a freshly computed result for pinning (cache may decline)."""
 
 
 class Executor:
     """Executes optimized IR graphs."""
 
     def __init__(self, catalog: Catalog, migrator: DataMigrator | None = None, *,
-                 migration_strategy: str | None = None) -> None:
+                 migration_strategy: str | None = None,
+                 max_workers: int | None = 4) -> None:
         self.catalog = catalog
         self.migrator = migrator if migrator is not None else DataMigrator()
         self.migration_strategy = migration_strategy
+        #: Upper bound on intra-stage worker threads; ``None`` or <2 disables
+        #: concurrent dispatch entirely.
+        self.max_workers = max_workers
         self._adapters: dict[str, Adapter] = {}
 
     # -- public API ---------------------------------------------------------------------
 
-    def execute(self, graph: IRGraph, *, mode: str = "polystore++") -> tuple[dict[str, Any], ExecutionReport]:
+    def execute(self, graph: IRGraph, *, mode: str = "polystore++",
+                result_cache: ResultCache | None = None
+                ) -> tuple[dict[str, Any], ExecutionReport]:
         """Run ``graph`` and return ``(outputs, report)``.
 
         ``outputs`` maps each output node's fragment name (falling back to its
-        op id) to its produced value.
+        op id) to its produced value.  When ``result_cache`` is given, pinned
+        operator results are replayed instead of re-executed and fresh
+        eligible results are offered back to the cache.
         """
         report = ExecutionReport(program=graph.name, mode=mode)
+        run_start = time.perf_counter()
+        if result_cache is not None:
+            result_cache.begin_run(self.catalog)
         results: dict[str, Any] = {}
-        for stage_index, stage in enumerate(graph.stages()):
-            for node in stage:
-                inputs = [results[input_id] for input_id in node.inputs]
-                value, record = self._execute_node(node, inputs, stage_index)
-                results[node.op_id] = value
-                report.add(record)
+        pool: ThreadPoolExecutor | None = None
+        try:
+            for stage_index, stage in enumerate(graph.stages()):
+                pool = self._execute_stage(stage, stage_index, results, report,
+                                           result_cache, pool)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
         outputs: dict[str, Any] = {}
         for output_id in graph.outputs:
             node = graph.node(output_id)
             name = node.annotations.get("fragment") or output_id
             outputs[name] = results[output_id]
+        report.elapsed_wall_s = time.perf_counter() - run_start
         return outputs, report
+
+    # -- stage dispatch -----------------------------------------------------------------
+
+    def _execute_stage(self, stage: list[Operator], stage_index: int,
+                       results: dict[str, Any], report: ExecutionReport,
+                       result_cache: ResultCache | None,
+                       pool: ThreadPoolExecutor | None) -> ThreadPoolExecutor | None:
+        pending: list[Operator] = []
+        for node in stage:
+            pinned = result_cache.lookup(node.op_id) if result_cache is not None else None
+            if pinned is not None:
+                replay_start = time.perf_counter()
+                value, record = pinned
+                results[node.op_id] = value
+                report.add(record.as_cached(
+                    stage_index, time.perf_counter() - replay_start))
+            else:
+                pending.append(node)
+        concurrent = [n for n in pending if self._concurrency_safe(n)]
+        produced: dict[str, tuple[Any, TaskRecord]] = {}
+        if len(concurrent) > 1 and (self.max_workers or 0) >= 2:
+            concurrent_ids = {n.op_id for n in concurrent}
+            serial = [n for n in pending if n.op_id not in concurrent_ids]
+            for node in concurrent:
+                # Warm the adapter map serially; the dict is not guarded.
+                self._adapter(str(node.engine))
+            if pool is None:  # one pool per run, reused across stages
+                pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            futures = {
+                node.op_id: pool.submit(
+                    self._execute_node, node,
+                    [results[i] for i in node.inputs], stage_index)
+                for node in concurrent
+            }
+            for node in concurrent:
+                value, record = futures[node.op_id].result()
+                record.concurrent = True
+                produced[node.op_id] = (value, record)
+        else:
+            serial = pending
+        for node in serial:
+            inputs = [results[input_id] for input_id in node.inputs]
+            produced[node.op_id] = self._execute_node(node, inputs, stage_index)
+        for node in stage:
+            if node.op_id not in produced:
+                continue  # replayed from the snapshot above
+            value, record = produced[node.op_id]
+            results[node.op_id] = value
+            report.add(record)
+            if result_cache is not None:
+                result_cache.store(node.op_id, value, record)
+        return pool
+
+    def _concurrency_safe(self, node: Operator) -> bool:
+        """Whether the node may run on a worker thread alongside siblings."""
+        if node.kind == "migrate" or node.accelerator or node.engine is None:
+            return False
+        try:
+            engine = self.catalog.engine(node.engine)
+        except CatalogError:
+            return False
+        return engine.concurrency is Concurrency.THREAD_SAFE
 
     # -- per-node execution --------------------------------------------------------------
 

@@ -1,7 +1,14 @@
 """Substrate data-processing engines federated by the polystore."""
 
 from repro.stores.array import ArrayEngine
-from repro.stores.base import Capability, DataModel, Engine, MetricsRecorder, OperationMetrics
+from repro.stores.base import (
+    Capability,
+    Concurrency,
+    DataModel,
+    Engine,
+    MetricsRecorder,
+    OperationMetrics,
+)
 from repro.stores.graph import GraphEngine
 from repro.stores.keyvalue import KeyValueEngine
 from repro.stores.ml import MLEngine
@@ -12,6 +19,7 @@ from repro.stores.timeseries import TimeseriesEngine
 __all__ = [
     "Engine",
     "Capability",
+    "Concurrency",
     "DataModel",
     "MetricsRecorder",
     "OperationMetrics",

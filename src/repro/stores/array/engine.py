@@ -14,13 +14,14 @@ import numpy as np
 
 from repro.exceptions import StorageError
 from repro.stores.array.chunks import ChunkedArray
-from repro.stores.base import Capability, DataModel, Engine
+from repro.stores.base import Capability, Concurrency, DataModel, Engine
 
 
 class ArrayEngine(Engine):
     """A chunked dense-array store with matrix operators."""
 
     data_model = DataModel.ARRAY
+    concurrency = Concurrency.THREAD_SAFE
 
     def __init__(self, name: str = "array", *, chunk_shape: tuple[int, int] = (256, 256)) -> None:
         super().__init__(name)
@@ -45,6 +46,7 @@ class ArrayEngine(Engine):
             chunked = ChunkedArray.from_numpy(array, self._chunk_shape)
             timer.bytes_out = chunked.nbytes
         self._arrays[name] = chunked
+        self.mark_data_changed()
 
     def load(self, name: str) -> np.ndarray:
         """Materialize the named array."""

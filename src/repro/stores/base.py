@@ -31,6 +31,20 @@ class DataModel(enum.Enum):
     TENSOR = "tensor"
 
 
+class Concurrency(enum.Enum):
+    """How an engine tolerates concurrent dispatch from the executor.
+
+    The executor's stage scheduler only runs independent operators of one
+    stage in parallel when every involved engine declares
+    :attr:`THREAD_SAFE`; everything else falls back to serial dispatch.
+    """
+
+    #: Requests must be serialized (the engine mutates shared state).
+    SERIAL = "serial"
+    #: Read-path requests may run concurrently from multiple threads.
+    THREAD_SAFE = "thread_safe"
+
+
 class Capability(enum.Enum):
     """Native operations an engine can execute without middleware help.
 
@@ -144,9 +158,27 @@ class Engine(abc.ABC):
     #: Native data model; subclasses override.
     data_model: DataModel = DataModel.RELATIONAL
 
+    #: Concurrency contract; engines whose read path is safe to call from
+    #: multiple threads override with :attr:`Concurrency.THREAD_SAFE`.
+    concurrency: Concurrency = Concurrency.SERIAL
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.metrics = MetricsRecorder()
+        self._data_version = 0
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter bumped on every mutation of engine state.
+
+        Prepared programs use it to validate pinned scan snapshots: a
+        version change invalidates every cached result read from this engine.
+        """
+        return self._data_version
+
+    def mark_data_changed(self) -> None:
+        """Record that engine state changed (called by every mutator)."""
+        self._data_version += 1
 
     @abc.abstractmethod
     def capabilities(self) -> frozenset[Capability]:
@@ -170,6 +202,7 @@ class Engine(abc.ABC):
             "name": self.name,
             "type": type(self).__name__,
             "data_model": self.data_model.value,
+            "concurrency": self.concurrency.value,
             "capabilities": sorted(c.value for c in self.capabilities()),
         }
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.stores.base import Capability, DataModel, Engine
+from repro.stores.base import Capability, Concurrency, DataModel, Engine
 from repro.stores.graph.graph import Edge, Node, PropertyGraph
 from repro.stores.graph.query import (
     Match,
@@ -29,6 +29,7 @@ class GraphEngine(Engine):
     """A property-graph store with pattern and path queries."""
 
     data_model = DataModel.GRAPH
+    concurrency = Concurrency.THREAD_SAFE
 
     def __init__(self, name: str = "graph") -> None:
         super().__init__(name)
@@ -48,12 +49,16 @@ class GraphEngine(Engine):
     def add_node(self, node_id: str, label: str,
                  properties: dict[str, Any] | None = None) -> Node:
         """Add one node."""
-        return self.graph.add_node(node_id, label, properties)
+        node = self.graph.add_node(node_id, label, properties)
+        self.mark_data_changed()
+        return node
 
     def add_edge(self, source: str, target: str, label: str,
                  properties: dict[str, Any] | None = None) -> Edge:
         """Add one directed edge."""
-        return self.graph.add_edge(source, target, label, properties)
+        edge = self.graph.add_edge(source, target, label, properties)
+        self.mark_data_changed()
+        return edge
 
     def load_nodes(self, nodes: list[dict[str, Any]], *, label_key: str = "label",
                    id_key: str = "node_id") -> int:
@@ -63,6 +68,8 @@ class GraphEngine(Engine):
                 properties = {k: v for k, v in record.items() if k not in (label_key, id_key)}
                 self.graph.add_node(str(record[id_key]), str(record[label_key]), properties)
             timer.rows_in = len(nodes)
+        if nodes:
+            self.mark_data_changed()
         return len(nodes)
 
     def load_edges(self, edges: list[dict[str, Any]]) -> int:
@@ -76,6 +83,8 @@ class GraphEngine(Engine):
                 self.graph.add_edge(str(record["source"]), str(record["target"]),
                                     str(record.get("label", "related")), properties)
             timer.rows_in = len(edges)
+        if edges:
+            self.mark_data_changed()
         return len(edges)
 
     # -- queries ----------------------------------------------------------------------

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from repro.exceptions import StorageError
-from repro.stores.base import Capability, DataModel, Engine
+from repro.stores.base import Capability, Concurrency, DataModel, Engine
 from repro.stores.keyvalue.memtable import TOMBSTONE, MemTable
 from repro.stores.keyvalue.sstable import SSTable, merge_sstables
 
@@ -21,6 +21,7 @@ class KeyValueEngine(Engine):
     """An LSM-style key/value store with point and range reads."""
 
     data_model = DataModel.KEY_VALUE
+    concurrency = Concurrency.THREAD_SAFE
 
     def __init__(self, name: str = "keyvalue", *, memtable_capacity: int = 1024) -> None:
         super().__init__(name)
@@ -41,6 +42,7 @@ class KeyValueEngine(Engine):
         """Insert or overwrite ``key``."""
         self._wal.append(("put", key, value))
         self._memtable.put(key, value)
+        self.mark_data_changed()
         if self._memtable.is_full:
             self.flush()
 
@@ -55,6 +57,7 @@ class KeyValueEngine(Engine):
         """Delete ``key`` (tombstoned until the next compaction)."""
         self._wal.append(("delete", key, None))
         self._memtable.delete(key)
+        self.mark_data_changed()
         if self._memtable.is_full:
             self.flush()
 

@@ -56,6 +56,7 @@ class MLEngine(Engine):
             timer.rows_in = x.shape[0]
             timer.details["flops"] = self.ops.counter.flops
         self._models[model_name] = model
+        self.mark_data_changed()
         return history
 
     def train_logistic(self, model_name: str, features: np.ndarray | Table,
@@ -68,6 +69,7 @@ class MLEngine(Engine):
             losses = model.fit(x, labels, epochs=epochs, batch_size=batch_size, seed=seed)
             timer.rows_in = x.shape[0]
         self._models[model_name] = model
+        self.mark_data_changed()
         return losses
 
     def cluster(self, features: np.ndarray | Table, n_clusters: int, *,

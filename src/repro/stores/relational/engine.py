@@ -14,7 +14,7 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.datamodel.schema import Schema
 from repro.datamodel.table import Table
 from repro.exceptions import QueryError, StorageError
-from repro.stores.base import Capability, DataModel, Engine
+from repro.stores.base import Capability, Concurrency, DataModel, Engine
 from repro.stores.relational.expressions import Expression
 from repro.stores.relational.index import HashIndex, SortedIndex
 from repro.stores.relational.operators import (
@@ -77,6 +77,7 @@ class RelationalEngine(Engine):
     """A single-node relational engine with SQL, indexes and join algorithms."""
 
     data_model = DataModel.RELATIONAL
+    concurrency = Concurrency.THREAD_SAFE
 
     def __init__(self, name: str = "relational") -> None:
         super().__init__(name)
@@ -101,12 +102,14 @@ class RelationalEngine(Engine):
         if name in self._tables:
             raise StorageError(f"table {name!r} already exists")
         self._tables[name] = StoredTable(name, schema, page_capacity)
+        self.mark_data_changed()
 
     def drop_table(self, name: str) -> None:
         """Drop a table and its indexes."""
         if name not in self._tables:
             raise StorageError(f"table {name!r} does not exist")
         del self._tables[name]
+        self.mark_data_changed()
 
     def create_index(self, table: str, column: str, *, kind: str = "hash") -> None:
         """Create a secondary index on an existing table column."""
@@ -154,6 +157,8 @@ class RelationalEngine(Engine):
                 stored.insert(row, validate=validate)
                 count += 1
             timer.rows_in = count
+        if count:
+            self.mark_data_changed()
         return count
 
     def insert_dicts(self, table: str, rows: Iterable[Mapping[str, Any]]) -> int:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.exceptions import StorageError
-from repro.stores.base import Capability, DataModel, Engine
+from repro.stores.base import Capability, Concurrency, DataModel, Engine
 from repro.stores.text.inverted_index import InvertedIndex
 from repro.stores.text.tokenizer import term_frequencies, tokenize
 
@@ -20,6 +20,7 @@ class TextEngine(Engine):
     """A document store with an inverted index and TF-IDF search."""
 
     data_model = DataModel.DOCUMENT
+    concurrency = Concurrency.THREAD_SAFE
 
     def __init__(self, name: str = "text") -> None:
         super().__init__(name)
@@ -40,6 +41,7 @@ class TextEngine(Engine):
         """Add or replace a document."""
         self._documents[doc_id] = {"text": text, "metadata": dict(metadata or {})}
         self._index.add(doc_id, text)
+        self.mark_data_changed()
 
     def add_documents(self, documents: list[dict[str, Any]]) -> int:
         """Bulk-add documents of the form ``{"doc_id", "text", "metadata"?}``."""
@@ -56,6 +58,7 @@ class TextEngine(Engine):
             raise StorageError(f"document {doc_id!r} does not exist")
         del self._documents[doc_id]
         self._index.remove(doc_id)
+        self.mark_data_changed()
 
     # -- reads --------------------------------------------------------------------
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Iterator
 
 from repro.exceptions import StorageError
-from repro.stores.base import Capability, DataModel, Engine
+from repro.stores.base import Capability, Concurrency, DataModel, Engine
 from repro.stores.timeseries.series import Point, Series
 from repro.stores.timeseries.window import (
     WindowResult,
@@ -25,6 +25,7 @@ class TimeseriesEngine(Engine):
     """A timeseries store keyed by series name with tag support."""
 
     data_model = DataModel.TIMESERIES
+    concurrency = Concurrency.THREAD_SAFE
 
     def __init__(self, name: str = "timeseries") -> None:
         super().__init__(name)
@@ -45,11 +46,13 @@ class TimeseriesEngine(Engine):
         """Create (or return an existing) series."""
         if key not in self._series:
             self._series[key] = Series(key, tags)
+            self.mark_data_changed()
         return self._series[key]
 
     def append(self, key: str, timestamp: float, value: float) -> None:
         """Append one point to a series, creating it if needed."""
         self.create_series(key).append(timestamp, value)
+        self.mark_data_changed()
 
     def append_many(self, key: str, points: Iterable[tuple[float, float]]) -> int:
         """Append many points to one series; returns the count appended."""
@@ -60,6 +63,8 @@ class TimeseriesEngine(Engine):
                 series.append(timestamp, value)
                 count += 1
             timer.rows_in = count
+        if count:
+            self.mark_data_changed()
         return count
 
     # -- reads --------------------------------------------------------------------------

@@ -1,0 +1,118 @@
+"""Plan-cache behaviour: hits, misses, eviction, invalidation, per-mode keys."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import PlanCache
+from repro.core import build_accelerated_polystore
+from repro.datamodel import DataType, Table, make_schema
+from repro.stores import RelationalEngine, TimeseriesEngine
+
+
+def _small_system():
+    relational = RelationalEngine("ordersdb")
+    schema = make_schema(("order_id", DataType.INT), ("customer_id", DataType.INT),
+                         ("amount", DataType.FLOAT))
+    relational.load_table("orders", Table(schema, [
+        (i, i % 10, float(i % 7)) for i in range(100)
+    ]))
+    timeseries = TimeseriesEngine("telemetry")
+    for customer in range(10):
+        timeseries.append_many(f"sessions/{customer}",
+                               [(float(day), float(day % 5)) for day in range(10)])
+    return build_accelerated_polystore([relational, timeseries])
+
+
+def _orders_program():
+    from repro import HeterogeneousProgram
+
+    program = HeterogeneousProgram("orders-by-customer")
+    program.sql("spend",
+                "SELECT customer_id, sum(amount) AS total FROM orders "
+                "GROUP BY customer_id", engine="ordersdb")
+    program.timeseries_summary("sessions", series_prefix="sessions/",
+                               engine="telemetry")
+    program.join("features", left="spend", right="sessions",
+                 left_key="customer_id", right_key="pid")
+    program.output("features")
+    return program
+
+
+class TestPlanCacheLRU:
+    def test_put_get_and_stats(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a" so "b" is the LRU victim
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_invalidate_clears_everything(self):
+        cache = PlanCache(capacity=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class TestSessionPlanCaching:
+    def test_identical_programs_hit_the_cache(self):
+        system = _small_system()
+        session = system.session()
+        first = session.prepare(_orders_program())
+        second = session.prepare(_orders_program())
+        assert first.fingerprint == second.fingerprint
+        assert second.compilation is first.compilation
+        stats = session.stats()["plan_cache"]
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_distinct_entries_per_mode(self):
+        system = _small_system()
+        session = system.session()
+        accelerated = session.prepare(_orders_program(), mode="polystore++")
+        cpu = session.prepare(_orders_program(), mode="cpu_polystore")
+        assert accelerated.compilation is not cpu.compilation
+        assert session.stats()["plan_cache"]["size"] == 2
+
+    def test_register_engine_invalidates_cached_plans(self):
+        system = _small_system()
+        session = system.session()
+        prepared = session.prepare(_orders_program())
+        old_compilation = prepared.compilation
+        generation = system.plan_generation
+        system.register_engine(RelationalEngine("sidecar-db"))
+        assert system.plan_generation == generation + 1
+        assert session.stats()["plan_cache"]["size"] == 0
+        # The prepared handle recompiles transparently on its next run.
+        result = prepared.run()
+        assert prepared.compilation is not old_compilation
+        assert len(result.output("features")) > 0
+
+    def test_program_mutation_changes_fingerprint(self):
+        program_a = _orders_program()
+        program_b = _orders_program()
+        assert program_a.fingerprint() == program_b.fingerprint()
+        program_b.sql("extra", "SELECT * FROM orders", engine="ordersdb")
+        assert program_a.fingerprint() != program_b.fingerprint()
+
+    def test_one_shot_execute_reuses_cached_plans(self):
+        system = _small_system()
+        system.execute(_orders_program(), mode="cpu_polystore")
+        system.execute(_orders_program(), mode="cpu_polystore")
+        stats = system.default_session().stats()["plan_cache"]
+        assert stats["hits"] >= 1

@@ -6,11 +6,65 @@ import pytest
 
 from repro.eide import (
     HeterogeneousProgram,
+    Param,
     SubProgram,
     compile_natural_language,
     recognize_intent,
 )
 from repro.exceptions import CompilationError
+
+
+def _build_demo() -> HeterogeneousProgram:
+    program = HeterogeneousProgram("demo")
+    program.sql("a", "SELECT x FROM t", engine="db")
+    program.timeseries_summary("b", series_prefix="hr/")
+    program.join("c", left="a", right="b", on="x")
+    program.output("c")
+    return program
+
+
+class TestFreezeAndFingerprint:
+    def test_fingerprint_stable_across_rebuilds(self):
+        assert _build_demo().fingerprint() == _build_demo().fingerprint()
+
+    def test_fingerprint_sensitive_to_structure(self):
+        base = _build_demo().fingerprint()
+        renamed = HeterogeneousProgram("demo2")
+        renamed.sql("a", "SELECT x FROM t", engine="db")
+        assert renamed.fingerprint() != base
+        changed_sql = _build_demo()
+        changed_sql.fragment("a").params["query"] = "SELECT y FROM t"
+        assert changed_sql.fingerprint() != base
+
+    def test_python_callables_hash_by_identity(self):
+        def transform(table):
+            return table
+
+        one = HeterogeneousProgram("py")
+        one.python("t", transform)
+        again = HeterogeneousProgram("py")
+        again.python("t", transform)
+        other = HeterogeneousProgram("py")
+        other.python("t", lambda table: table)
+        assert one.fingerprint() == again.fingerprint()
+        assert one.fingerprint() != other.fingerprint()
+
+    def test_freeze_blocks_mutation(self):
+        program = _build_demo().freeze()
+        assert program.frozen
+        with pytest.raises(CompilationError):
+            program.sql("late", "SELECT 1 FROM t")
+        with pytest.raises(CompilationError):
+            program.output("a")
+
+    def test_declared_params_found_in_nested_values(self):
+        program = HeterogeneousProgram("parametrized")
+        program.timeseries_summary("b", series_prefix="hr/",
+                                   end=Param("end", default=None))
+        program.kv_lookup("k", keys=[Param("key")])
+        declared = program.declared_params()
+        assert set(declared) == {"end", "key"}
+        assert declared["end"].has_default and not declared["key"].has_default
 
 
 class TestProgramModel:

@@ -180,3 +180,56 @@ class TestExecutor:
         assert migrate_record.simulated_time_s > 0
         assert migrate_record.details["strategy"]
         assert len(list(outputs.values())[0]) == 60
+
+class TestConcurrentStageDispatch:
+    def _catalog(self, mimic_engines) -> Catalog:
+        catalog = Catalog()
+        for key in ("relational", "timeseries", "text", "ml"):
+            catalog.register_engine(mimic_engines[key])
+        return catalog
+
+    def _two_scan_graph(self) -> IRGraph:
+        graph = IRGraph("parallel-scans")
+        left = graph.add(Operator("scan", {"table": "admissions"}, engine="clinical-db"))
+        right = graph.add(Operator("scan", {"table": "admissions"},
+                                  engine="clinical-db"))
+        graph.mark_output(left.op_id)
+        graph.mark_output(right.op_id)
+        return graph
+
+    def test_thread_safe_siblings_run_concurrently(self, mimic_engines):
+        catalog = self._catalog(mimic_engines)
+        _, report = Executor(catalog).execute(self._two_scan_graph())
+        assert all(record.concurrent for record in report.records)
+        assert report.concurrent_tasks == 2
+        assert report.elapsed_wall_s > 0
+
+    def test_disabled_workers_fall_back_to_serial(self, mimic_engines):
+        catalog = self._catalog(mimic_engines)
+        executor = Executor(catalog, max_workers=None)
+        _, report = executor.execute(self._two_scan_graph())
+        assert report.concurrent_tasks == 0
+
+    def test_serial_engine_is_never_dispatched_concurrently(self, mimic_engines):
+        # The ML engine declares Concurrency.SERIAL: even when two of its
+        # operators share a stage, dispatch stays on the calling thread.
+        from repro.stores.base import Concurrency
+
+        assert mimic_engines["ml"].concurrency is Concurrency.SERIAL
+        catalog = self._catalog(mimic_engines)
+        executor = Executor(catalog)
+        scan = Operator("scan", {"table": "admissions"}, engine="clinical-db")
+        assert executor._concurrency_safe(scan)
+        train = Operator("train", {"model_name": "m", "label_column": "y"},
+                         engine="dnn-engine")
+        assert not executor._concurrency_safe(train)
+        migrate = Operator("migrate", {}, engine="clinical-db")
+        assert not executor._concurrency_safe(migrate)
+
+    def test_concurrent_outputs_match_serial(self, mimic_engines):
+        catalog = self._catalog(mimic_engines)
+        graph = self._two_scan_graph()
+        parallel_out, _ = Executor(catalog).execute(graph)
+        serial_out, _ = Executor(catalog, max_workers=None).execute(graph)
+        for key in serial_out:
+            assert parallel_out[key].to_dicts() == serial_out[key].to_dicts()
