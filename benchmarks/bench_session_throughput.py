@@ -42,7 +42,7 @@ def _throughput(fn, repeats: int = REPEATS) -> float:
     return repeats / elapsed
 
 
-def test_prepared_reexecution_at_least_twice_oneshot(benchmark=None):
+def test_prepared_reexecution_at_least_twice_oneshot():
     system = build_deployment()
     program = build_program()
     session = system.session(name="bench")
@@ -58,9 +58,6 @@ def test_prepared_reexecution_at_least_twice_oneshot(benchmark=None):
         "prepared_programs_per_s": prepared_rate,
         "prepared_speedup": speedup,
     }
-    if benchmark is not None and hasattr(benchmark, "extra_info"):
-        benchmark.extra_info.update(headline)
-        benchmark(prepared.run)
     print(f"\none-shot : {oneshot_rate:8.1f} programs/s")
     print(f"prepared : {prepared_rate:8.1f} programs/s  ({speedup:.1f}x one-shot)")
     assert speedup >= MIN_SPEEDUP, headline

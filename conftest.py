@@ -1,0 +1,15 @@
+"""Repo-root pytest bootstrap.
+
+Puts ``src/`` on ``sys.path`` so a plain ``python -m pytest`` from the repo
+root works without exporting ``PYTHONPATH=src`` first (the documented tier-1
+command still works unchanged).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -12,6 +12,12 @@ The public API is intentionally small; most users need only:
 
 from repro.catalog import Catalog
 from repro.client import PreparedProgram, Session
+from repro.cluster import (
+    HashPartitioner,
+    RangePartitioner,
+    ShardedEngine,
+    ShardRebalancer,
+)
 from repro.core import (
     EXECUTION_MODES,
     ExecutionResult,
@@ -37,5 +43,9 @@ __all__ = [
     "Catalog",
     "build_cpu_polystore",
     "build_accelerated_polystore",
+    "ShardedEngine",
+    "HashPartitioner",
+    "RangePartitioner",
+    "ShardRebalancer",
     "__version__",
 ]

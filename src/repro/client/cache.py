@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 from repro.catalog import Catalog
+from repro.cluster.scatter import ShardedValue
 from repro.compiler.pipeline import CompilationResult
 from repro.datamodel.table import Table
 from repro.ir.graph import IRGraph
@@ -112,6 +113,10 @@ def _protective_copy(value: Any) -> Any:
     """
     if isinstance(value, Table):
         return Table(value.schema, value.rows)
+    if isinstance(value, ShardedValue):
+        # Sharded partitions pin like any other pure value; each partition
+        # container is copied so consumers can't poison the pinned original.
+        return value.copy_parts(_protective_copy)
     if isinstance(value, list):
         return list(value)
     if isinstance(value, dict):
@@ -187,19 +192,35 @@ class ScanSnapshot:
             entry = self._entries.get(op_id)
             if entry is None:
                 return None
+            # Revalidate against the versions THIS run started from: an
+            # overlapping run may have pinned this entry from data read
+            # before a write that this run's begin_run already observed.
+            run_versions = getattr(self._run_state, "versions", None)
+            if run_versions is not None:
+                pinned = self._entry_versions.get(op_id, {})
+                if any(run_versions.get(name) != version
+                       for name, version in pinned.items()):
+                    return None
             self.replays += 1
             value, record = entry
-            # Hand out a defensive copy: callers own the result objects and
-            # may mutate them, which must never poison the pinned original.
-            return _protective_copy(value), record
+        # Hand out a defensive copy: callers own the result objects and may
+        # mutate them, which must never poison the pinned original.  The
+        # O(rows) copy happens outside the lock — entries are immutable once
+        # stored, and copying inside would serialize concurrent replays of
+        # exactly the large pinned scans the snapshot exists to accelerate.
+        return _protective_copy(value), record
 
     def store(self, op_id: str, value: Any, record: TaskRecord) -> None:
         with self._lock:
             engines = self._eligible.get(op_id)
             if engines is None or op_id in self._entries:
                 return
+        pinned = _protective_copy(value)  # O(rows), outside the lock
+        with self._lock:
+            if op_id in self._entries:  # a concurrent run pinned it first
+                return
             run_versions = getattr(self._run_state, "versions", {})
-            self._entries[op_id] = (_protective_copy(value), record)
+            self._entries[op_id] = (pinned, record)
             self._entry_versions[op_id] = {
                 name: run_versions[name]
                 for name in engines if name in run_versions
@@ -238,3 +259,7 @@ class CachedPlan:
     mode: str
     hits: int = 0
     declared_params: dict[str, Any] = field(default_factory=dict)
+    #: The graph with every Param bound to its default, computed once: the
+    #: all-defaults binding never changes, so argument-less runs must not
+    #: pay an O(plan) copy+rebind each time.
+    default_bound_graph: IRGraph | None = None

@@ -130,8 +130,10 @@ class PreparedProgram:
 
         Keyword arguments bind the program's :class:`Param` placeholders.
         ``refresh=True`` unpins every scan snapshot first, forcing a full
-        re-read of the engines (results are re-pinned).  ``reuse_scans=False``
-        executes everything fresh without touching the pins.
+        re-read of the engines (argument-less runs re-pin their results;
+        explicitly bound runs never consult or populate the pins).
+        ``reuse_scans=False`` executes everything fresh without touching the
+        pins.
         """
         with self._lock:  # revalidate plan + entry atomically across threads
             plan, entry = self._session._fresh_entry(
@@ -141,12 +143,22 @@ class PreparedProgram:
         snapshot: ScanSnapshot | None = entry.snapshot
         if refresh:
             entry.snapshot.clear()
-        if params or entry.declared_params:
+        if params:
             self._check_bindings(params, entry)
             graph = self._bound_graph(graph, params)
             snapshot = None  # results depend on this call's bindings
-        elif not reuse_scans:
-            snapshot = None
+        else:
+            if entry.declared_params:
+                # Bind every placeholder to its default.  That binding is
+                # identical on every argument-less run, so the pinned scans
+                # stay valid (and the bound graph is computed only once);
+                # only explicit bindings force a fresh read.
+                with self._lock:
+                    if entry.default_bound_graph is None:
+                        entry.default_bound_graph = self._bound_graph(graph, {})
+                graph = entry.default_bound_graph
+            if not reuse_scans:
+                snapshot = None
         result = self._session._run_graph(entry.compilation, graph, plan,
                                           snapshot)
         with self._lock:
@@ -191,6 +203,9 @@ class Session:
         self.max_workers = max_workers
         self.plan_cache = PlanCache(plan_cache_size)
         self._lock = threading.RLock()
+        #: Serializes lookup-or-compile so concurrent prepares of one program
+        #: cannot compile twice and hand out divergent snapshot instances.
+        self._prepare_lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
         self._submitted = 0
         self._closed = False
@@ -222,23 +237,24 @@ class Session:
                            plan: "ModePlan") -> CachedPlan:
         fingerprint = program.fingerprint()
         key = self._plan_key(fingerprint, plan)
-        entry = self.plan_cache.get(key)
-        if entry is not None:
-            entry.hits += 1
+        with self._prepare_lock:
+            entry = self.plan_cache.get(key)
+            if entry is not None:
+                entry.hits += 1
+                return entry
+            compilation = self.system.compile(program, accelerated=plan.accelerated,
+                                              options=plan.compile_options)
+            compilation.source_fingerprint = fingerprint
+            entry = CachedPlan(
+                compilation=compilation,
+                snapshot=ScanSnapshot(compilation.graph),
+                generation=self.system.plan_generation,
+                fingerprint=fingerprint,
+                mode=plan.mode,
+                declared_params=program.declared_params(),
+            )
+            self.plan_cache.put(key, entry)
             return entry
-        compilation = self.system.compile(program, accelerated=plan.accelerated,
-                                          options=plan.compile_options)
-        compilation.source_fingerprint = fingerprint
-        entry = CachedPlan(
-            compilation=compilation,
-            snapshot=ScanSnapshot(compilation.graph),
-            generation=self.system.plan_generation,
-            fingerprint=fingerprint,
-            mode=plan.mode,
-            declared_params=program.declared_params(),
-        )
-        self.plan_cache.put(key, entry)
-        return entry
 
     def _fresh_entry(self, program: HeterogeneousProgram, plan: "ModePlan",
                      entry: CachedPlan,
@@ -337,6 +353,9 @@ class Session:
 
     def _worker_pool(self) -> ThreadPoolExecutor:
         with self._lock:
+            # Re-check under the lock: a submit racing close() must not
+            # resurrect a fresh pool nobody will ever shut down.
+            self._check_open()
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
                     max_workers=self.max_workers,

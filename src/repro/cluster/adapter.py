@@ -1,0 +1,35 @@
+"""The fallback adapter for sharded engines.
+
+Operators the scatter-gather path cannot partition (joins, graph traversals,
+ML heads, anything with already-materialized inputs) execute through the
+**designated primary shard**'s adapter.  That is always semantically safe for
+non-leaf operators — they evaluate over materialized inputs, not engine
+state — and is the documented single-shard fallback for leaf operators of
+non-partitionable data models.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.scatter import ShardedValue, gather
+from repro.cluster.sharded import ShardedEngine
+from repro.ir.nodes import Operator
+from repro.middleware.adapters import Adapter, adapter_for
+
+
+class ShardedAdapter(Adapter):
+    """Delegates to the primary shard's adapter, gathering sharded inputs."""
+
+    def __init__(self, engine: ShardedEngine) -> None:
+        super().__init__(engine)
+        self.engine: ShardedEngine = engine
+        self._primary = adapter_for(engine.primary)
+
+    def supported_kinds(self) -> frozenset[str]:
+        return self._primary.supported_kinds()
+
+    def execute(self, node: Operator, inputs: list[Any]) -> Any:
+        materialized = [gather(value) if isinstance(value, ShardedValue) else value
+                        for value in inputs]
+        return self._primary.execute(node, materialized)

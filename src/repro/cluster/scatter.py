@@ -1,0 +1,508 @@
+"""Scatter-gather execution over a :class:`~repro.cluster.sharded.ShardedEngine`.
+
+The executor delegates here when an operator is bound to a sharded engine.
+Three operator classes are handled:
+
+* **leaf reads** (``scan``, ``kv_range``, ``ts_summarize``, ...) fan out to
+  every shard's adapter and produce a :class:`ShardedValue` — the per-shard
+  partitions stay separate so downstream shard-local operators keep working
+  partition-wise.  Reads that name their key (``index_seek`` on the declared
+  shard key, ``ts_range``/``window_aggregate`` on one series, ``kv_get`` with
+  explicit keys) are *routed* to the owning shard(s) instead of broadcast.
+* **partition-wise operators** (``filter``, ``project``) apply to each
+  partition independently and stay sharded.
+* **merging operators** reassemble one value: ``aggregate`` computes
+  per-shard *partial* aggregates and combines them (``avg`` decomposes into
+  ``sum``/``count``), ``sort`` merges per-shard sorted runs in order,
+  ``limit``/``top_k``/``text_search`` re-apply their cut after concatenation.
+
+Everything else returns ``None`` and the executor falls back to the primary
+shard.  Each shard subtask records its thread-CPU time; the scatter's charged
+(simulated) time is the *critical path* — the slowest shard plus the merge —
+which models the shards as separate machines the way migration and offload
+charges model the network and devices.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.cluster.partition import Partitioner
+from repro.cluster.sharded import ShardedEngine, concat_tables
+from repro.datamodel.schema import Column, DataType, Schema
+from repro.datamodel.table import Table
+from repro.middleware.adapters import Adapter, adapter_for
+from repro.ir.nodes import Operator
+from repro.stores.base import Engine
+from repro.stores.relational.operators import AggregateSpec
+
+#: Leaf reads that fan out across every shard (engine state is partitioned).
+LEAF_KINDS = frozenset({
+    "scan", "index_seek", "kv_get", "kv_range",
+    "ts_range", "window_aggregate", "ts_summarize",
+    "text_search", "keyword_features",
+})
+
+#: Operators applied to each partition independently (stay sharded).
+PARTWISE_KINDS = frozenset({"filter", "project"})
+
+#: Operators that gather the partitions back into one value.
+MERGE_KINDS = frozenset({"aggregate", "sort", "limit", "top_k"})
+
+
+@dataclass(frozen=True)
+class ShardedValue:
+    """Per-shard partitions of one operator's output, merged lazily.
+
+    ``shard_indexes[i]`` is the shard that produced ``parts[i]`` — routed
+    reads may cover a subset of the shards.  ``ordered_by`` names a column
+    each partition is sorted on (key/value range reads are key-ordered per
+    shard); the gather then k-way-merges instead of concatenating, so
+    sharded results keep the same global ordering the unsharded engine
+    guarantees.  Consumers that cannot work partition-wise call
+    :meth:`gather`.
+    """
+
+    engine: str
+    parts: tuple[Any, ...]
+    shard_indexes: tuple[int, ...]
+    ordered_by: str | None = None
+
+    def gather(self) -> Any:
+        """Merge the partitions into one value (order-preserving for tables)."""
+        tables = [part for part in self.parts if isinstance(part, Table)]
+        if len(tables) == len(self.parts) and tables:
+            if self.ordered_by is not None:
+                return _ordered_merge(tables, self.ordered_by, False,
+                                      stringify=True)
+            return concat_tables(tables)
+        if len(self.parts) == 1:
+            return self.parts[0]
+        merged: list[Any] = []
+        for part in self.parts:
+            merged.extend(part if isinstance(part, list) else [part])
+        return merged
+
+    def copy_parts(self, copier: Callable[[Any], Any]) -> "ShardedValue":
+        """A new value with each partition passed through ``copier``."""
+        return ShardedValue(self.engine, tuple(copier(p) for p in self.parts),
+                            self.shard_indexes, self.ordered_by)
+
+    def __len__(self) -> int:
+        return sum(len(part) if hasattr(part, "__len__") else 1
+                   for part in self.parts)
+
+
+def gather(value: Any) -> Any:
+    """Coerce ``value`` to a plain (merged) value if it is sharded."""
+    return value.gather() if isinstance(value, ShardedValue) else value
+
+
+@dataclass
+class ScatterExecution:
+    """Outcome of one scatter-gather dispatch, consumed by the executor."""
+
+    value: Any
+    #: Modeled cluster time: slowest shard subtask plus the merge.
+    critical_path_s: float
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class _ShardTask:
+    """One shard-local subtask: timed execution of a node on one shard."""
+
+    def __init__(self, adapter: Adapter, node: Operator, inputs: list[Any]) -> None:
+        self.adapter = adapter
+        self.node = node
+        self.inputs = inputs
+
+    def run(self) -> tuple[Any, float]:
+        # Thread CPU time models the shard as its own machine: under
+        # concurrent dispatch the GIL serializes the Python work, but each
+        # subtask's CPU time still reflects only its own share.
+        start = time.thread_time()
+        value = self.adapter.execute(self.node, self.inputs)
+        return value, time.thread_time() - start
+
+
+class ScatterGather:
+    """Plans and runs scatter-gather dispatch for one executor instance."""
+
+    def __init__(self) -> None:
+        self._adapters: dict[int, Adapter] = {}
+        self._adapters_lock = threading.Lock()
+
+    # -- public entry point ------------------------------------------------------------
+
+    def execute(self, engine: ShardedEngine, node: Operator, inputs: list[Any],
+                pool: ThreadPoolExecutor | None) -> ScatterExecution | None:
+        """Scatter-gather ``node`` across the engine's shards.
+
+        Returns ``None`` when the operator is not partitionable here — the
+        executor then falls back to the designated primary shard.
+        """
+        if not engine.partitionable:
+            return None
+        shards = engine.shards
+        if not shards or not self._adapter(shards[0]).can_execute(node):
+            # An unsupported kind must take the ordinary path, where
+            # ``can_execute`` raises a clean error instead of a duck-typed
+            # adapter misreading the node.
+            return None
+        if node.kind in LEAF_KINDS and not node.inputs:
+            return self._execute_leaf(engine, node, pool)
+        if (node.kind in PARTWISE_KINDS and len(inputs) == 1
+                and isinstance(inputs[0], ShardedValue)):
+            return self._execute_partwise(engine, node, inputs[0], pool)
+        if (node.kind in MERGE_KINDS and len(inputs) == 1
+                and isinstance(inputs[0], ShardedValue)):
+            return self._execute_merge(engine, node, inputs[0], pool)
+        return None
+
+    # -- leaf reads --------------------------------------------------------------------
+
+    def _execute_leaf(self, engine: ShardedEngine, node: Operator,
+                      pool: ThreadPoolExecutor | None) -> ScatterExecution | None:
+        # One atomic read: routing with one topology's partitioner into
+        # another topology's shard list could tear across a rebalance cutover.
+        shards, partitioner = engine.topology()
+        routed = self._route(engine, node, partitioner)
+        if routed is not None:
+            shard_index, routed_node = routed
+            value, cpu_s = _ShardTask(
+                self._adapter(shards[shard_index]), routed_node, []).run()
+            return ScatterExecution(value, cpu_s, {
+                "shards": 1, "fan_out": "routed", "shard": shards[shard_index].name,
+            })
+        if node.kind == "kv_get" and node.params.get("keys"):
+            return self._execute_grouped_kv_get(engine, node, pool,
+                                                shards, partitioner)
+        tasks = [_ShardTask(self._adapter(shard), node, []) for shard in shards]
+        results, fan_out = self._fan_out(tasks, pool)
+        parts = tuple(value for value, _ in results)
+        times = [cpu for _, cpu in results]
+        details = {"shards": len(shards), "fan_out": fan_out,
+                   "shard_times_s": times}
+        if node.kind == "text_search":
+            merge_start = time.thread_time()
+            merged = _rerank_search(parts, int(node.params.get("top_k", 10)))
+            merge_s = time.thread_time() - merge_start
+            details["merge"] = "rerank"
+            return ScatterExecution(merged, max(times, default=0.0) + merge_s, details)
+        details["merge"] = "deferred"
+        value = ShardedValue(engine.name, parts, tuple(range(len(shards))),
+                             _leaf_order_column(node))
+        return ScatterExecution(value, max(times, default=0.0), details)
+
+    def _route(self, engine: ShardedEngine, node: Operator,
+               partitioner: "Partitioner") -> tuple[int, Operator] | None:
+        """A single-shard route for key-addressed reads, or ``None``."""
+        if node.kind == "index_seek":
+            table = str(node.params.get("table", ""))
+            if engine.shard_key_for(table) == node.params.get("column"):
+                return partitioner.shard_for(node.params.get("value")), node
+        if node.kind in ("ts_range", "window_aggregate"):
+            series = node.params.get("series")
+            if series is not None:
+                return partitioner.shard_for(str(series)), node
+        return None
+
+    def _execute_grouped_kv_get(self, engine: ShardedEngine, node: Operator,
+                                pool: ThreadPoolExecutor | None,
+                                shards: list[Engine],
+                                partitioner: "Partitioner") -> ScatterExecution:
+        grouped = partitioner.shards_for(list(node.params["keys"]))
+        tasks: list[_ShardTask] = []
+        indexes: list[int] = []
+        for shard_index in sorted(grouped):
+            subset = node.copy()
+            subset.params = dict(node.params, keys=list(grouped[shard_index]))
+            tasks.append(_ShardTask(self._adapter(shards[shard_index]), subset, []))
+            indexes.append(shard_index)
+        results, fan_out = self._fan_out(tasks, pool)
+        parts = tuple(value for value, _ in results)
+        times = [cpu for _, cpu in results]
+        # No ordered_by: explicit-keys lookups follow the caller's key order
+        # per shard, not the global key collation.
+        value = ShardedValue(engine.name, parts, tuple(indexes))
+        return ScatterExecution(value, max(times, default=0.0), {
+            "shards": len(tasks), "fan_out": fan_out, "merge": "deferred",
+            "shard_times_s": times,
+        })
+
+    # -- partition-wise operators ------------------------------------------------------
+
+    def _execute_partwise(self, engine: ShardedEngine, node: Operator,
+                          sharded: ShardedValue,
+                          pool: ThreadPoolExecutor | None) -> ScatterExecution:
+        shards = engine.shards
+        tasks = [
+            _ShardTask(self._adapter_for_index(shards, index), node, [part])
+            for part, index in zip(sharded.parts, sharded.shard_indexes)
+        ]
+        results, fan_out = self._fan_out(tasks, pool)
+        times = [cpu for _, cpu in results]
+        # ordered_by is not propagated: partition-wise operators only ever
+        # follow relational leaves today, whose partitions are unordered.
+        value = ShardedValue(engine.name, tuple(v for v, _ in results),
+                             sharded.shard_indexes)
+        return ScatterExecution(value, max(times, default=0.0), {
+            "shards": len(tasks), "fan_out": fan_out, "merge": "deferred",
+            "shard_times_s": times,
+        })
+
+    # -- merging operators -------------------------------------------------------------
+
+    def _execute_merge(self, engine: ShardedEngine, node: Operator,
+                       sharded: ShardedValue,
+                       pool: ThreadPoolExecutor | None) -> ScatterExecution | None:
+        shards = engine.shards
+        if node.kind == "aggregate":
+            return self._execute_partial_aggregate(engine, node, sharded, pool)
+        tasks = [
+            _ShardTask(self._adapter_for_index(shards, index), node, [part])
+            for part, index in zip(sharded.parts, sharded.shard_indexes)
+        ]
+        results, fan_out = self._fan_out(tasks, pool)
+        parts = [value for value, _ in results]
+        times = [cpu for _, cpu in results]
+        merge_start = time.thread_time()
+        if node.kind == "sort":
+            merged = _ordered_merge(parts, str(node.params["by"]),
+                                    bool(node.params.get("descending", False)))
+            merge_name = "ordered"
+        elif node.kind == "limit":
+            merged = concat_tables(parts).limit(int(node.params["n"]))
+            merge_name = "concat+limit"
+        else:  # top_k
+            merged = _global_top_k(parts, str(node.params["by"]),
+                                   int(node.params["k"]),
+                                   bool(node.params.get("descending", True)))
+            merge_name = "top_k"
+        merge_s = time.thread_time() - merge_start
+        return ScatterExecution(merged, max(times, default=0.0) + merge_s, {
+            "shards": len(tasks), "fan_out": fan_out, "merge": merge_name,
+            "shard_times_s": times,
+        })
+
+    def _execute_partial_aggregate(self, engine: ShardedEngine, node: Operator,
+                                   sharded: ShardedValue,
+                                   pool: ThreadPoolExecutor | None) -> ScatterExecution:
+        group_by = list(node.params.get("group_by") or [])
+        aggregates = list(node.params.get("aggregates") or [])
+        partial_specs, combines = decompose_aggregates(aggregates)
+        partial_node = node.copy()
+        partial_node.params = dict(node.params, group_by=group_by,
+                                   aggregates=partial_specs)
+        shards = engine.shards
+        tasks = [
+            _ShardTask(self._adapter_for_index(shards, index), partial_node, [part])
+            for part, index in zip(sharded.parts, sharded.shard_indexes)
+        ]
+        results, fan_out = self._fan_out(tasks, pool)
+        parts = [value for value, _ in results]
+        times = [cpu for _, cpu in results]
+        merge_start = time.thread_time()
+        merged = combine_partial_aggregates(parts, group_by, combines)
+        merge_s = time.thread_time() - merge_start
+        return ScatterExecution(merged, max(times, default=0.0) + merge_s, {
+            "shards": len(tasks), "fan_out": fan_out, "merge": "aggregate_combine",
+            "shard_times_s": times,
+        })
+
+    # -- dispatch helpers --------------------------------------------------------------
+
+    def _fan_out(self, tasks: list[_ShardTask],
+                 pool: ThreadPoolExecutor | None) -> tuple[list[tuple[Any, float]], str]:
+        if pool is not None and len(tasks) > 1:
+            futures = [pool.submit(task.run) for task in tasks]
+            return [future.result() for future in futures], "concurrent"
+        return [task.run() for task in tasks], "serial"
+
+    def _adapter(self, shard: Engine) -> Adapter:
+        key = id(shard)
+        with self._adapters_lock:
+            if key not in self._adapters:
+                self._adapters[key] = adapter_for(shard)
+            return self._adapters[key]
+
+    def _adapter_for_index(self, shards: list[Engine], index: int) -> Adapter:
+        # Partitions may outlive a cutover mid-run; partition-wise operators
+        # evaluate over materialized inputs, so any live shard's adapter is
+        # semantically equivalent — clamp rather than fail.
+        return self._adapter(shards[min(index, len(shards) - 1)])
+
+
+def _leaf_order_column(node: Operator) -> str | None:
+    """The column a leaf read's per-shard partitions are sorted on, if any.
+
+    Key/value range reads come back in key order from every shard (the LSM
+    range scan sorts), so their gather must merge rather than concatenate to
+    match the unsharded engine's ordering.
+    """
+    if node.kind == "kv_range" or (node.kind == "kv_get"
+                                   and not node.params.get("keys")):
+        return str(node.params.get("key_column", "key"))
+    return None
+
+
+# -- partial aggregates ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CombineSpec:
+    """How one output aggregate combines from per-shard partial columns."""
+
+    alias: str
+    function: str
+    partials: tuple[str, ...]
+
+
+def decompose_aggregates(aggregates: Sequence[AggregateSpec]
+                         ) -> tuple[list[AggregateSpec], list[CombineSpec]]:
+    """Split aggregates into shard-local partials plus combine rules.
+
+    ``sum``/``count``/``min``/``max`` are algebraic and combine with
+    themselves; ``avg`` decomposes into a shard-local ``sum`` and ``count``.
+    """
+    partials: list[AggregateSpec] = []
+    combines: list[CombineSpec] = []
+    for position, spec in enumerate(aggregates):
+        if spec.function == "avg":
+            sum_alias = f"__p{position}_sum"
+            count_alias = f"__p{position}_count"
+            partials.append(AggregateSpec("sum", spec.column, sum_alias))
+            partials.append(AggregateSpec("count", spec.column, count_alias))
+            combines.append(CombineSpec(spec.alias, "avg", (sum_alias, count_alias)))
+        else:
+            partial_alias = f"__p{position}_{spec.function}"
+            partials.append(AggregateSpec(spec.function, spec.column, partial_alias))
+            combines.append(CombineSpec(spec.alias, spec.function, (partial_alias,)))
+    return partials, combines
+
+
+def combine_partial_aggregates(parts: Sequence[Table], group_by: Sequence[str],
+                               combines: Sequence[CombineSpec]) -> Table:
+    """Merge per-shard partial-aggregate tables into the final result.
+
+    Groups appearing on several shards are combined; SQL null semantics are
+    preserved (``sum``/``min``/``max`` over no non-null values stay ``None``).
+    """
+    grouped: dict[tuple, dict[str, Any]] = {}
+    order: list[tuple] = []
+    for part in parts:
+        for row in part.to_dicts():
+            key = tuple(row.get(name) for name in group_by)
+            if key not in grouped:
+                grouped[key] = {name: [] for combine in combines
+                                for name in combine.partials}
+                order.append(key)
+            for combine in combines:
+                for name in combine.partials:
+                    grouped[key][name].append(row.get(name))
+    rows: list[dict[str, Any]] = []
+    for key in order:
+        out: dict[str, Any] = dict(zip(group_by, key))
+        partials = grouped[key]
+        for combine in combines:
+            out[combine.alias] = _combine_one(combine, partials)
+        rows.append(out)
+    if not group_by and not rows:
+        rows.append({combine.alias: 0 if combine.function == "count" else None
+                     for combine in combines})
+    if rows:
+        return Table.from_dicts(rows)
+    return Table(_aggregate_schema(parts, group_by, combines), [])
+
+
+def _combine_one(combine: CombineSpec, partials: dict[str, list[Any]]) -> Any:
+    if combine.function == "avg":
+        total = sum(v for v in partials[combine.partials[0]] if v is not None)
+        count = sum(v for v in partials[combine.partials[1]] if v is not None)
+        return total / count if count else None
+    values = [v for v in partials[combine.partials[0]] if v is not None]
+    if combine.function == "count":
+        return int(sum(values))
+    if not values:
+        return None
+    if combine.function == "sum":
+        return sum(values)
+    if combine.function == "min":
+        return min(values)
+    return max(values)
+
+
+def _aggregate_schema(parts: Sequence[Table], group_by: Sequence[str],
+                      combines: Sequence[CombineSpec]) -> Schema:
+    columns: list[Column] = []
+    for name in group_by:
+        column = None
+        for part in parts:
+            if name in part.schema:
+                column = part.schema[name]
+                break
+        columns.append(column if column is not None else Column(name, DataType.STRING))
+    columns.extend(Column(combine.alias, DataType.FLOAT) for combine in combines)
+    return Schema(columns)
+
+
+# -- order-preserving merges ----------------------------------------------------------
+
+
+def _ordered_merge(parts: Sequence[Table], by: str, descending: bool, *,
+                   stringify: bool = False) -> Table:
+    """K-way merge of per-shard sorted runs (``None`` sorts first, as Sort does).
+
+    ``stringify`` compares by the value's string form — key/value range reads
+    are ordered by the *string* key even when the adapter coerced the column
+    to integers, so the sharded merge must follow the same collation.
+    """
+    non_empty = [part for part in parts if len(part)]
+    if not non_empty:
+        return parts[0] if parts else Table(Schema([Column(by, DataType.FLOAT)]), [])
+
+    def key(row: dict[str, Any]) -> tuple:
+        value = row.get(by)
+        if stringify and value is not None:
+            return (True, str(value))
+        return (value is not None, value)
+
+    runs = [part.to_dicts() for part in non_empty]
+    merged = list(heapq.merge(*runs, key=key, reverse=descending))
+    return Table.from_dicts(merged)
+
+
+def _global_top_k(parts: Sequence[Table], by: str, k: int, descending: bool) -> Table:
+    rows: list[dict[str, Any]] = []
+    for part in parts:
+        rows.extend(part.to_dicts())
+    rows.sort(key=lambda r: (r.get(by) is not None, r.get(by)), reverse=descending)
+    kept = rows[:k]
+    if kept:
+        return Table.from_dicts(kept)
+    return parts[0] if parts else Table(Schema([Column(by, DataType.FLOAT)]), [])
+
+
+def _rerank_search(parts: Sequence[Table], top_k: int) -> Table:
+    """Global re-rank of per-shard search results by descending score.
+
+    Scores are TF-IDF with *shard-local* document frequencies — the same
+    query-then-fetch approximation production distributed search engines
+    default to.  Rankings can deviate from a single-node index when term
+    distribution is very skewed across shards; see DESIGN.md.
+    """
+    rows: list[dict[str, Any]] = []
+    for part in parts:
+        rows.extend(part.to_dicts())
+    rows.sort(key=lambda r: float(r.get("score") or 0.0), reverse=True)
+    kept = rows[:top_k]
+    if kept:
+        return Table.from_dicts(kept)
+    return parts[0] if parts else Table(
+        Schema([Column("doc_id", DataType.STRING),
+                Column("score", DataType.FLOAT)]), [])

@@ -1,0 +1,630 @@
+"""ShardedEngine: horizontal partitioning of any substrate engine.
+
+A :class:`ShardedEngine` wraps ``N`` instances of one substrate engine type
+behind a pluggable :class:`~repro.cluster.partition.Partitioner` and presents
+itself to the middleware as a single :class:`~repro.stores.base.Engine`: it
+registers in the catalog, declares its shards' data model, capabilities and
+concurrency contract, and aggregates the per-shard ``data_version`` counters
+so a write to *any* shard invalidates every pinned scan snapshot that read
+this engine.
+
+Writes route through the partitioner:
+
+* relational rows route on a **declared shard key** column (per table),
+* key/value puts route on the key,
+* timeseries appends route on the series key (a series lives whole on one
+  shard, which keeps window/summary reads shard-local).
+
+Reads are scatter-gathered by the executor (see
+:mod:`repro.cluster.scatter`); the engine itself also offers merged
+convenience reads for direct native use.
+
+Online rebalancing (:mod:`repro.cluster.rebalance`) uses the three-phase
+hooks at the bottom of the class: :meth:`begin_rebalance` atomically
+snapshots the current data and installs a *pending* shard set that every
+subsequent write is mirrored into (dual-write), while reads keep answering
+from the old shard map; :meth:`cutover` swaps the maps atomically and keeps
+``data_version`` monotonic; :meth:`abort_rebalance` discards the pending set.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.cluster.partition import HashPartitioner, Partitioner
+from repro.datamodel.schema import Column, DataType, Schema
+from repro.datamodel.table import Table
+from repro.exceptions import ConfigurationError, StorageError
+from repro.stores.base import Capability, DataModel, Engine
+
+#: Data models the scatter-gather executor can partition correctly.  Graph
+#: engines are excluded: paths and neighbourhoods cross shard boundaries, so
+#: a sharded graph engine would silently drop cross-shard edges.
+PARTITIONABLE_MODELS = frozenset({
+    DataModel.RELATIONAL, DataModel.KEY_VALUE, DataModel.TIMESERIES,
+    DataModel.DOCUMENT,
+})
+
+ShardFactory = Callable[[int], Engine]
+
+
+@dataclass
+class ShardPayload:
+    """One unit of data extracted from a shard during a rebalance.
+
+    ``table`` payloads travel through the
+    :class:`~repro.middleware.migration.DataMigrator` (so the rebalance is
+    charged realistic serialization + transfer costs); ``items`` payloads
+    (arbitrary key/value objects) move by reference, mirroring how the
+    executor treats non-tabular migrations.
+    """
+
+    kind: str                      # "relational_table" | "kv_items" | "ts_series"
+    name: str                      # table name, series key, or shard name
+    source_shard: str
+    table: Table | None = None
+    items: list[tuple[str, Any]] | None = None
+    #: Series tags (timeseries payloads only), recreated at apply time.
+    tags: dict[str, str] | None = None
+
+    @property
+    def rows(self) -> int:
+        """Number of rows/entries this payload carries."""
+        if self.table is not None:
+            return len(self.table)
+        return len(self.items or [])
+
+
+_TS_PAYLOAD_SCHEMA = Schema([Column("timestamp", DataType.FLOAT),
+                             Column("value", DataType.FLOAT)])
+
+
+def _resolve_factory(name: str, shard_factory: ShardFactory | type) -> ShardFactory:
+    if isinstance(shard_factory, type):
+        if not issubclass(shard_factory, Engine):
+            raise ConfigurationError(
+                f"shard factory class {shard_factory.__name__} is not an Engine"
+            )
+        return lambda index: shard_factory(f"{name}-s{index}")
+    return shard_factory
+
+
+class ShardedEngine(Engine):
+    """N substrate engine instances behind one partitioned facade."""
+
+    def __init__(self, name: str, shard_factory: ShardFactory | type,
+                 num_shards: int | None = None, *,
+                 partitioner: Partitioner | None = None) -> None:
+        super().__init__(name)
+        if partitioner is None:
+            if num_shards is None:
+                raise ConfigurationError(
+                    "ShardedEngine needs num_shards or an explicit partitioner"
+                )
+            partitioner = HashPartitioner(num_shards)
+        elif num_shards is not None and num_shards != partitioner.num_shards:
+            raise ConfigurationError(
+                f"num_shards={num_shards} disagrees with the partitioner's "
+                f"{partitioner.num_shards} shards"
+            )
+        self._factory = _resolve_factory(name, shard_factory)
+        self._partitioner = partitioner
+        self._shards = [self._build_shard(i) for i in range(partitioner.num_shards)]
+        self._lock = threading.RLock()
+        #: Declared shard-key column per relational table.
+        self._shard_keys: dict[str, str] = {}
+        #: ``create_table`` keyword arguments per table (e.g. page_capacity),
+        #: replayed when a rebalance builds the pending shard set.
+        self._table_kwargs: dict[str, dict[str, Any]] = {}
+        #: Offset keeping the aggregated data_version monotonic across
+        #: cutovers (the new shard set starts from fresh counters).
+        self._version_base = 0
+        #: ``(shards, partitioner)`` being populated by an in-flight
+        #: rebalance; writes are mirrored into it, reads never see it.
+        self._pending: tuple[list[Engine], Partitioner] | None = None
+        #: Keys overwritten/deleted by dual-writes since ``begin_rebalance``.
+        #: The snapshot copy must not clobber them: key/value puts are
+        #: last-write-wins, so replaying a pre-snapshot value over a newer
+        #: dual-written one would lose the update (or resurrect a delete).
+        self._pending_overrides: set[str] = set()
+        # Present the shards' contracts as this engine's own.
+        template = self._shards[0]
+        self.data_model = template.data_model
+        self.concurrency = template.concurrency
+        if self.data_model not in PARTITIONABLE_MODELS:
+            # A sharded graph/tensor engine would silently answer from the
+            # primary shard only — reject loudly instead.
+            raise ConfigurationError(
+                f"cannot shard a {self.data_model.value} engine: its reads "
+                f"are not partitionable (see PARTITIONABLE_MODELS)"
+            )
+
+    def _build_shard(self, index: int) -> Engine:
+        shard = self._factory(index)
+        if not isinstance(shard, Engine):
+            raise ConfigurationError(
+                f"shard factory returned {type(shard).__name__}, not an Engine"
+            )
+        return shard
+
+    # -- topology ---------------------------------------------------------------------
+
+    @property
+    def shards(self) -> list[Engine]:
+        """The shard instances currently serving reads."""
+        with self._lock:
+            return list(self._shards)
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards currently serving reads."""
+        with self._lock:
+            return len(self._shards)
+
+    @property
+    def primary(self) -> Engine:
+        """The designated primary shard (non-partitionable operators run here)."""
+        with self._lock:
+            return self._shards[0]
+
+    @property
+    def partitioner(self) -> Partitioner:
+        """The partitioner behind the current shard map."""
+        with self._lock:
+            return self._partitioner
+
+    def topology(self) -> tuple[list[Engine], Partitioner]:
+        """The current ``(shards, partitioner)`` pair, read atomically.
+
+        Readers that route with a partitioner and then index into the shard
+        list must take both from one call — fetching them separately can
+        tear across a concurrent rebalance cutover.
+        """
+        with self._lock:
+            return list(self._shards), self._partitioner
+
+    def shard(self, index: int) -> Engine:
+        """One shard by index."""
+        with self._lock:
+            return self._shards[index]
+
+    def shard_for(self, key: Any) -> Engine:
+        """The shard currently owning ``key``."""
+        with self._lock:
+            return self._shards[self._partitioner.shard_for(key)]
+
+    def shard_key_for(self, table: str) -> str | None:
+        """The declared shard-key column of a relational table (or ``None``)."""
+        with self._lock:
+            return self._shard_keys.get(table)
+
+    @property
+    def partitionable(self) -> bool:
+        """Whether the executor may scatter-gather reads across the shards."""
+        return self.data_model in PARTITIONABLE_MODELS
+
+    # -- Engine contract --------------------------------------------------------------
+
+    def capabilities(self) -> frozenset[Capability]:
+        return self.primary.capabilities()
+
+    @property
+    def data_version(self) -> int:
+        """Aggregate of every shard's mutation counter (plus cutover bumps).
+
+        Any write to any shard changes the aggregate, so prepared programs
+        pinning results read from this engine revalidate correctly.
+        """
+        with self._lock:
+            return (self._version_base + self._data_version
+                    + sum(shard.data_version for shard in self._shards))
+
+    def describe(self) -> dict[str, Any]:
+        description = super().describe()
+        with self._lock:
+            description["shards"] = [shard.name for shard in self._shards]
+            description["partitioner"] = self._partitioner.describe()
+            description["shard_keys"] = dict(self._shard_keys)
+            description["rebalancing"] = self._pending is not None
+        return description
+
+    # -- write routing: relational ----------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema, *, shard_key: str | None = None,
+                     **kwargs: Any) -> None:
+        """Create ``name`` on every shard, declaring its shard-key column.
+
+        The shard key defaults to the schema's first column; rows route by
+        the partitioner applied to that column's value.
+        """
+        key = shard_key if shard_key is not None else schema.names[0]
+        if key not in schema:
+            raise StorageError(f"shard key {key!r} is not a column of {name!r}")
+        with self._lock:
+            for shard in self._all_write_shards():
+                shard.create_table(name, schema, **kwargs)
+            self._shard_keys[name] = key
+            self._table_kwargs[name] = dict(kwargs)
+
+    def drop_table(self, name: str) -> None:
+        """Drop ``name`` from every shard."""
+        with self._lock:
+            for shard in self._all_write_shards():
+                shard.drop_table(name)
+            self._shard_keys.pop(name, None)
+            self._table_kwargs.pop(name, None)
+
+    def insert(self, table: str, rows: Iterable[Sequence[Any]], **kwargs: Any) -> int:
+        """Insert positional rows, routing each by the table's shard key."""
+        with self._lock:
+            key_index = self._shard_key_index(table)
+            count = 0
+            grouped: dict[int, list[tuple]] = {}
+            for row in rows:
+                row_t = tuple(row)
+                grouped.setdefault(
+                    self._partitioner.shard_for(row_t[key_index]), []).append(row_t)
+                count += 1
+            for shard_index, shard_rows in grouped.items():
+                self._shards[shard_index].insert(table, shard_rows, **kwargs)
+            self._mirror_relational_insert(table, key_index, grouped)
+        return count
+
+    def insert_dicts(self, table: str, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Insert dictionary rows, routing each by the table's shard key."""
+        names = self.table_schema(table).names
+        return self.insert(table, (tuple(row.get(n) for n in names) for row in rows))
+
+    def load_table(self, name: str, table: Table, *, shard_key: str | None = None,
+                   **kwargs: Any) -> None:
+        """Create ``name`` from an in-memory table and route its rows."""
+        self.create_table(name, table.schema, shard_key=shard_key, **kwargs)
+        self.insert(name, table.rows)
+
+    def _shard_key_index(self, table: str) -> int:
+        key = self._shard_keys.get(table)
+        if key is None:
+            raise StorageError(
+                f"table {table!r} has no declared shard key (create it through "
+                f"the ShardedEngine, not on individual shards)"
+            )
+        return self.table_schema(table).index_of(key)
+
+    def _mirror_relational_insert(self, table: str, key_index: int,
+                                  grouped: dict[int, list[tuple]]) -> None:
+        if self._pending is None:
+            return
+        shards, partitioner = self._pending
+        regrouped: dict[int, list[tuple]] = {}
+        for shard_rows in grouped.values():
+            for row in shard_rows:
+                regrouped.setdefault(partitioner.shard_for(row[key_index]), []).append(row)
+        for shard_index, shard_rows in regrouped.items():
+            shards[shard_index].insert(table, shard_rows)
+
+    # -- write routing: key/value -----------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert or overwrite ``key`` on its owning shard."""
+        with self._lock:
+            self._shards[self._partitioner.shard_for(key)].put(key, value)
+            if self._pending is not None:
+                shards, partitioner = self._pending
+                shards[partitioner.shard_for(key)].put(key, value)
+                self._pending_overrides.add(key)
+
+    def put_many(self, items: Mapping[str, Any]) -> None:
+        """Insert or overwrite many keys."""
+        for key, value in items.items():
+            self.put(key, value)
+
+    def delete(self, key: str) -> None:
+        """Delete ``key`` from its owning shard."""
+        with self._lock:
+            self._shards[self._partitioner.shard_for(key)].delete(key)
+            if self._pending is not None:
+                shards, partitioner = self._pending
+                shards[partitioner.shard_for(key)].delete(key)
+                self._pending_overrides.add(key)
+
+    # -- write routing: timeseries ----------------------------------------------------
+
+    def create_series(self, key: str, tags: dict[str, str] | None = None) -> Any:
+        """Create (or return) a series on its owning shard."""
+        with self._lock:
+            series = self._shards[self._partitioner.shard_for(key)].create_series(key, tags)
+            if self._pending is not None:
+                shards, partitioner = self._pending
+                shards[partitioner.shard_for(key)].create_series(key, tags)
+        return series
+
+    def append(self, key: str, timestamp: float, value: float) -> None:
+        """Append one point to the series' owning shard."""
+        with self._lock:
+            self._shards[self._partitioner.shard_for(key)].append(key, timestamp, value)
+            if self._pending is not None:
+                shards, partitioner = self._pending
+                shards[partitioner.shard_for(key)].append(key, timestamp, value)
+
+    def append_many(self, key: str, points: Iterable[tuple[float, float]]) -> int:
+        """Append many points to the series' owning shard."""
+        materialized = list(points)
+        with self._lock:
+            count = self._shards[self._partitioner.shard_for(key)].append_many(
+                key, materialized)
+            if self._pending is not None:
+                shards, partitioner = self._pending
+                shards[partitioner.shard_for(key)].append_many(key, materialized)
+        return int(count)
+
+    # -- write routing: text/document --------------------------------------------------
+
+    def add_document(self, doc_id: str, text: str, **kwargs: Any) -> Any:
+        """Index one document on its owning shard (routed by ``doc_id``)."""
+        with self._lock:
+            result = self._shards[self._partitioner.shard_for(doc_id)].add_document(
+                doc_id, text, **kwargs)
+            if self._pending is not None:
+                shards, partitioner = self._pending
+                shards[partitioner.shard_for(doc_id)].add_document(
+                    doc_id, text, **kwargs)
+        return result
+
+    # -- merged reads (direct native use; the executor scatter-gathers itself) --------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Point lookup routed to the owning shard."""
+        return self.shard_for(key).get(key, default)
+
+    def multi_get(self, keys: list[str]) -> dict[str, Any]:
+        """Point lookups grouped by owning shard."""
+        out: dict[str, Any] = {}
+        with self._lock:
+            grouped = self._partitioner.shards_for(keys)
+            shards = list(self._shards)
+        for shard_index, shard_keys in grouped.items():
+            out.update(shards[shard_index].multi_get(list(shard_keys)))
+        return out
+
+    def range(self, start: str | None = None,
+              end: str | None = None) -> Iterator[tuple[str, Any]]:
+        """Key-ordered merge of every shard's range scan."""
+        parts = [list(shard.range(start, end)) for shard in self.shards]
+        yield from heapq.merge(*parts, key=lambda pair: pair[0])
+
+    def scan(self, *args: Any, **kwargs: Any) -> Any:
+        """Merged full scan.
+
+        For relational shards this is ``scan(table, columns)`` returning the
+        concatenation of every shard's rows; for key/value shards it is the
+        key-ordered merged iterator.
+        """
+        if self.data_model is DataModel.KEY_VALUE and not args and not kwargs:
+            return self.range(None, None)
+        parts = [shard.scan(*args, **kwargs) for shard in self.shards]
+        return concat_tables(parts)
+
+    def query_range(self, key: str, start: float | None = None,
+                    end: float | None = None) -> Any:
+        """Timeseries range read routed to the series' owning shard."""
+        return self.shard_for(key).query_range(key, start, end)
+
+    def summarize(self, key: str, start: float | None = None,
+                  end: float | None = None) -> Any:
+        """Timeseries summary routed to the series' owning shard."""
+        return self.shard_for(key).summarize(key, start, end)
+
+    def list_series(self, tag_filter: dict[str, str] | None = None) -> list[str]:
+        """Union of every shard's series keys."""
+        keys: set[str] = set()
+        for shard in self.shards:
+            keys.update(shard.list_series(tag_filter))
+        return sorted(keys)
+
+    def has_series(self, key: str) -> bool:
+        """Whether the owning shard holds the series."""
+        return bool(self.shard_for(key).has_series(key))
+
+    # -- relational metadata (catalog + compiler hooks) --------------------------------
+
+    def table_schema(self, name: str) -> Schema:
+        """Schema of a sharded table (identical on every shard)."""
+        return self.primary.table_schema(name)
+
+    def has_table(self, name: str) -> bool:
+        """Whether the sharded table exists."""
+        return bool(self.primary.has_table(name))
+
+    def list_tables(self) -> list[str]:
+        """Names of sharded tables."""
+        return self.primary.list_tables()
+
+    def table_statistics(self, name: str) -> dict[str, Any]:
+        """Aggregated statistics: total rows plus the per-shard breakdown."""
+        per_shard = [shard.table_statistics(name) for shard in self.shards]
+        merged = dict(per_shard[0])
+        merged["rows"] = sum(int(stats.get("rows", 0)) for stats in per_shard)
+        merged["shard_rows"] = [int(stats.get("rows", 0)) for stats in per_shard]
+        merged["shards"] = len(per_shard)
+        return merged
+
+    def statistics(self) -> dict[str, Any]:
+        """Aggregated engine statistics (duck-typed per substrate)."""
+        per_shard = []
+        for shard in self.shards:
+            stats_fn = getattr(shard, "statistics", None)
+            per_shard.append(stats_fn() if callable(stats_fn) else {})
+        return {"shards": len(per_shard), "per_shard": per_shard}
+
+    # -- rebalancing hooks (driven by repro.cluster.rebalance) -------------------------
+
+    @property
+    def rebalancing(self) -> bool:
+        """Whether a rebalance is in flight (dual-writes active)."""
+        with self._lock:
+            return self._pending is not None
+
+    def begin_rebalance(self, partitioner: Partitioner) -> list[ShardPayload]:
+        """Atomically snapshot current data and install the pending shard set.
+
+        Returns the snapshot payloads the rebalancer must copy into the new
+        shards.  From this moment every write lands in *both* shard maps, so
+        the snapshot plus the dual-writes equals the full state at cutover.
+        """
+        with self._lock:
+            if self._pending is not None:
+                raise ConfigurationError(
+                    f"engine {self.name!r} is already rebalancing"
+                )
+            new_shards = [self._build_shard(i) for i in range(partitioner.num_shards)]
+            for table in self._shard_keys:
+                schema = self.table_schema(table)
+                kwargs = self._table_kwargs.get(table, {})
+                for shard in new_shards:
+                    shard.create_table(table, schema, **kwargs)
+            payloads = self._extract_snapshot()
+            self._pending = (new_shards, partitioner)
+            self._pending_overrides = set()
+            return payloads
+
+    def pending_topology(self) -> tuple[list[Engine], Partitioner]:
+        """The shard set and partitioner being populated by a rebalance."""
+        with self._lock:
+            if self._pending is None:
+                raise ConfigurationError(f"engine {self.name!r} is not rebalancing")
+            shards, partitioner = self._pending
+            return list(shards), partitioner
+
+    def apply_payload(self, payload: ShardPayload, table: Table | None = None) -> int:
+        """Load one (possibly migrated) snapshot payload into the pending shards.
+
+        ``table`` is the payload's tabular data as received after migration;
+        it defaults to the payload's own table.  Returns rows applied.
+        """
+        with self._lock:
+            if self._pending is None:
+                raise ConfigurationError(f"engine {self.name!r} is not rebalancing")
+            shards, partitioner = self._pending
+            if payload.kind == "relational_table":
+                received = table if table is not None else payload.table
+                assert received is not None
+                key_index = received.schema.index_of(self._shard_keys[payload.name])
+                grouped: dict[int, list[tuple]] = {}
+                for row in received.rows:
+                    grouped.setdefault(
+                        partitioner.shard_for(row[key_index]), []).append(row)
+                for shard_index, rows in grouped.items():
+                    shards[shard_index].insert(payload.name, rows)
+                return len(received)
+            if payload.kind == "ts_series":
+                received = table if table is not None else payload.table
+                assert received is not None
+                points = [(float(t), float(v)) for t, v in received.rows]
+                owner = shards[partitioner.shard_for(payload.name)]
+                series = owner.create_series(payload.name, payload.tags)
+                if payload.tags:
+                    # A dual-written append may have auto-created the series
+                    # tagless before this payload arrived; create_series
+                    # ignores tags for existing series, so merge explicitly.
+                    series.tags.update(payload.tags)
+                owner.append_many(payload.name, points)
+                return len(points)
+            if payload.kind == "kv_items":
+                applied = 0
+                for key, value in payload.items or []:
+                    if key in self._pending_overrides:
+                        continue  # a dual-write since the snapshot is newer
+                    shards[partitioner.shard_for(key)].put(key, value)
+                    applied += 1
+                return applied
+            raise ConfigurationError(f"unknown payload kind {payload.kind!r}")
+
+    def cutover(self) -> list[Engine]:
+        """Swap the pending shard map in; returns the retired shards.
+
+        ``data_version`` stays strictly monotonic across the swap even though
+        the new shards start from fresh counters.
+        """
+        with self._lock:
+            if self._pending is None:
+                raise ConfigurationError(f"engine {self.name!r} is not rebalancing")
+            old_version = self.data_version
+            retired = self._shards
+            self._shards, self._partitioner = self._pending
+            self._pending = None
+            self._pending_overrides = set()
+            new_sum = sum(shard.data_version for shard in self._shards)
+            self._version_base = old_version + 1 - self._data_version - new_sum
+            return retired
+
+    def abort_rebalance(self) -> None:
+        """Discard the pending shard set (writes stop being mirrored)."""
+        with self._lock:
+            self._pending = None
+            self._pending_overrides = set()
+
+    def _extract_snapshot(self) -> list[ShardPayload]:
+        payloads: list[ShardPayload] = []
+        for shard in self._shards:
+            if self.data_model is DataModel.RELATIONAL:
+                for table in self._shard_keys:
+                    payloads.append(ShardPayload(
+                        kind="relational_table", name=table,
+                        source_shard=shard.name, table=shard.scan(table)))
+            elif self.data_model is DataModel.TIMESERIES:
+                for key in shard.list_series():
+                    series = shard.series(key)
+                    rows = [(point.timestamp, point.value) for point in series]
+                    payloads.append(ShardPayload(
+                        kind="ts_series", name=key, source_shard=shard.name,
+                        table=Table(_TS_PAYLOAD_SCHEMA, rows),
+                        tags=dict(series.tags)))
+            elif self.data_model is DataModel.KEY_VALUE:
+                payloads.append(ShardPayload(
+                    kind="kv_items", name=shard.name, source_shard=shard.name,
+                    items=list(shard.scan())))
+            else:
+                raise ConfigurationError(
+                    f"cannot rebalance a {self.data_model.value} sharded engine"
+                )
+        # Empty series still exist (and carry tags); only rowless table/kv
+        # payloads are pure noise.
+        return [payload for payload in payloads
+                if payload.rows or payload.kind == "ts_series"]
+
+    def _all_write_shards(self) -> list[Engine]:
+        shards = list(self._shards)
+        if self._pending is not None:
+            shards.extend(self._pending[0])
+        return shards
+
+    def __repr__(self) -> str:
+        return (f"ShardedEngine(name={self.name!r}, shards={self.num_shards}, "
+                f"model={self.data_model.value})")
+
+
+def concat_tables(parts: Sequence[Table]) -> Table:
+    """Union-all of per-shard tables, tolerant of empty parts.
+
+    Falls back to a dict-level rebuild when inferred schemas disagree (e.g.
+    one shard inferred INT where another saw FLOAT).
+    """
+    if not parts:
+        raise ConfigurationError("cannot concatenate zero shard results")
+    non_empty = [part for part in parts if len(part)]
+    if not non_empty:
+        return parts[0]
+    base = non_empty[0]
+    try:
+        result = base
+        for part in non_empty[1:]:
+            result = result.concat(part)
+        return result
+    except Exception:  # noqa: BLE001 - schema drift between shards
+        rows: list[dict[str, Any]] = []
+        for part in non_empty:
+            rows.extend(part.to_dicts())
+        return Table.from_dicts(rows)

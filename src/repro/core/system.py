@@ -10,6 +10,7 @@ reports.  It also exposes the three execution modes the benchmarks compare
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass, field
 from typing import Any
@@ -110,6 +111,7 @@ class PolystorePlusPlus:
         self._plan_generation = 0
         self._sessions: "weakref.WeakSet" = weakref.WeakSet()
         self._default_session = None
+        self._default_session_lock = threading.Lock()
 
     # -- deployment -----------------------------------------------------------------------
 
@@ -118,6 +120,55 @@ class PolystorePlusPlus:
         self.catalog.register_engine(engine)
         self._invalidate_plans()
         return engine
+
+    def register_sharded_engine(self, name: str, shard_factory,
+                                num_shards: int | None = None, *,
+                                partitioner=None):
+        """Build and attach a :class:`~repro.cluster.ShardedEngine`.
+
+        ``shard_factory`` is either an :class:`Engine` subclass (shards are
+        named ``{name}-s{i}``) or a callable ``index -> Engine``.  The
+        executor scatter-gathers partitionable operators across the shards;
+        see :mod:`repro.cluster`.
+        """
+        from repro.cluster import ShardedEngine
+
+        engine = ShardedEngine(name, shard_factory, num_shards,
+                               partitioner=partitioner)
+        self.register_engine(engine)
+        return engine
+
+    def rebalance_sharded_engine(self, name: str, num_shards: int | None = None, *,
+                                 partitioner=None, strategy: str | None = None):
+        """Online-repartition a registered sharded engine (e.g. 4 -> 8 shards).
+
+        Data moves through this deployment's migrator (charging real
+        serialization plus simulated transfer on :attr:`network`); queries
+        keep answering against the old shard map until cutover.  Pinned scan
+        snapshots revalidate automatically because the engine's
+        ``data_version`` bumps at cutover.  Returns the
+        :class:`~repro.cluster.RebalanceReport`.
+
+        Supported for relational, key/value and timeseries shards; sharded
+        *document* (text) engines scatter-gather queries but cannot be
+        rebalanced yet (see DESIGN.md) — attempting it raises
+        :class:`~repro.exceptions.ConfigurationError`.
+        """
+        from repro.cluster import ShardedEngine, ShardRebalancer
+        from repro.middleware.migration import DataMigrator
+
+        engine = self.engine(name)
+        if not isinstance(engine, ShardedEngine):
+            raise ConfigurationError(
+                f"engine {name!r} is not a ShardedEngine; cannot rebalance"
+            )
+        migrator = DataMigrator(
+            self._network,
+            serializer_accelerator=self._serializer_accelerator,
+            default_strategy=(strategy or self.config.migration_strategy),
+        )
+        rebalancer = ShardRebalancer(engine, migrator=migrator)
+        return rebalancer.rebalance(num_shards, partitioner=partitioner)
 
     def register_accelerator(self, accelerator: Accelerator, *,
                              use_for_migration: bool = False) -> Accelerator:
@@ -254,9 +305,10 @@ class PolystorePlusPlus:
 
     def default_session(self):
         """The session backing :meth:`execute` and :meth:`compare_modes`."""
-        if self._default_session is None:
-            self._default_session = self.session(name="default")
-        return self._default_session
+        with self._default_session_lock:  # concurrent first executes race here
+            if self._default_session is None:
+                self._default_session = self.session(name="default")
+            return self._default_session
 
     def execute(self, program: HeterogeneousProgram, *, mode: str = "polystore++",
                 options: CompilerOptions | None = None) -> ExecutionResult:

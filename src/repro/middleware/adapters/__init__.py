@@ -22,6 +22,13 @@ from repro.stores.timeseries.engine import TimeseriesEngine
 
 def adapter_for(engine: Engine) -> Adapter:
     """Build the adapter matching an engine's concrete type."""
+    # Imported lazily: the cluster package builds per-shard adapters through
+    # this very function, so a module-level import would be circular.
+    from repro.cluster.adapter import ShardedAdapter
+    from repro.cluster.sharded import ShardedEngine
+
+    if isinstance(engine, ShardedEngine):
+        return ShardedAdapter(engine)
     if isinstance(engine, RelationalEngine):
         return RelationalAdapter(engine)
     if isinstance(engine, KeyValueEngine):

@@ -19,11 +19,14 @@ platforms"):
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Protocol
 
 from repro.catalog import Catalog
+from repro.cluster.scatter import ScatterGather, ShardedValue, gather
+from repro.cluster.sharded import ShardedEngine
 from repro.datamodel.table import Table
 from repro.exceptions import CatalogError, ExecutionError
 from repro.ir.graph import IRGraph
@@ -61,6 +64,15 @@ class Executor:
         #: concurrent dispatch entirely.
         self.max_workers = max_workers
         self._adapters: dict[str, Adapter] = {}
+        self._scatter = ScatterGather()
+        #: Engine-name -> ShardedEngine (or None) resolution cache; checked
+        #: for every node, so the catalog lookup must not repeat per node.
+        self._sharded_engines: dict[str, ShardedEngine | None] = {}
+        #: Dedicated pool for shard fan-out; separate from the stage pool so
+        #: a stage task scattering across shards can never deadlock on its
+        #: own pool's slots.
+        self._shard_pool: ThreadPoolExecutor | None = None
+        self._shard_pool_lock = threading.Lock()
 
     # -- public API ---------------------------------------------------------------------
 
@@ -87,11 +99,14 @@ class Executor:
         finally:
             if pool is not None:
                 pool.shutdown(wait=True)
+            if self._shard_pool is not None:
+                self._shard_pool.shutdown(wait=True)
+                self._shard_pool = None
         outputs: dict[str, Any] = {}
         for output_id in graph.outputs:
             node = graph.node(output_id)
             name = node.annotations.get("fragment") or output_id
-            outputs[name] = results[output_id]
+            outputs[name] = gather(results[output_id])
         report.elapsed_wall_s = time.perf_counter() - run_start
         return outputs, report
 
@@ -118,8 +133,10 @@ class Executor:
             concurrent_ids = {n.op_id for n in concurrent}
             serial = [n for n in pending if n.op_id not in concurrent_ids]
             for node in concurrent:
-                # Warm the adapter map serially; the dict is not guarded.
+                # Warm the adapter and sharded-engine maps serially; the
+                # dicts are not guarded against worker-thread insertion.
                 self._adapter(str(node.engine))
+                self._sharded_engine(str(node.engine))
             if pool is None:  # one pool per run, reused across stages
                 pool = ThreadPoolExecutor(max_workers=self.max_workers)
             futures = {
@@ -162,6 +179,15 @@ class Executor:
     def _execute_node(self, node: Operator, inputs: list[Any],
                       stage: int) -> tuple[Any, TaskRecord]:
         start = time.perf_counter()
+        scattered = self._try_scatter_gather(node, inputs)
+        if scattered is not None:
+            value, record = scattered
+            record.stage = stage
+            record.wall_time_s = time.perf_counter() - start
+            return value, record
+        # Partitions only flow between operators the scatter path handles;
+        # every other consumer sees the gathered (merged) value.
+        inputs = [gather(value) for value in inputs]
         simulated_extra = 0.0
         offloaded = False
         details: dict[str, Any] = {}
@@ -195,6 +221,58 @@ class Executor:
             details=details,
         )
         return value, record
+
+    def _try_scatter_gather(self, node: Operator, inputs: list[Any]
+                            ) -> tuple[Any, TaskRecord] | None:
+        """Scatter-gather dispatch when the node targets a sharded engine.
+
+        Returns ``None`` when the node is not scatter-gatherable (the caller
+        falls back to the ordinary single-adapter path, which for sharded
+        engines means the designated primary shard).  The record's charged
+        time is the scatter's critical path: the slowest shard subtask plus
+        the merge, modeling shards as independent machines.
+        """
+        if node.engine is None or node.accelerator or node.kind == "migrate":
+            return None
+        engine = self._sharded_engine(node.engine)
+        if engine is None:
+            return None
+        execution = self._scatter.execute(engine, node, inputs,
+                                          self._scatter_pool(engine))
+        if execution is None:
+            return None
+        record = TaskRecord(
+            op_id=node.op_id,
+            kind=node.kind,
+            engine=node.engine,
+            accelerator=None,
+            stage=0,
+            wall_time_s=0.0,
+            simulated_time_s=execution.critical_path_s,
+            rows_out=self._rows_of(execution.value),
+            details=execution.details,
+        )
+        return execution.value, record
+
+    def _sharded_engine(self, name: str) -> ShardedEngine | None:
+        if name not in self._sharded_engines:
+            try:
+                engine = self.catalog.engine(name)
+            except CatalogError:
+                engine = None
+            self._sharded_engines[name] = (engine if isinstance(engine, ShardedEngine)
+                                           else None)
+        return self._sharded_engines[name]
+
+    def _scatter_pool(self, engine: ShardedEngine) -> ThreadPoolExecutor | None:
+        if engine.concurrency is not Concurrency.THREAD_SAFE:
+            return None
+        if (self.max_workers or 0) < 2:
+            return None
+        with self._shard_pool_lock:
+            if self._shard_pool is None:
+                self._shard_pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            return self._shard_pool
 
     def _execute_on_engine(self, node: Operator, inputs: list[Any]) -> Any:
         if node.engine is None:
@@ -290,9 +368,7 @@ class Executor:
 
     @staticmethod
     def _rows_of(value: Any) -> int:
-        if isinstance(value, Table):
-            return len(value)
-        if isinstance(value, list):
+        if isinstance(value, (Table, list, ShardedValue)):
             return len(value)
         return 1
 

@@ -1,5 +1,12 @@
-"""Synthetic workload generators for the paper's motivating applications."""
+"""Synthetic workload generators for the paper's motivating applications.
 
+Every generator entry point takes a deterministic ``seed`` (see
+:mod:`repro.workloads.generator`), so benchmarks and tests are reproducible
+run-to-run; :data:`~repro.workloads.generator.DEFAULT_SEED` applies when none
+is given.
+"""
+
+from repro.workloads.generator import DEFAULT_SEED, as_rng, rng_for
 from repro.workloads.mimic import (
     MimicDataset,
     build_admission_history_program,
@@ -24,6 +31,9 @@ from repro.workloads.snorkel import (
 )
 
 __all__ = [
+    "DEFAULT_SEED",
+    "rng_for",
+    "as_rng",
     "MimicDataset",
     "generate_mimic",
     "load_mimic",

@@ -22,20 +22,43 @@ _NOTE_PHRASES_ACUTE = (
 )
 
 
-def rng_for(seed: int) -> np.random.Generator:
-    """A reproducible random generator."""
-    return np.random.default_rng(seed)
+#: Seed used whenever a workload entry point is called without one, so every
+#: benchmark and test run sees identical synthetic data by default.
+DEFAULT_SEED = 7
+
+def rng_for(seed: int | None = None) -> np.random.Generator:
+    """A reproducible random generator (``None`` uses :data:`DEFAULT_SEED`)."""
+    return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
 
 
-def random_name(rng: np.random.Generator) -> str:
-    """A plausible person name."""
+def as_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Coerce a seed (or ``None``) into a generator; pass generators through.
+
+    Every generator entry point accepts this union, so callers can thread one
+    shared generator through a whole dataset build *or* pin each helper with
+    its own deterministic seed.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return rng_for(rng)
+
+
+def random_name(rng: np.random.Generator | int) -> str:
+    """A plausible person name.
+
+    ``rng`` is required (generator or seed): an implicit per-call default
+    seed would make every argument-less call return the identical name.
+    """
+    rng = as_rng(rng)
     first = _FIRST_NAMES[int(rng.integers(len(_FIRST_NAMES)))]
     last = _LAST_NAMES[int(rng.integers(len(_LAST_NAMES)))]
     return f"{first} {last}"
 
 
-def clinical_note(rng: np.random.Generator, *, acute: bool, sentences: int = 4) -> str:
+def clinical_note(rng: np.random.Generator | int, *, acute: bool,
+                  sentences: int = 4) -> str:
     """A synthetic clinical note; acute notes mention sepsis/ventilator terms."""
+    rng = as_rng(rng)
     phrases = []
     for _ in range(max(1, sentences)):
         pool = _NOTE_PHRASES_ACUTE if (acute and rng.random() < 0.7) else _NOTE_PHRASES_STABLE
@@ -43,11 +66,13 @@ def clinical_note(rng: np.random.Generator, *, acute: bool, sentences: int = 4) 
     return ". ".join(phrases) + "."
 
 
-def vital_sign_series(rng: np.random.Generator, *, n_points: int, base: float,
+def vital_sign_series(rng: np.random.Generator | int, *,
+                      n_points: int, base: float,
                       spread: float, trend: float = 0.0,
                       start_time: float = 0.0, interval_s: float = 60.0
                       ) -> list[tuple[float, float]]:
     """A synthetic vital-sign series with noise and an optional trend."""
+    rng = as_rng(rng)
     times = start_time + interval_s * np.arange(n_points)
     values = base + trend * np.arange(n_points) + rng.normal(0.0, spread, size=n_points)
     return [(float(t), float(v)) for t, v in zip(times, values)]

@@ -115,7 +115,8 @@ class LabelingPipelineResult:
 
 def run_labeling_pipeline(relational: RelationalEngine, *, table_name: str = "documents",
                           epochs: int = 3, batch_size: int = 128,
-                          learning_rate: float = 0.2) -> LabelingPipelineResult:
+                          learning_rate: float = 0.2,
+                          seed: int = 0) -> LabelingPipelineResult:
     """The Figure 3 loop: per batch, load data with SQL, weak-label it, SGD-step.
 
     Every batch issues a fresh SQL query against the relational engine (as the
@@ -147,7 +148,8 @@ def run_labeling_pipeline(relational: RelationalEngine, *, table_name: str = "do
             features = np.array([[float(r[c]) for c in feature_columns] for r in rows])
             # Normalize the length feature so SGD stays well conditioned.
             features[:, 0] = features[:, 0] / 3000.0
-            losses.extend(model.fit(features, labels, epochs=1, batch_size=len(rows)))
+            losses.extend(model.fit(features, labels, epochs=1, batch_size=len(rows),
+                                    seed=seed))
             batches += 1
     # Accuracy against the hidden true label, evaluated on the full table.
     full = relational.execute_sql(

@@ -116,3 +116,129 @@ class TestSessionPlanCaching:
         system.execute(_orders_program(), mode="cpu_polystore")
         stats = system.default_session().stats()["plan_cache"]
         assert stats["hits"] >= 1
+
+
+class TestDataVersionInvalidation:
+    """Engine writes bump ``data_version`` and unpin exactly the affected scans."""
+
+    def test_every_mutator_bumps_data_version(self):
+        from repro.stores import KeyValueEngine, TextEngine
+
+        relational = RelationalEngine("vdb")
+        versions = [relational.data_version]
+        schema = make_schema(("id", DataType.INT), ("x", DataType.FLOAT))
+        relational.create_table("t", schema)
+        versions.append(relational.data_version)
+        relational.insert("t", [(1, 2.0)])
+        versions.append(relational.data_version)
+        relational.drop_table("t")
+        versions.append(relational.data_version)
+        assert versions == sorted(set(versions)), "each mutation must bump"
+
+        keyvalue = KeyValueEngine("kvv")
+        before = keyvalue.data_version
+        keyvalue.put("a", 1)
+        assert keyvalue.data_version > before
+        mid = keyvalue.data_version
+        keyvalue.delete("a")
+        assert keyvalue.data_version > mid
+
+        timeseries = TimeseriesEngine("tsv")
+        before = timeseries.data_version
+        timeseries.append("s", 1.0, 2.0)
+        assert timeseries.data_version > before
+
+        text = TextEngine("txv")
+        before = text.data_version
+        text.add_document("d1", "hello world")
+        assert text.data_version > before
+
+    def test_write_invalidates_pinned_scan_on_next_run(self):
+        system = _small_system()
+        session = system.session()
+        prepared = session.prepare(_orders_program())
+        prepared.run()
+        replay = prepared.run()
+        assert replay.report.cached_tasks > 0
+
+        system.engine("ordersdb").insert("orders", [(1000, 3, 9.0)])
+        fresh = prepared.run()
+        spend = {row["customer_id"]: row["total"]
+                 for row in fresh.output("features").to_dicts()}
+        assert spend[3] == pytest.approx(sum(
+            float(i % 7) for i in range(100) if i % 10 == 3) + 9.0)
+
+    def test_untouched_engine_entries_stay_pinned(self):
+        system = _small_system()
+        session = system.session()
+        prepared = session.prepare(_orders_program())
+        prepared.run()
+        # Write only to the timeseries engine: the relational subtree's pins
+        # must survive while the timeseries subtree re-reads.
+        system.engine("telemetry").append("sessions/0", 99.0, 1.0)
+        result = prepared.run()
+        cached_kinds = {r.kind for r in result.report.records if r.cached}
+        fresh_kinds = {r.kind for r in result.report.records if not r.cached}
+        assert "scan" in cached_kinds or "aggregate" in cached_kinds
+        assert "ts_summarize" in fresh_kinds
+
+    def test_snapshot_invalidated_counter_and_repin(self):
+        system = _small_system()
+        session = system.session()
+        prepared = session.prepare(_orders_program())
+        prepared.run()
+        entry = prepared._entry
+        pinned_before = entry.snapshot.pinned
+        assert pinned_before > 0
+        system.engine("ordersdb").insert("orders", [(1001, 4, 1.0)])
+        prepared.run()
+        assert entry.snapshot.invalidated > 0
+        # Fresh results are re-pinned after the invalidating run.
+        assert entry.snapshot.pinned == pinned_before
+        replay = prepared.run()
+        assert replay.report.cached_tasks > 0
+
+    def test_refresh_forces_full_reread_without_version_change(self):
+        system = _small_system()
+        session = system.session()
+        prepared = session.prepare(_orders_program())
+        prepared.run()
+        refreshed = prepared.run(refresh=True)
+        assert refreshed.report.cached_tasks == 0
+        assert prepared._entry.snapshot.pinned > 0
+
+
+class TestOverlappingRunValidation:
+    def test_lookup_declines_pins_stale_for_this_run(self):
+        """A run that began after a write must not replay an older run's pin."""
+        from repro.client import ScanSnapshot
+        from repro.ir.graph import IRGraph
+        from repro.ir.nodes import Operator
+        from repro.middleware.executor.report import TaskRecord
+
+        system = _small_system()
+        graph = IRGraph("g")
+        node = graph.add(Operator("scan", {"table": "orders"}, [], "ordersdb"))
+        graph.mark_output(node.op_id)
+        snapshot = ScanSnapshot(graph)
+
+        # Run A begins at version v1 and reads its value...
+        snapshot.begin_run(system.catalog)
+        record = TaskRecord(op_id=node.op_id, kind="scan", engine="ordersdb",
+                            accelerator=None, stage=0, wall_time_s=0.0,
+                            simulated_time_s=0.0)
+        # ...the engine is written, and run B begins at v2 (nothing pinned yet).
+        value_at_v1 = "rows-read-at-v1"
+        system.engine("ordersdb").insert("orders", [(2000, 1, 1.0)])
+        snapshot_versions_a = dict(snapshot._run_state.versions)
+        snapshot.begin_run(system.catalog)  # B's begin_run on the shared snapshot
+        # A's store lands late, tagged with A's (stale) versions.
+        snapshot._run_state.versions = snapshot_versions_a
+        snapshot.store(node.op_id, value_at_v1, record)
+        # B's lookup must decline the stale pin instead of replaying it.
+        snapshot._run_state.versions = {
+            "ordersdb": system.engine("ordersdb").data_version}
+        assert snapshot.lookup(node.op_id) is None
+        # A run that matches the pinned versions still replays.
+        snapshot._run_state.versions = snapshot_versions_a
+        assert snapshot.lookup(node.op_id)[0] == value_at_v1

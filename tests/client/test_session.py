@@ -279,3 +279,47 @@ class TestSatelliteFixes:
         system.register_accelerator(explicit, use_for_migration=True)
         system.register_accelerator(self._asic("asic-implicit"))
         assert system.serializer_accelerator is explicit
+
+
+class TestParamDefaultPinning:
+    def test_argumentless_runs_of_param_programs_reuse_pins(self, deployment):
+        program = query_program()
+        program.fragment("sessions").params["end"] = Param("end", default=None)
+        session = deployment.session()
+        prepared = session.prepare(program)
+        first = prepared.run()
+        replay = prepared.run()
+        # The all-defaults binding is identical run-to-run, so pinned scans
+        # replay even though the program declares a Param.
+        assert replay.report.cached_tasks > 0
+        assert replay.output("features").rows == first.output("features").rows
+
+    def test_explicit_bindings_still_bypass_pins(self, deployment):
+        program = query_program()
+        program.fragment("sessions").params["end"] = Param("end", default=None)
+        session = deployment.session()
+        prepared = session.prepare(program)
+        full = prepared.run()
+        bound = prepared.run(end=2.0)
+        assert bound.report.cached_tasks == 0
+        # A tighter window changes the timeseries features.
+        full_means = [r["vital_mean"] for r in full.output("features").to_dicts()]
+        bound_means = [r["vital_mean"] for r in bound.output("features").to_dicts()]
+        assert full_means != bound_means
+        # And the argument-less fast path still works afterwards.
+        replay = prepared.run()
+        assert replay.report.cached_tasks > 0
+
+
+class TestWorkerPoolLifecycle:
+    def test_worker_pool_cannot_be_resurrected_after_close(self, deployment):
+        session = deployment.session()
+        prepared = session.prepare(query_program())
+        session.submit(prepared).result()
+        session.close()
+        assert session._pool is None
+        # A submit that slipped past _check_open before close() must not
+        # recreate the pool.
+        with pytest.raises(ExecutionError):
+            session._worker_pool()
+        assert session._pool is None

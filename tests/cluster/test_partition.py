@@ -1,0 +1,83 @@
+"""Partitioner behaviour: determinism, coverage, range semantics, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import HashPartitioner, RangePartitioner, canonical_key
+from repro.exceptions import ConfigurationError
+
+
+class TestHashPartitioner:
+    def test_deterministic_and_in_range(self):
+        partitioner = HashPartitioner(4)
+        for key in ["user/1", "user/2", 17, 3.5, None, ("a", 1)]:
+            first = partitioner.shard_for(key)
+            assert 0 <= first < 4
+            assert partitioner.shard_for(key) == first
+
+    def test_int_and_equivalent_float_route_together(self):
+        partitioner = HashPartitioner(8)
+        assert partitioner.shard_for(2) == partitioner.shard_for(2.0)
+        assert canonical_key(2) == canonical_key(2.0)
+        assert canonical_key(2) != canonical_key("2")
+        assert canonical_key(True) != canonical_key(1)
+
+    def test_spreads_keys_across_all_shards(self):
+        partitioner = HashPartitioner(4)
+        counts = [0] * 4
+        for i in range(400):
+            counts[partitioner.shard_for(f"key/{i}")] += 1
+        assert all(count > 0 for count in counts)
+        # CRC32 over 400 keys should not be pathologically skewed.
+        assert max(counts) < 4 * min(counts)
+
+    def test_shards_for_groups_keys(self):
+        partitioner = HashPartitioner(3)
+        keys = [f"k{i}" for i in range(30)]
+        grouped = partitioner.shards_for(keys)
+        regrouped = [key for shard_keys in grouped.values() for key in shard_keys]
+        assert sorted(regrouped) == sorted(keys)
+        for shard_index, shard_keys in grouped.items():
+            assert all(partitioner.shard_for(k) == shard_index for k in shard_keys)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigurationError):
+            HashPartitioner(0)
+
+
+class TestRangePartitioner:
+    def test_boundaries_define_ownership(self):
+        partitioner = RangePartitioner([10, 20])
+        assert partitioner.num_shards == 3
+        assert partitioner.shard_for(-5) == 0
+        assert partitioner.shard_for(9) == 0
+        assert partitioner.shard_for(10) == 1  # boundary belongs to the right
+        assert partitioner.shard_for(19) == 1
+        assert partitioner.shard_for(20) == 2
+        assert partitioner.shard_for(10**6) == 2
+
+    def test_string_boundaries(self):
+        partitioner = RangePartitioner(["m"])
+        assert partitioner.shard_for("alpha") == 0
+        assert partitioner.shard_for("zeta") == 1
+
+    def test_describe_includes_boundaries(self):
+        partitioner = RangePartitioner([5])
+        description = partitioner.describe()
+        assert description["strategy"] == "RangePartitioner"
+        assert description["boundaries"] == [5]
+        assert description["num_shards"] == 2
+
+    def test_rejects_bad_boundaries(self):
+        with pytest.raises(ConfigurationError):
+            RangePartitioner([])
+        with pytest.raises(ConfigurationError):
+            RangePartitioner([3, 3])
+        with pytest.raises(ConfigurationError):
+            RangePartitioner([7, 2])
+
+    def test_uncomparable_key_raises(self):
+        partitioner = RangePartitioner([10])
+        with pytest.raises(ConfigurationError):
+            partitioner.shard_for("not-a-number")
