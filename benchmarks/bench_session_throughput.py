@@ -44,7 +44,7 @@ def _throughput(fn, repeats: int = REPEATS) -> float:
 
 def test_prepared_reexecution_at_least_twice_oneshot():
     system = build_deployment()
-    program = build_program()
+    program = build_program(system)
     session = system.session(name="bench")
     prepared = session.prepare(program, mode="polystore++")
 
@@ -65,7 +65,7 @@ def test_prepared_reexecution_at_least_twice_oneshot():
 
 def test_batched_session_matches_prepared_outputs():
     system = build_deployment()
-    program = build_program()
+    program = build_program(system)
     with system.session(name="bench-batch", max_workers=4) as session:
         prepared = session.prepare(program)
         serial = prepared.run()

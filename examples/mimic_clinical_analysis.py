@@ -5,6 +5,12 @@ stay in hospital for more than five days, joining admissions (relational),
 bedside vitals (timeseries) and clinical notes (text), then training a neural
 network — and compares the three execution modes.
 
+This example deliberately stays on the **legacy fluent builder API**
+(``HeterogeneousProgram``): it doubles as the regression check that the
+compatibility shim over the dataflow lowering keeps old-style programs
+working unchanged (quickstart and the recommendation pipeline show the
+dataflow API).
+
 Run with:  python examples/mimic_clinical_analysis.py
 """
 

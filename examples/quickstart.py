@@ -1,23 +1,33 @@
-"""Quickstart: build a Polystore++ deployment and run a heterogeneous program.
+"""Quickstart: build a Polystore++ deployment and run a dataflow program.
 
 The example registers two engines (relational + timeseries), attaches the
-simulated accelerator fleet, writes a small heterogeneous program with the
-fluent EIDE API, and prints the execution report for both the CPU polystore
-and the accelerated Polystore++ modes.  A final section prepares the program
-through a :class:`repro.Session` and re-executes it, showing what the plan
-cache and pinned scan snapshots save over one-shot execution.
+simulated accelerator fleet, declares a heterogeneous pipeline with the
+composable **dataflow API** — engine scans composed with ``.aggregate()``,
+``.join()`` and ``.train()``, no SQL strings — and prints the execution
+report for both the CPU polystore and the accelerated Polystore++ modes.  A
+final section prepares the program through a :class:`repro.Session` and
+re-executes it, showing what the plan cache and pinned scan snapshots save
+over one-shot execution.
 
 Run with:  python examples/quickstart.py
+Fast mode: EXAMPLES_FAST=1 python examples/quickstart.py  (CI smoke settings)
 """
 
 from __future__ import annotations
 
+import os
 import time
 
-from repro import HeterogeneousProgram
+from repro import DataflowProgram
 from repro.core import build_accelerated_polystore
 from repro.datamodel import DataType, Table, make_schema
 from repro.stores import MLEngine, RelationalEngine, TimeseriesEngine
+
+#: CI smoke mode shrinks the dataset and the re-execution loop.
+FAST = bool(os.environ.get("EXAMPLES_FAST"))
+N_ORDERS = 400 if FAST else 2_000
+N_CUSTOMERS = 50 if FAST else 200
+REPEATS = 3 if FAST else 10
 
 
 def build_deployment():
@@ -30,11 +40,12 @@ def build_deployment():
         ("order_id", DataType.INT), ("customer_id", DataType.INT),
         ("amount", DataType.FLOAT), ("returned", DataType.INT))
     orders = Table(orders_schema, [
-        (i, i % 200, (i % 37) * 3.5, int((i % 37) * 3.5 > 90)) for i in range(2_000)
+        (i, i % N_CUSTOMERS, (i % 37) * 3.5, int((i % 37) * 3.5 > 90))
+        for i in range(N_ORDERS)
     ])
     relational.load_table("orders", orders)
 
-    for customer in range(200):
+    for customer in range(N_CUSTOMERS):
         timeseries.append_many(
             f"sessions/{customer}",
             [(float(day), float((customer + day) % 10)) for day in range(30)])
@@ -42,40 +53,39 @@ def build_deployment():
     return build_accelerated_polystore([relational, timeseries, ml])
 
 
-def build_program() -> HeterogeneousProgram:
-    """SQL aggregation + per-customer session features -> train a churn-style model."""
-    program = HeterogeneousProgram("quickstart")
-    program.sql(
-        "spend",
-        "SELECT customer_id, sum(amount) AS total_spend, count(*) AS n_orders, "
-        "max(returned) AS any_return FROM orders GROUP BY customer_id",
-        engine="ordersdb",
-    )
-    program.timeseries_summary("sessions", series_prefix="sessions/", engine="telemetry")
-    program.join("features", left="spend", right="sessions",
-                 left_key="customer_id", right_key="pid")
-    program.train("return_model", features="features", label_column="any_return",
-                  epochs=3, engine="ml")
-    program.output("return_model")
+def build_program(system) -> DataflowProgram:
+    """SQL-free pipeline: spend aggregate + session features -> churn model."""
+    spend = (system.dataset("ordersdb").table("orders")
+             .aggregate(["customer_id"],
+                        total_spend=("sum", "amount"),
+                        n_orders=("count", None),
+                        any_return=("max", "returned"))
+             .named("spend"))
+    sessions = system.dataset("telemetry").timeseries("sessions/").named("sessions")
+    features = (spend.join(sessions, left_key="customer_id", right_key="pid")
+                .named("features"))
+    model = features.train(label_column="any_return", model_name="return_model",
+                           epochs=3, engine="ml")
+
+    program = DataflowProgram("quickstart")
+    program.output("return_model", model)
     return program
 
 
 def demo_prepared_reexecution(system, program) -> None:
     """Prepare once, run many: the low-latency serving path."""
-    repeats = 10
-
     start = time.perf_counter()
-    for _ in range(repeats):
+    for _ in range(REPEATS):
         system.execute(program, mode="polystore++")
-    oneshot_ms = (time.perf_counter() - start) / repeats * 1e3
+    oneshot_ms = (time.perf_counter() - start) / REPEATS * 1e3
 
     with system.session(name="quickstart") as session:
         prepared = session.prepare(program, mode="polystore++")
         first = prepared.run()  # reads every engine, pins pure scan subtrees
         start = time.perf_counter()
-        for _ in range(repeats):
+        for _ in range(REPEATS):
             result = prepared.run()
-        prepared_ms = (time.perf_counter() - start) / repeats * 1e3
+        prepared_ms = (time.perf_counter() - start) / REPEATS * 1e3
 
         print("[prepared re-execution]")
         print(f"  compile once       : {prepared.compilation.compile_time_s * 1e3:.2f} ms "
@@ -93,7 +103,7 @@ def demo_prepared_reexecution(system, program) -> None:
 
 def main() -> None:
     system = build_deployment()
-    program = build_program()
+    program = build_program(system)
     print(program.describe())
     print()
 

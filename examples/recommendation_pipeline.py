@@ -1,26 +1,69 @@
 """Enterprise recommendation pipeline across three data stores (paper Figure 1).
 
 Customers and transactions live in an RDBMS, user profiles in a key/value
-store and clickstreams in a timeseries store.  The heterogeneous program
-joins all three into a feature table and trains a next-best-offer model; the
-example also shows a plain reporting query and the compiler's view of the
-optimized plan.
+store and clickstreams in a timeseries store.  The pipeline is declared with
+the composable dataflow API: engine scans composed into a feature table that
+trains a next-best-offer model.  The example also shows a reporting query, a
+structured-predicate point read (the kind the compiler pushes into the scan
+— and, on sharded deployments, routes to the owning shard), and the
+compiler's view of the optimized plan.
 
 Run with:  python examples/recommendation_pipeline.py
+Fast mode: EXAMPLES_FAST=1 python examples/recommendation_pipeline.py
 """
 
 from __future__ import annotations
 
+import os
+
+from repro import DataflowProgram, col
 from repro.core import build_accelerated_polystore
 from repro.stores import KeyValueEngine, MLEngine, RelationalEngine, TimeseriesEngine
-from repro.workloads import (
-    build_recommendation_program,
-    build_top_spenders_program,
-    generate_recommendation,
-    load_recommendation,
-)
+from repro.workloads import generate_recommendation, load_recommendation
 
-NUM_CUSTOMERS = 800
+FAST = bool(os.environ.get("EXAMPLES_FAST"))
+NUM_CUSTOMERS = 120 if FAST else 800
+EPOCHS = 2 if FAST else 4
+
+
+def build_recommendation_flow(system) -> DataflowProgram:
+    """The Figure 1 program: RDBMS ⋈ KV ⋈ timeseries -> train."""
+    spend = (system.dataset("sales-db").table("transactions")
+             .aggregate(["customer_id"],
+                        total_spend=("sum", "amount"), n_orders=("count", None))
+             .named("spend"))
+    profiles = system.dataset("profiles").kv(key_prefix="customer/").named("profiles")
+    engagement = system.dataset("clickstream").timeseries("clicks/").named("engagement")
+    behaviour = (spend.join(engagement, left_key="customer_id", right_key="pid")
+                 .named("behaviour"))
+    features = (behaviour.join(profiles, left_key="customer_id",
+                               right_key="customer_id").named("features"))
+    model = features.train(label_column="converted", model_name="offer_model",
+                           epochs=EPOCHS, engine="reco-ml")
+    program = DataflowProgram("next-best-offer")
+    program.output("offer_model", model)
+    return program
+
+
+def build_top_spenders_flow(system, k: int) -> DataflowProgram:
+    """A reporting query: the top-k customers by total spend."""
+    top = (system.dataset("sales-db").table("transactions")
+           .aggregate(["customer_id"], total_spend=("sum", "amount"))
+           .sort("total_spend", descending=True)
+           .limit(k))
+    program = DataflowProgram("top-spenders")
+    program.output("top", top)
+    return program
+
+
+def build_customer_flow(system, customer_id: int) -> DataflowProgram:
+    """A structured-predicate point read the compiler pushes into the scan."""
+    rows = (system.dataset("sales-db").table("transactions")
+            .filter(col("customer_id") == customer_id)
+            .aggregate([], total=("sum", "amount"), n=("count", None)))
+    program = DataflowProgram("one-customer")
+    program.output("summary", rows)
+    return program
 
 
 def main() -> None:
@@ -36,13 +79,20 @@ def main() -> None:
     system = build_accelerated_polystore([relational, keyvalue, timeseries, ml])
 
     # A reporting query that stays inside the relational engine.
-    report = system.execute(build_top_spenders_program(5), mode="polystore++")
+    report = system.execute(build_top_spenders_flow(system, 5))
     print("\nTop 5 customers by spend:")
     for row in report.output("top").to_dicts():
         print(f"  customer {row['customer_id']:>4}  total spend {row['total_spend']:.2f}")
 
+    # A keyed read: the filter is absorbed into the scan as structured IR
+    # (with an index it becomes an index_seek; on a sharded engine it
+    # contacts only the owning shard).
+    summary = system.execute(build_customer_flow(system, 7)).output("summary")
+    row = summary.to_dicts()[0]
+    print(f"\nCustomer 7: {row['n']} transactions totalling {row['total']:.2f}")
+
     # The cross-store recommendation program.
-    program = build_recommendation_program(epochs=4)
+    program = build_recommendation_flow(system)
     compilation = system.compile(program)
     print("\nOptimized IR for the recommendation program:")
     print(compilation.graph.render())

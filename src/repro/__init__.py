@@ -26,9 +26,18 @@ from repro.core import (
     build_accelerated_polystore,
     build_cpu_polystore,
 )
-from repro.eide import HeterogeneousProgram, Param, compile_natural_language
+from repro.eide import (
+    DataflowProgram,
+    Dataset,
+    HeterogeneousProgram,
+    Param,
+    col,
+    compile_natural_language,
+    dataset,
+    lit,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "PolystorePlusPlus",
@@ -39,6 +48,11 @@ __all__ = [
     "PreparedProgram",
     "HeterogeneousProgram",
     "Param",
+    "DataflowProgram",
+    "Dataset",
+    "dataset",
+    "col",
+    "lit",
     "compile_natural_language",
     "Catalog",
     "build_cpu_polystore",

@@ -23,12 +23,15 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import TYPE_CHECKING, Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.compiler.pipeline import CompilerOptions
+from repro.eide.dataflow import DataflowProgram
+from repro.eide.expressions import bind_params
 from repro.eide.program import HeterogeneousProgram, Param
 from repro.exceptions import ConfigurationError, ExecutionError
 from repro.ir.graph import IRGraph
+from repro.stores.relational.expressions import Expression
 from repro.middleware.executor import Executor
 from repro.middleware.migration import DataMigrator
 from repro.client.cache import CachedPlan, PlanCache, ScanSnapshot
@@ -36,17 +39,28 @@ from repro.client.cache import CachedPlan, PlanCache, ScanSnapshot
 if TYPE_CHECKING:  # avoid a circular import; the system creates sessions
     from repro.core.system import ExecutionResult, ModePlan, PolystorePlusPlus
 
+#: Programs sessions accept: the legacy fragment builder or a dataflow program.
+Program = HeterogeneousProgram | DataflowProgram
+
+
+def _resolve_param(param: Param, bindings: dict[str, Any]) -> Any:
+    if param.name in bindings:
+        return bindings[param.name]
+    if param.has_default:
+        return param.default
+    raise ExecutionError(
+        f"no value bound for parameter {param.name!r} and it has no default"
+    )
+
 
 def _bind_value(value: Any, bindings: dict[str, Any]) -> Any:
     """Recursively substitute :class:`Param` placeholders with bound values."""
     if isinstance(value, Param):
-        if value.name in bindings:
-            return bindings[value.name]
-        if value.has_default:
-            return value.default
-        raise ExecutionError(
-            f"no value bound for parameter {value.name!r} and it has no default"
-        )
+        return _resolve_param(value, bindings)
+    if isinstance(value, Expression):
+        # Structured predicates may embed placeholders as literal operands
+        # (``col("age") > Param("min_age", 60)``).
+        return bind_params(value, lambda param: _resolve_param(param, bindings))
     if isinstance(value, dict):
         return {k: _bind_value(v, bindings) for k, v in value.items()}
     if isinstance(value, list):
@@ -65,7 +79,7 @@ class PreparedProgram:
     (and, for pure subtrees, engine reads) across many :meth:`run` calls.
     """
 
-    def __init__(self, session: "Session", program: HeterogeneousProgram,
+    def __init__(self, session: "Session", program: "Program",
                  plan: "ModePlan", entry: CachedPlan,
                  options: CompilerOptions | None = None) -> None:
         self._session = session
@@ -79,7 +93,7 @@ class PreparedProgram:
     # -- introspection -------------------------------------------------------------------
 
     @property
-    def program(self) -> HeterogeneousProgram:
+    def program(self) -> "Program":
         """The source program (frozen if prepared with ``freeze=True``)."""
         return self._program
 
@@ -212,7 +226,7 @@ class Session:
 
     # -- preparation ---------------------------------------------------------------------
 
-    def prepare(self, program: HeterogeneousProgram, *, mode: str = "polystore++",
+    def prepare(self, program: "Program", *, mode: str = "polystore++",
                 options: CompilerOptions | None = None,
                 freeze: bool = True) -> PreparedProgram:
         """Compile ``program`` (or reuse a cached plan) for repeated execution.
@@ -233,7 +247,7 @@ class Session:
         return (fingerprint, plan.mode, plan.compile_options,
                 self.system.plan_generation)
 
-    def _lookup_or_compile(self, program: HeterogeneousProgram,
+    def _lookup_or_compile(self, program: "Program",
                            plan: "ModePlan") -> CachedPlan:
         fingerprint = program.fingerprint()
         key = self._plan_key(fingerprint, plan)
@@ -256,7 +270,7 @@ class Session:
             self.plan_cache.put(key, entry)
             return entry
 
-    def _fresh_entry(self, program: HeterogeneousProgram, plan: "ModePlan",
+    def _fresh_entry(self, program: "Program", plan: "ModePlan",
                      entry: CachedPlan,
                      options: CompilerOptions | None) -> tuple["ModePlan", CachedPlan]:
         """Revalidate a prepared program's plan + entry against the deployment.
@@ -278,7 +292,7 @@ class Session:
 
     # -- one-shot execution --------------------------------------------------------------
 
-    def execute(self, program: HeterogeneousProgram, *, mode: str = "polystore++",
+    def execute(self, program: "Program", *, mode: str = "polystore++",
                 options: CompilerOptions | None = None) -> "ExecutionResult":
         """Compile-or-reuse and run once, always re-reading every engine.
 
@@ -290,7 +304,7 @@ class Session:
 
     # -- concurrent execution ------------------------------------------------------------
 
-    def submit(self, item: HeterogeneousProgram | PreparedProgram, *,
+    def submit(self, item: "Program | PreparedProgram", *,
                mode: str = "polystore++", options: CompilerOptions | None = None,
                **run_kwargs: Any) -> "Future[ExecutionResult]":
         """Schedule one execution on the session's worker pool.
@@ -308,8 +322,7 @@ class Session:
             self._submitted += 1
         return self._worker_pool().submit(prepared.run, **run_kwargs)
 
-    def run_batch(self, items: Sequence[HeterogeneousProgram | PreparedProgram] |
-                  Iterable[HeterogeneousProgram | PreparedProgram], *,
+    def run_batch(self, items: "Iterable[Program | PreparedProgram]", *,
                   mode: str = "polystore++",
                   options: CompilerOptions | None = None,
                   **run_kwargs: Any) -> list["ExecutionResult"]:

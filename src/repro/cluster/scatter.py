@@ -34,6 +34,8 @@ from typing import Any, Callable, Sequence
 
 from repro.cluster.partition import Partitioner
 from repro.cluster.sharded import ShardedEngine, concat_tables
+from repro.compiler.passes.pushdown import predicate_key_values
+from repro.stores.relational.expressions import Expression
 from repro.datamodel.schema import Column, DataType, Schema
 from repro.datamodel.table import Table
 from repro.middleware.adapters import Adapter, adapter_for
@@ -173,21 +175,14 @@ class ScatterGather:
         shards, partitioner = engine.topology()
         routed = self._route(engine, node, partitioner)
         if routed is not None:
-            shard_index, routed_node = routed
-            value, cpu_s = _ShardTask(
-                self._adapter(shards[shard_index]), routed_node, []).run()
-            return ScatterExecution(value, cpu_s, {
-                "shards": 1, "fan_out": "routed", "shard": shards[shard_index].name,
-            })
-        if node.kind == "kv_get" and node.params.get("keys"):
-            return self._execute_grouped_kv_get(engine, node, pool,
-                                                shards, partitioner)
+            return self._execute_routed(engine, node, pool, shards, routed)
         tasks = [_ShardTask(self._adapter(shard), node, []) for shard in shards]
         results, fan_out = self._fan_out(tasks, pool)
         parts = tuple(value for value, _ in results)
         times = [cpu for _, cpu in results]
         details = {"shards": len(shards), "fan_out": fan_out,
-                   "shard_times_s": times}
+                   "shard_times_s": times,
+                   "contacted_shards": [shard.name for shard in shards]}
         if node.kind == "text_search":
             merge_start = time.thread_time()
             merged = _rerank_search(parts, int(node.params.get("top_k", 10)))
@@ -200,40 +195,79 @@ class ScatterGather:
         return ScatterExecution(value, max(times, default=0.0), details)
 
     def _route(self, engine: ShardedEngine, node: Operator,
-               partitioner: "Partitioner") -> tuple[int, Operator] | None:
-        """A single-shard route for key-addressed reads, or ``None``."""
+               partitioner: "Partitioner") -> dict[int, Operator] | None:
+        """Shard-subset routing for key-addressed reads, or ``None``.
+
+        Returns a map of shard index -> the node to run there.  Reads that
+        name their keys explicitly (``kv_get`` keys, absorbed ``series_keys``
+        / ``doc_ids`` hints) split the key list per owning shard; a scan
+        whose absorbed predicate pins the table's declared shard key routes
+        to the owning shard subset unchanged — every other read stays a full
+        fan-out.
+        """
         if node.kind == "index_seek":
             table = str(node.params.get("table", ""))
             if engine.shard_key_for(table) == node.params.get("column"):
-                return partitioner.shard_for(node.params.get("value")), node
+                return {partitioner.shard_for(node.params.get("value")): node}
         if node.kind in ("ts_range", "window_aggregate"):
             series = node.params.get("series")
             if series is not None:
-                return partitioner.shard_for(str(series)), node
+                return {partitioner.shard_for(str(series)): node}
+        if node.kind == "kv_get" and node.params.get("keys"):
+            return self._split_keys(node, partitioner, "keys")
+        if node.kind == "ts_summarize" and node.params.get("series_keys"):
+            return self._split_keys(node, partitioner, "series_keys")
+        if node.kind == "keyword_features" and node.params.get("doc_ids"):
+            return self._split_keys(node, partitioner, "doc_ids")
+        if node.kind in ("scan", "index_seek"):
+            # index_seek nodes converted from predicated scans retain the full
+            # predicate, so a shard-key conjunct still prunes the fan-out even
+            # when the seek column is a different (indexed) column.
+            predicate = node.params.get("predicate")
+            table = str(node.params.get("table", ""))
+            shard_key = engine.shard_key_for(table)
+            if shard_key is not None and isinstance(predicate, Expression):
+                values = predicate_key_values(predicate, shard_key)
+                if values is not None:
+                    owners = sorted({partitioner.shard_for(v) for v in values})
+                    # Contradictory conjuncts select nothing; one shard still
+                    # answers so the result keeps the right (empty) shape.
+                    owners = owners or [0]
+                    return {index: node for index in owners}
         return None
 
-    def _execute_grouped_kv_get(self, engine: ShardedEngine, node: Operator,
-                                pool: ThreadPoolExecutor | None,
-                                shards: list[Engine],
-                                partitioner: "Partitioner") -> ScatterExecution:
-        grouped = partitioner.shards_for(list(node.params["keys"]))
-        tasks: list[_ShardTask] = []
-        indexes: list[int] = []
+    @staticmethod
+    def _split_keys(node: Operator, partitioner: "Partitioner",
+                    param: str) -> dict[int, Operator]:
+        grouped = partitioner.shards_for(list(node.params[param]))
+        plan: dict[int, Operator] = {}
         for shard_index in sorted(grouped):
             subset = node.copy()
-            subset.params = dict(node.params, keys=list(grouped[shard_index]))
-            tasks.append(_ShardTask(self._adapter(shards[shard_index]), subset, []))
-            indexes.append(shard_index)
-        results, fan_out = self._fan_out(tasks, pool)
+            subset.params = dict(node.params, **{param: list(grouped[shard_index])})
+            plan[shard_index] = subset
+        return plan
+
+    def _execute_routed(self, engine: ShardedEngine, node: Operator,
+                        pool: ThreadPoolExecutor | None, shards: list[Engine],
+                        routed: dict[int, Operator]) -> ScatterExecution:
+        indexes = sorted(routed)
+        tasks = [_ShardTask(self._adapter(shards[index]), routed[index], [])
+                 for index in indexes]
+        results, _ = self._fan_out(tasks, pool)
         parts = tuple(value for value, _ in results)
         times = [cpu for _, cpu in results]
-        # No ordered_by: explicit-keys lookups follow the caller's key order
-        # per shard, not the global key collation.
-        value = ShardedValue(engine.name, parts, tuple(indexes))
-        return ScatterExecution(value, max(times, default=0.0), {
-            "shards": len(tasks), "fan_out": fan_out, "merge": "deferred",
+        details: dict[str, Any] = {
+            "shards": len(indexes), "fan_out": "routed",
             "shard_times_s": times,
-        })
+            "contacted_shards": [shards[index].name for index in indexes],
+        }
+        if len(indexes) == 1:
+            details["shard"] = shards[indexes[0]].name
+            return ScatterExecution(parts[0], max(times, default=0.0), details)
+        details["merge"] = "deferred"
+        value = ShardedValue(engine.name, parts, tuple(indexes),
+                             _leaf_order_column(node))
+        return ScatterExecution(value, max(times, default=0.0), details)
 
     # -- partition-wise operators ------------------------------------------------------
 

@@ -119,6 +119,9 @@ class ShardedEngine(Engine):
         #: ``create_table`` keyword arguments per table (e.g. page_capacity),
         #: replayed when a rebalance builds the pending shard set.
         self._table_kwargs: dict[str, dict[str, Any]] = {}
+        #: Declared secondary indexes per table (column -> kind), created on
+        #: every shard and replayed onto pending shards during a rebalance.
+        self._table_indexes: dict[str, dict[str, str]] = {}
         #: Offset keeping the aggregated data_version monotonic across
         #: cutovers (the new shard set starts from fresh counters).
         self._version_base = 0
@@ -256,6 +259,19 @@ class ShardedEngine(Engine):
                 shard.drop_table(name)
             self._shard_keys.pop(name, None)
             self._table_kwargs.pop(name, None)
+            self._table_indexes.pop(name, None)
+
+    def create_index(self, table: str, column: str, *, kind: str = "hash") -> None:
+        """Create a secondary index on every shard (and any pending shards)."""
+        with self._lock:
+            for shard in self._all_write_shards():
+                shard.create_index(table, column, kind=kind)
+            self._table_indexes.setdefault(table, {})[column] = kind
+
+    def has_index(self, table: str, column: str) -> bool:
+        """Whether every shard carries an index on ``table.column``."""
+        with self._lock:
+            return column in self._table_indexes.get(table, {})
 
     def insert(self, table: str, rows: Iterable[Sequence[Any]], **kwargs: Any) -> int:
         """Insert positional rows, routing each by the table's shard key."""
@@ -485,6 +501,8 @@ class ShardedEngine(Engine):
                 kwargs = self._table_kwargs.get(table, {})
                 for shard in new_shards:
                     shard.create_table(table, schema, **kwargs)
+                    for column, kind in self._table_indexes.get(table, {}).items():
+                        shard.create_index(table, column, kind=kind)
             payloads = self._extract_snapshot()
             self._pending = (new_shards, partitioner)
             self._pending_overrides = set()

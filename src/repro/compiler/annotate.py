@@ -36,6 +36,14 @@ def _estimate_rows(graph: IRGraph, node: Operator, catalog: Catalog | None) -> i
 
     if kind in ("scan", "index_seek"):
         rows = _scan_rows(node, catalog)
+        # A predicate absorbed into the leaf read filters engine-side; the
+        # estimate shrinks exactly as a separate filter node's would.  A seek
+        # converted from a predicated scan keeps the seek equality inside
+        # that predicate, so the selectivity already covers it — only a
+        # hand-built (predicate-less) seek uses the flat 1/100 factor.
+        predicate = node.params.get("predicate")
+        if isinstance(predicate, Expression):
+            return max(1, int(rows * predicate.estimated_selectivity()))
         return rows if kind == "scan" else max(1, rows // 100)
     if kind == "filter":
         predicate = node.params.get("predicate")

@@ -1,191 +1,107 @@
-"""Compiler frontend: lower a heterogeneous program to the IR.
+"""Compiler frontend: lower a program's dataflow trees to the IR.
 
-Each fragment paradigm has its own lowering routine; SQL fragments reuse the
-relational engine's parser and logical planner.  After all fragments are
-lowered, :func:`insert_migrations` adds explicit ``migrate`` operators on
-every cross-engine data-flow edge — the data-movement operators the paper's
-Data Migrator executes and Polystore++ accelerates (§III-A-3).
+Both program flavours take the same path: a legacy
+:class:`~repro.eide.program.HeterogeneousProgram` first converts into its
+canonical :class:`~repro.eide.dataflow.DataflowProgram` form (its SQL
+fragments parsed into structured plans), and a dataflow program built with
+:class:`~repro.eide.dataflow.Dataset` handles *is already* that form.  The
+trees are value-semantics IR operators, so lowering is a structural walk:
+shared subtrees (datasets feeding several consumers, legacy fragments
+referenced by several fragments) lower once.
+
+After lowering, :func:`insert_migrations` adds explicit ``migrate``
+operators on every cross-engine data-flow edge — the data-movement operators
+the paper's Data Migrator executes and Polystore++ accelerates (§III-A-3).
 """
 
 from __future__ import annotations
 
-from typing import Any
-
 from repro.catalog import Catalog
-from repro.eide.program import HeterogeneousProgram, SubProgram
+from repro.eide.dataflow import (
+    KIND_PARADIGMS,
+    DataflowNode,
+    DataflowProgram,
+)
+from repro.eide.program import HeterogeneousProgram
 from repro.exceptions import CompilationError
 from repro.ir.graph import IRGraph
 from repro.ir.nodes import Operator
-from repro.stores.relational.planner import (
-    AggregatePlan,
-    FilterPlan,
-    JoinPlan,
-    LimitPlan,
-    LogicalPlan,
-    ProjectPlan,
-    ScanPlan,
-    SortPlan,
-)
-from repro.stores.relational.sql import parse_select
-from repro.stores.relational.planner import build_plan
+
+#: Programs the frontend accepts.
+Program = HeterogeneousProgram | DataflowProgram
 
 
 class Frontend:
-    """Lowers :class:`HeterogeneousProgram` fragments into one IR graph."""
+    """Lowers program dataflow trees into one IR graph."""
 
     def __init__(self, catalog: Catalog) -> None:
         self.catalog = catalog
 
-    def lower(self, program: HeterogeneousProgram) -> IRGraph:
-        """Lower every fragment, wire cross-fragment edges, insert migrations."""
-        graph = IRGraph(program.name)
-        fragment_outputs: dict[str, str] = {}
-        for fragment in program.fragments:
-            output_id = self._lower_fragment(graph, fragment, fragment_outputs)
-            fragment_outputs[fragment.name] = output_id
-        for output in program.outputs:
-            graph.mark_output(fragment_outputs[output])
+    def lower(self, program: Program) -> IRGraph:
+        """Lower every output tree, wire shared subtrees, insert migrations."""
+        flow = (program if isinstance(program, DataflowProgram)
+                else program.to_dataflow())
+        graph = IRGraph(flow.name)
+        labels = _effective_labels(flow)
+        lowered: dict[int, str] = {}
+        for name, root in flow.output_items():
+            graph.mark_output(self._lower_node(graph, root, labels, lowered))
         insert_migrations(graph)
         return graph
 
-    # -- per-paradigm lowering -----------------------------------------------------------
+    def _lower_node(self, graph: IRGraph, node: DataflowNode,
+                    labels: dict[int, str], lowered: dict[int, str]) -> str:
+        if id(node) in lowered:
+            return lowered[id(node)]
+        inputs = [self._lower_node(graph, child, labels, lowered)
+                  for child in node.inputs]
+        operator = Operator(node.kind, dict(node.params), inputs,
+                            self._engine_name(node))
+        operator.annotations["fragment"] = labels.get(id(node), "")
+        graph.add(operator)
+        lowered[id(node)] = operator.op_id
+        return operator.op_id
 
-    def _lower_fragment(self, graph: IRGraph, fragment: SubProgram,
-                        fragment_outputs: dict[str, str]) -> str:
-        engine = self._engine_name(fragment)
-        inputs = [fragment_outputs[name] for name in fragment.inputs]
-        paradigm = fragment.paradigm
-        if paradigm == "sql":
-            return self._lower_sql(graph, fragment, engine)
-        if paradigm == "kv_lookup":
-            return self._add(graph, "kv_get", fragment, engine, inputs,
-                             keys=fragment.params.get("keys"),
-                             key_prefix=fragment.params.get("key_prefix"))
-        if paradigm == "timeseries_summary":
-            return self._add(graph, "ts_summarize", fragment, engine, inputs,
-                             series_prefix=fragment.params["series_prefix"],
-                             start=fragment.params.get("start"),
-                             end=fragment.params.get("end"))
-        if paradigm == "window_aggregate":
-            return self._add(graph, "window_aggregate", fragment, engine, inputs,
-                             series=fragment.params["series"],
-                             window_s=fragment.params["window_s"],
-                             aggregation=fragment.params.get("aggregation", "mean"))
-        if paradigm == "graph_query":
-            return self._lower_graph(graph, fragment, engine, inputs)
-        if paradigm == "text_search":
-            return self._add(graph, "text_search", fragment, engine, inputs,
-                             query=fragment.params["query"],
-                             top_k=fragment.params.get("top_k", 10))
-        if paradigm == "text_features":
-            return self._add(graph, "keyword_features", fragment, engine, inputs,
-                             keywords=list(fragment.params["keywords"]),
-                             doc_prefix=fragment.params.get("doc_prefix"),
-                             id_column=fragment.params.get("id_column", "doc_id"))
-        if paradigm == "join":
-            return self._add(graph, "join", fragment, engine, inputs,
-                             left_key=fragment.params["left_key"],
-                             right_key=fragment.params["right_key"],
-                             how=fragment.params.get("how", "inner"))
-        if paradigm == "feature_matrix":
-            return self._add(graph, "feature_matrix", fragment, engine, inputs,
-                             feature_columns=fragment.params.get("feature_columns"),
-                             label_column=fragment.params.get("label_column"))
-        if paradigm == "train":
-            return self._add(graph, "train", fragment, engine, inputs,
-                             **{k: v for k, v in fragment.params.items()})
-        if paradigm == "predict":
-            return self._add(graph, "predict", fragment, engine, inputs,
-                             model_name=fragment.params["model_name"])
-        if paradigm == "kmeans":
-            return self._add(graph, "kmeans", fragment, engine, inputs,
-                             n_clusters=fragment.params["n_clusters"])
-        if paradigm == "python":
-            return self._add(graph, "python_udf", fragment, engine, inputs,
-                             fn=fragment.params["fn"])
-        raise CompilationError(f"frontend cannot lower paradigm {paradigm!r}")
-
-    def _lower_sql(self, graph: IRGraph, fragment: SubProgram, engine: str) -> str:
-        """SQL text -> relational logical plan -> IR operators."""
-        query = fragment.params.get("query")
-        if not query:
-            raise CompilationError(f"SQL fragment {fragment.name!r} has no query text")
-        statement = parse_select(query)
-        plan = build_plan(statement)
-        return self._lower_plan(graph, plan, engine, fragment.name)
-
-    def _lower_plan(self, graph: IRGraph, plan: LogicalPlan, engine: str,
-                    fragment_name: str) -> str:
-        """Recursively translate a relational logical plan into IR nodes."""
-        if isinstance(plan, ScanPlan):
-            node = Operator("scan", {"table": plan.table, "columns": plan.columns},
-                            [], engine)
-        elif isinstance(plan, FilterPlan):
-            child = self._lower_plan(graph, plan.child, engine, fragment_name)
-            node = Operator("filter", {"predicate": plan.predicate}, [child], engine)
-        elif isinstance(plan, ProjectPlan):
-            child = self._lower_plan(graph, plan.child, engine, fragment_name)
-            node = Operator("project", {"columns": list(plan.columns)}, [child], engine)
-        elif isinstance(plan, JoinPlan):
-            left = self._lower_plan(graph, plan.left, engine, fragment_name)
-            right = self._lower_plan(graph, plan.right, engine, fragment_name)
-            node = Operator("join", {
-                "left_key": plan.left_key, "right_key": plan.right_key,
-                "how": plan.how, "algorithm": plan.algorithm,
-            }, [left, right], engine)
-        elif isinstance(plan, AggregatePlan):
-            child = self._lower_plan(graph, plan.child, engine, fragment_name)
-            node = Operator("aggregate", {
-                "group_by": list(plan.group_by),
-                "aggregates": list(plan.aggregates),
-            }, [child], engine)
-        elif isinstance(plan, SortPlan):
-            child = self._lower_plan(graph, plan.child, engine, fragment_name)
-            node = Operator("sort", {"by": plan.by, "descending": plan.descending},
-                            [child], engine)
-        elif isinstance(plan, LimitPlan):
-            child = self._lower_plan(graph, plan.child, engine, fragment_name)
-            node = Operator("limit", {"n": plan.n}, [child], engine)
-        else:
-            raise CompilationError(f"cannot lower plan node {type(plan).__name__}")
-        node.annotations["fragment"] = fragment_name
-        graph.add(node)
-        return node.op_id
-
-    def _lower_graph(self, graph: IRGraph, fragment: SubProgram, engine: str,
-                     inputs: list[str]) -> str:
-        operation = fragment.params.get("operation")
-        params = {k: v for k, v in fragment.params.items() if k != "operation"}
-        kind_by_operation = {
-            "nodes": "graph_nodes",
-            "shortest_path": "shortest_path",
-            "neighborhood": "neighborhood",
-            "match": "graph_match",
-        }
-        kind = kind_by_operation.get(operation or "")
-        if kind is None:
-            raise CompilationError(
-                f"unknown graph operation {operation!r} in fragment {fragment.name!r}"
-            )
-        return self._add(graph, kind, fragment, engine, inputs, **params)
-
-    # -- helpers ------------------------------------------------------------------------------
-
-    def _add(self, graph: IRGraph, kind: str, fragment: SubProgram, engine: str,
-             inputs: list[str], **params: Any) -> str:
-        node = Operator(kind, params, inputs, engine)
-        node.annotations["fragment"] = fragment.name
-        graph.add(node)
-        return node.op_id
-
-    def _engine_name(self, fragment: SubProgram) -> str:
-        if fragment.engine is not None:
-            if not self.catalog.has_engine(fragment.engine):
+    def _engine_name(self, node: DataflowNode) -> str:
+        if node.engine is not None:
+            if not self.catalog.has_engine(node.engine):
+                where = f" (fragment {node.label!r})" if node.label else ""
                 raise CompilationError(
-                    f"fragment {fragment.name!r} targets unknown engine {fragment.engine!r}"
+                    f"operator {node.kind!r}{where} targets unknown engine "
+                    f"{node.engine!r}"
                 )
-            return fragment.engine
-        return self.catalog.default_engine_for(fragment.paradigm).name
+            return node.engine
+        paradigm = KIND_PARADIGMS.get(node.kind)
+        if paradigm is None:
+            raise CompilationError(
+                f"no default engine rule for operator kind {node.kind!r}; "
+                f"bind it to an engine explicitly"
+            )
+        return self.catalog.default_engine_for(paradigm).name
+
+
+def _effective_labels(flow: DataflowProgram) -> dict[int, str]:
+    """Fragment labels per node: explicit labels flow down to unlabeled
+    children (as legacy fragments named their whole subtree), first label
+    wins for shared nodes.  Computed here rather than written onto the
+    trees, so one dataset object may appear in several programs — and each
+    output *root* is forced to its program-level output name, which must win
+    over any ``.named()`` label for the result to resolve under it."""
+    labels: dict[int, str] = {}
+
+    def visit(node: DataflowNode, inherited: str) -> None:
+        if id(node) in labels:
+            return
+        label = node.label or inherited
+        labels[id(node)] = label
+        for child in node.inputs:
+            visit(child, label)
+
+    for name, root in flow.output_items():
+        labels[id(root)] = name
+        for child in root.inputs:
+            visit(child, root.label or name)
+    return labels
 
 
 def insert_migrations(graph: IRGraph) -> int:

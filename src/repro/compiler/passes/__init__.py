@@ -5,10 +5,17 @@ from repro.compiler.passes.dce import eliminate_dead_code
 from repro.compiler.passes.fusion import fuse_operators
 from repro.compiler.passes.join_reorder import choose_join_algorithms, reorder_joins
 from repro.compiler.passes.placement import place_accelerators
-from repro.compiler.passes.pushdown import infer_columns, push_down_filters
+from repro.compiler.passes.pushdown import (
+    absorb_into_leaves,
+    infer_columns,
+    predicate_key_values,
+    push_down_filters,
+)
 
 __all__ = [
     "push_down_filters",
+    "absorb_into_leaves",
+    "predicate_key_values",
     "infer_columns",
     "fuse_operators",
     "eliminate_dead_code",

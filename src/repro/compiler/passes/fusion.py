@@ -94,6 +94,9 @@ def _fuse_project_into_scan(graph: IRGraph) -> int:
         for consumer in graph.consumers(node.op_id):
             graph.replace_input(consumer.op_id, node.op_id, child.op_id)
         if node.op_id in graph.outputs:
+            if node.annotations.get("fragment"):
+                # Keep the output resolvable under the projection's name.
+                child.annotations["fragment"] = node.annotations["fragment"]
             graph.replace_output(node.op_id, child.op_id)
         graph.prune(lambda n, dead=node.op_id: n.op_id != dead)
         fused += 1

@@ -1,17 +1,37 @@
-"""Predicate-pushdown pass (an L1 optimization, paper §IV-B-3).
+"""Predicate-pushdown passes (L1 optimizations, paper §IV-B-3).
 
-Filters are moved as close to the scans as possible: through projections,
-and into one side of a join when the predicate references only that side's
-columns.  Pushing a filter below a join shrinks the data crossing engine
-boundaries — the dominant cost a polystore optimizer fights.
+Two cooperating rewrites:
+
+* :func:`push_down_filters` moves filters as close to the scans as possible:
+  through projections, and into one side of a join when the predicate
+  references only that side's columns.  Pushing a filter below a join
+  shrinks the data crossing engine boundaries — the dominant cost a
+  polystore optimizer fights.
+* :func:`absorb_into_leaves` then merges a filter sitting directly on a leaf
+  read into the leaf itself as a *structured* predicate parameter — no SQL
+  string is ever parsed.  Relational scans, key/value lookups, timeseries
+  summaries and text keyword features all participate: their adapters
+  evaluate the predicate engine-side, and key-equality conjuncts
+  additionally become routing hints (explicit ``keys`` / ``series_keys`` /
+  ``doc_ids``) that the scatter-gather path uses to prune shard fan-out.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.catalog import Catalog
 from repro.ir.graph import IRGraph
 from repro.ir.nodes import Operator
-from repro.stores.relational.expressions import Expression, and_, split_conjunction
+from repro.stores.relational.expressions import (
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    Literal,
+    and_,
+    split_conjunction,
+)
 
 
 def infer_columns(graph: IRGraph, catalog: Catalog | None = None) -> dict[str, frozenset[str]]:
@@ -135,3 +155,175 @@ def _push_into_join(graph: IRGraph, filter_node: Operator, join_node: Operator,
     else:
         graph.remove(filter_node.op_id)
     return True
+
+
+# -- absorbing filters into leaf reads --------------------------------------------------
+
+#: Leaf reads that accept a structured ``predicate`` parameter.
+ABSORBING_LEAF_KINDS = frozenset({
+    "scan", "kv_get", "kv_range", "ts_summarize", "keyword_features",
+})
+
+
+def absorb_into_leaves(graph: IRGraph, catalog: Catalog | None = None) -> int:
+    """Merge filters that directly follow a leaf read into the leaf.
+
+    The filter's predicate lands in the leaf's ``predicate`` parameter (ANDed
+    with any predicate already absorbed), the filter node disappears, and —
+    where a conjunct pins the read's key column to literal values — the leaf
+    additionally gains explicit key routing hints the scatter-gather executor
+    prunes shards with.  Returns the number of filters absorbed.
+    """
+    rewrites = 0
+    changed = True
+    while changed:
+        changed = False
+        for node in list(graph.nodes()):
+            if node.kind != "filter" or len(node.inputs) != 1:
+                continue
+            leaf = graph.node(node.inputs[0])
+            if leaf.kind not in ABSORBING_LEAF_KINDS or leaf.inputs:
+                continue
+            if len(graph.consumers(leaf.op_id)) != 1:
+                continue  # another consumer needs the unfiltered read
+            if leaf.op_id in graph.outputs:
+                continue  # the unfiltered read is itself a program output
+            predicate = node.params.get("predicate")
+            if not isinstance(predicate, Expression):
+                continue
+            existing = leaf.params.get("predicate")
+            if isinstance(existing, Expression):
+                predicate = and_(existing, predicate)
+            leaf.params["predicate"] = predicate
+            _extract_key_routing(leaf)
+            _convert_to_index_seek(leaf, catalog)
+            if node.op_id in graph.outputs and node.annotations.get("fragment"):
+                # The filter was a named program output; its name must keep
+                # resolving once the leaf answers in its place.
+                leaf.annotations["fragment"] = node.annotations["fragment"]
+            graph.remove(node.op_id)
+            rewrites += 1
+            changed = True
+    return rewrites
+
+
+def _extract_key_routing(leaf: Operator) -> None:
+    """Derive explicit key lists from key-column equality conjuncts.
+
+    Key/value prefix lookups become explicit-key lookups, timeseries
+    summaries gain a ``series_keys`` list and keyword features a ``doc_ids``
+    list — each of which both narrows the engine-side read and lets the
+    scatter path contact only the owning shards.  Relational scans carry the
+    predicate itself; the scatter path matches it against the table's
+    declared shard key at dispatch time.
+    """
+    predicate = leaf.params.get("predicate")
+    if not isinstance(predicate, Expression):
+        return
+    if leaf.kind == "kv_get" and not leaf.params.get("keys"):
+        prefix = leaf.params.get("key_prefix")
+        key_column = str(leaf.params.get("key_column", "key"))
+        values = predicate_key_values(predicate, key_column)
+        if values is not None and prefix is not None:
+            leaf.params["keys"] = [f"{prefix}{key_text(value)}" for value in values]
+    elif leaf.kind == "ts_summarize" and not leaf.params.get("series_keys"):
+        prefix = str(leaf.params.get("series_prefix", ""))
+        key_column = str(leaf.params.get("key_column", "pid"))
+        values = predicate_key_values(predicate, key_column)
+        if values is not None:
+            leaf.params["series_keys"] = [f"{prefix}{key_text(value)}" for value in values]
+    elif leaf.kind == "keyword_features" and not leaf.params.get("doc_ids"):
+        prefix = leaf.params.get("doc_prefix") or ""
+        id_column = str(leaf.params.get("id_column", "doc_id"))
+        values = predicate_key_values(predicate, id_column)
+        if values is not None:
+            leaf.params["doc_ids"] = [f"{prefix}{key_text(value)}" for value in values]
+
+
+def _convert_to_index_seek(leaf: Operator, catalog: Catalog | None) -> None:
+    """Turn a predicated scan into an ``index_seek`` when an index matches.
+
+    A single-value equality conjunct on an indexed column lets the engine
+    answer from the index instead of scanning the heap; the full predicate
+    stays on the node (re-checking the equality is cheap and the residual
+    conjuncts still must filter).  On sharded engines this compounds with
+    routing: the seek contacts only the owning shard *and* reads only the
+    matching rows there.
+    """
+    if leaf.kind != "scan" or catalog is None or leaf.engine is None:
+        return
+    predicate = leaf.params.get("predicate")
+    if not isinstance(predicate, Expression):
+        return
+    try:
+        engine = catalog.engine(leaf.engine)
+    except Exception:  # noqa: BLE001 - unbound engines stay plain scans
+        return
+    has_index = getattr(engine, "has_index", None)
+    if not callable(has_index):
+        return
+    table = str(leaf.params.get("table", ""))
+    for conjunct in split_conjunction(predicate):
+        if not (isinstance(conjunct, Comparison) and conjunct.op in ("=", "==")):
+            continue
+        left, right = conjunct.left, conjunct.right
+        if isinstance(right, ColumnRef) and isinstance(left, Literal):
+            left, right = right, left
+        if not (isinstance(left, ColumnRef) and isinstance(right, Literal)
+                and isinstance(right.value, (str, int, float, bool))):
+            continue
+        if not has_index(table, left.name):
+            continue
+        leaf.kind = "index_seek"
+        leaf.params["column"] = left.name
+        leaf.params["value"] = right.value
+        return
+
+
+def predicate_key_values(predicate: Expression, column: str) -> list[Any] | None:
+    """Literal values a predicate pins ``column`` to, or ``None``.
+
+    Only top-level conjuncts constrain the key: an equality against a
+    literal yields one value, an ``IN`` list yields its members, and several
+    key conjuncts intersect.  Non-key conjuncts are ignored (they filter
+    rows, not the routing).  Returns ``None`` when no conjunct pins the key —
+    the read must stay a full fan-out.
+    """
+    values: list[Any] | None = None
+    for conjunct in split_conjunction(predicate):
+        found = _conjunct_key_values(conjunct, column)
+        if found is None:
+            continue
+        if values is None:
+            values = list(found)
+        else:
+            values = [value for value in values if value in found]
+    return values
+
+
+def key_text(value: Any) -> str:
+    """Render a key value the way engines spell it inside prefixed keys.
+
+    Integer-valued floats collapse to their integer form so a predicate
+    written as ``col("pid") == 5.0`` still finds the series ``"hr/5"``.
+    """
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _conjunct_key_values(conjunct: Expression, column: str) -> list[Any] | None:
+    if isinstance(conjunct, Comparison) and conjunct.op in ("=", "=="):
+        left, right = conjunct.left, conjunct.right
+        if isinstance(right, ColumnRef) and isinstance(left, Literal):
+            left, right = right, left
+        if (isinstance(left, ColumnRef) and left.name == column
+                and isinstance(right, Literal)
+                and isinstance(right.value, (str, int, float, bool))):
+            return [right.value]
+    if (isinstance(conjunct, InList) and isinstance(conjunct.operand, ColumnRef)
+            and conjunct.operand.name == column
+            and all(isinstance(v, (str, int, float, bool))
+                    for v in conjunct.values)):
+        return list(conjunct.values)
+    return None

@@ -15,8 +15,9 @@ from dataclasses import dataclass, field
 from repro.accelerators.simulator import OffloadPlanner, PlacementDecision
 from repro.catalog import Catalog
 from repro.compiler.annotate import annotate_graph, total_estimated_bytes
-from repro.compiler.frontend import Frontend
+from repro.compiler.frontend import Frontend, Program
 from repro.compiler.passes import (
+    absorb_into_leaves,
     choose_join_algorithms,
     eliminate_common_subexpressions,
     eliminate_dead_code,
@@ -25,7 +26,6 @@ from repro.compiler.passes import (
     reorder_joins,
 )
 from repro.compiler.passes.placement import place_accelerators
-from repro.eide.program import HeterogeneousProgram
 from repro.ir.graph import IRGraph
 from repro.ir.validation import assert_valid
 
@@ -89,7 +89,7 @@ class Compiler:
         self.options = options if options is not None else CompilerOptions()
         self.frontend = Frontend(catalog)
 
-    def compile(self, program: HeterogeneousProgram,
+    def compile(self, program: Program,
                 options: CompilerOptions | None = None) -> CompilationResult:
         """Run the full pipeline on ``program``."""
         started = time.perf_counter()
@@ -128,6 +128,11 @@ class Compiler:
             result.pass_counts["pushdown"] = push_down_filters(graph, self.catalog)
         if opts.fusion:
             result.pass_counts["fusion"] = fuse_operators(graph)
+        if opts.pushdown:
+            # After fusion merged adjacent filters, fold filters sitting on
+            # leaf reads into the leaves as structured predicates (enables
+            # engine-side evaluation and shard pruning).
+            result.pass_counts["absorb"] = absorb_into_leaves(graph, self.catalog)
         annotate_graph(graph, self.catalog)
         if opts.join_reorder:
             result.pass_counts["join_reorder"] = reorder_joins(graph)

@@ -19,8 +19,9 @@ from repro.accelerators.base import Accelerator, HostCPU
 from repro.accelerators.kernels import KernelRegistry
 from repro.accelerators.simulator import Objective, OffloadPlanner
 from repro.catalog import Catalog
+from repro.compiler.frontend import Program
 from repro.compiler.pipeline import CompilationResult, Compiler, CompilerOptions
-from repro.eide.program import HeterogeneousProgram
+from repro.eide.dataflow import DatasetSource
 from repro.exceptions import ConfigurationError, ExecutionError
 from repro.middleware.executor import ExecutionReport
 from repro.middleware.migration import SimulatedNetwork
@@ -197,6 +198,22 @@ class PolystorePlusPlus:
         """A registered engine by name."""
         return self.catalog.engine(name)
 
+    def dataset(self, engine: str) -> DatasetSource:
+        """Scans over a registered engine, as dataflow :class:`Dataset` handles.
+
+        The entry point of the composable dataflow API::
+
+            orders = system.dataset("ordersdb").table("orders")
+            seniors = orders.filter(col("age") > 60).project("pid", "age")
+
+        The returned trees are lazy; wrap them in a
+        :class:`~repro.eide.dataflow.DataflowProgram` and hand that to
+        :meth:`execute` or :meth:`~repro.client.Session.prepare`.
+        """
+        if not self.catalog.has_engine(engine):
+            raise ConfigurationError(f"no engine named {engine!r}")
+        return DatasetSource(engine)
+
     @property
     def network(self) -> SimulatedNetwork:
         """The simulated interconnect migrations travel over."""
@@ -247,7 +264,7 @@ class PolystorePlusPlus:
                               objective=self.config.objective,
                               host_cores=self.config.host_cores)
 
-    def compile(self, program: HeterogeneousProgram, *,
+    def compile(self, program: Program, *,
                 accelerated: bool = True,
                 options: CompilerOptions | None = None) -> CompilationResult:
         """Compile a heterogeneous program against this deployment."""
@@ -310,7 +327,7 @@ class PolystorePlusPlus:
                 self._default_session = self.session(name="default")
             return self._default_session
 
-    def execute(self, program: HeterogeneousProgram, *, mode: str = "polystore++",
+    def execute(self, program: Program, *, mode: str = "polystore++",
                 options: CompilerOptions | None = None) -> ExecutionResult:
         """Compile (or reuse a cached plan) and run a program once.
 
@@ -320,7 +337,7 @@ class PolystorePlusPlus:
         """
         return self.default_session().execute(program, mode=mode, options=options)
 
-    def compare_modes(self, program: HeterogeneousProgram,
+    def compare_modes(self, program: Program,
                       modes: tuple[str, ...] = EXECUTION_MODES
                       ) -> dict[str, ExecutionResult]:
         """Run the same program under several modes (experiments E7/E8/E9)."""

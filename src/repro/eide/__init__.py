@@ -1,5 +1,24 @@
-"""EIDE: the expressive programming environment for heterogeneous programs."""
+"""EIDE: the expressive programming environment for heterogeneous programs.
 
+Two ways to author a program:
+
+* the **dataflow API** (:mod:`repro.eide.dataflow`) — composable
+  :class:`Dataset` expression trees with structured predicates
+  (``dataset("db").table("orders").filter(col("age") > 60)``), and
+* the **legacy fragment builder** (:class:`HeterogeneousProgram`) — a thin
+  compatibility shim that converts into the same dataflow form, so both
+  flavours fingerprint, cache and lower identically.
+"""
+
+from repro.eide.dataflow import (
+    DataflowNode,
+    DataflowProgram,
+    Dataset,
+    DatasetSource,
+    dataset,
+    to_dataflow,
+)
+from repro.eide.expressions import Col, canonicalize, col, lit
 from repro.eide.natural_language import compile_natural_language, recognize_intent
 from repro.eide.program import PARADIGMS, HeterogeneousProgram, Param, SubProgram
 
@@ -8,6 +27,16 @@ __all__ = [
     "SubProgram",
     "Param",
     "PARADIGMS",
+    "DataflowProgram",
+    "Dataset",
+    "DatasetSource",
+    "DataflowNode",
+    "dataset",
+    "to_dataflow",
+    "col",
+    "lit",
+    "Col",
+    "canonicalize",
     "compile_natural_language",
     "recognize_intent",
 ]

@@ -286,28 +286,33 @@ class HeterogeneousProgram:
         self._frozen = True
         return self
 
-    def fingerprint(self) -> str:
-        """A deterministic identity hash over the program structure.
+    def to_dataflow(self):
+        """This program's canonical dataflow form (SQL parsed into trees).
 
-        Covers the program name, every fragment (name, paradigm, engine
-        binding, inputs and canonicalized parameters) and the output set.
-        ``python`` fragments' callables are hashed by identity — see
-        :func:`canonical_value`.  The plan cache keys on this.
+        The compiler frontend and :meth:`fingerprint` both go through this
+        conversion, which makes the fragment builder a compatibility shim
+        over the dataflow API: an equivalent program written with
+        :class:`~repro.eide.dataflow.Dataset` handles produces the same
+        fingerprint, shares the same cached plan and lowers to the same IR.
         """
-        digest = hashlib.sha256()
-        digest.update(self.name.encode())
-        for fragment in self.fragments:
-            # \x00 separates fragments, \x1f separates fields — without the
-            # delimiters, adjacent fields could collide across programs.
-            digest.update(b"\x00")
-            for part in (fragment.name, fragment.paradigm,
-                         fragment.engine or "<auto>", ",".join(fragment.inputs),
-                         canonical_value(fragment.params)):
-                digest.update(part.encode())
-                digest.update(b"\x1f")
-        digest.update(b"\x01")
-        digest.update(",".join(self.outputs).encode())
-        return digest.hexdigest()
+        from repro.eide.dataflow import to_dataflow
+
+        return to_dataflow(self)
+
+    def fingerprint(self) -> str:
+        """A deterministic identity hash over the canonical dataflow form.
+
+        Covers the program name, the output names and the full structure of
+        every output's expression tree (operator kinds, engine bindings and
+        canonicalized parameters — SQL text is parsed first, so reformatted
+        but equivalent queries hash identically).  ``python`` fragments'
+        callables are hashed by identity — see :func:`canonical_value`.  The
+        plan cache keys on this.
+        """
+        if not self._fragments:
+            # Degenerate but fingerprintable: hash the bare name.
+            return hashlib.sha256(self.name.encode()).hexdigest()
+        return self.to_dataflow().fingerprint()
 
     def declared_params(self) -> dict[str, Param]:
         """All :class:`Param` placeholders appearing in fragment parameters."""

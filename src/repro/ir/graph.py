@@ -23,11 +23,27 @@ class IRGraph:
         self.name = name
         self._nodes: dict[str, Operator] = {}
         self._outputs: list[str] = []
+        #: Per-graph operator id counter: ids are deterministic for a given
+        #: construction order and never shared across graphs (no global
+        #: state, so concurrent sessions cannot race on it).
+        self._next_id = 0
 
     # -- construction -------------------------------------------------------------
 
     def add(self, operator: Operator) -> Operator:
-        """Add a node; its inputs must already be present."""
+        """Add a node, assigning it a graph-local id when it has none.
+
+        The node's inputs must already be present.  Nodes arriving with an
+        explicit id (copies from another graph) keep it; the counter skips
+        past any numeric suffix so later additions can never collide.
+        """
+        if not operator.op_id:
+            self._next_id += 1
+            operator.op_id = f"{operator.kind}_{self._next_id}"
+        else:
+            suffix = operator.op_id.rsplit("_", 1)[-1]
+            if suffix.isdigit():
+                self._next_id = max(self._next_id, int(suffix))
         if operator.op_id in self._nodes:
             raise IRError(f"duplicate operator id {operator.op_id!r}")
         for input_id in operator.inputs:

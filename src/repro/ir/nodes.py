@@ -13,7 +13,6 @@ without needing one class per operator.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -44,19 +43,15 @@ ACCELERABLE_KINDS = frozenset({
     "train", "predict", "migrate",
 })
 
-_id_counter = itertools.count(1)
-
-
-def _next_id(prefix: str) -> str:
-    return f"{prefix}_{next(_id_counter)}"
-
-
 @dataclass
 class Operator:
     """One IR node: a unit of work with data-flow inputs.
 
     Attributes:
-        op_id: Unique node identifier.
+        op_id: Unique node identifier, assigned by the owning
+            :class:`~repro.ir.graph.IRGraph` on :meth:`~IRGraph.add` (each
+            graph numbers its own operators, so ids are deterministic per
+            graph and independent of any global state).
         kind: Operator kind, one of :data:`OPERATOR_KINDS`.
         params: Operator-specific parameters (table names, predicates,
             hyper-parameters, ...).
@@ -80,8 +75,6 @@ class Operator:
     def __post_init__(self) -> None:
         if self.kind not in OPERATOR_KINDS:
             raise IRError(f"unknown operator kind {self.kind!r}")
-        if not self.op_id:
-            self.op_id = _next_id(self.kind)
 
     # -- annotation helpers -----------------------------------------------------------
 
@@ -130,6 +123,11 @@ class Operator:
 
 
 def reset_operator_ids() -> None:
-    """Reset the operator id counter (used by tests for deterministic ids)."""
-    global _id_counter
-    _id_counter = itertools.count(1)
+    """Deprecated no-op kept for compatibility.
+
+    Operator ids are now assigned per :class:`~repro.ir.graph.IRGraph` (see
+    :meth:`~repro.ir.graph.IRGraph.add`), so there is no process-global
+    counter left to reset: every graph numbers its operators from 1
+    deterministically, and concurrent sessions can no longer race on shared
+    mutable state.
+    """

@@ -13,9 +13,28 @@ from __future__ import annotations
 import abc
 from typing import Any
 
+from repro.datamodel.table import Table
 from repro.exceptions import AdapterError
 from repro.ir.nodes import Operator
 from repro.stores.base import Engine
+from repro.stores.relational.expressions import Expression
+
+
+def apply_predicate(table: Table, node: Operator) -> Table:
+    """Evaluate a node's structured ``predicate`` parameter against a table.
+
+    The pushdown pass absorbs filters into leaf reads of every data model;
+    each adapter funnels its result table through here so predicate
+    semantics match the relational engine exactly.  Nodes without a
+    predicate pass through untouched.
+    """
+    from repro.stores.relational.operators import Filter, TableScan
+
+    predicate = node.params.get("predicate")
+    if not isinstance(predicate, Expression):
+        return table
+    rows = Filter(TableScan(table.to_dicts()), predicate).execute()
+    return Table.from_dicts(rows) if rows else Table(table.schema, [])
 
 
 class Adapter(abc.ABC):

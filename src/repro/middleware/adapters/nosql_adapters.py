@@ -15,9 +15,11 @@ from repro.datamodel.schema import Column, DataType, Schema
 from repro.datamodel.table import Table
 from repro.exceptions import AdapterError
 from repro.ir.nodes import Operator
-from repro.middleware.adapters.base import Adapter
+from repro.middleware.adapters.base import Adapter, apply_predicate
 from repro.stores.graph.engine import GraphEngine
 from repro.stores.keyvalue.engine import KeyValueEngine
+from repro.stores.relational.expressions import Expression
+from repro.stores.relational.operators import Filter, Project, TableScan
 from repro.stores.text.engine import TextEngine
 from repro.stores.timeseries.engine import TimeseriesEngine
 
@@ -36,7 +38,36 @@ def _coerce_key(key: str) -> Any:
         return key
 
 
-class KeyValueAdapter(Adapter):
+class TableOpsMixin:
+    """Partition-friendly ``filter``/``project`` over materialized tables.
+
+    The dataflow API lets clients filter or project the tabular result of
+    any engine read while staying on that engine (which is what allows the
+    pushdown pass to later absorb the predicate into the read itself, and
+    the scatter path to keep the operator partition-wise on sharded
+    engines).
+    """
+
+    def _table_op(self, node: Operator, inputs: list[Any]) -> Table:
+        self._require_inputs(node, inputs, 1)
+        value = inputs[0]
+        if not isinstance(value, Table):
+            raise AdapterError(
+                f"operator {node.op_id} expected a Table input, "
+                f"got {type(value).__name__}"
+            )
+        scan = TableScan(value.to_dicts())
+        if node.kind == "filter":
+            predicate = node.params.get("predicate")
+            if not isinstance(predicate, Expression):
+                raise AdapterError(f"filter {node.op_id} has no predicate expression")
+            rows = Filter(scan, predicate).execute()
+        else:
+            rows = Project(scan, list(node.params.get("columns") or [])).execute()
+        return Table.from_dicts(rows) if rows else Table(value.schema, [])
+
+
+class KeyValueAdapter(TableOpsMixin, Adapter):
     """Executes ``kv_get`` and ``kv_range`` operators on the key/value engine."""
 
     def __init__(self, engine: KeyValueEngine) -> None:
@@ -44,9 +75,11 @@ class KeyValueAdapter(Adapter):
         self.engine: KeyValueEngine = engine
 
     def supported_kinds(self) -> frozenset[str]:
-        return frozenset({"kv_get", "kv_range"})
+        return frozenset({"kv_get", "kv_range", "filter", "project"})
 
     def execute(self, node: Operator, inputs: list[Any]) -> Table:
+        if node.kind in ("filter", "project"):
+            return self._table_op(node, inputs)
         if node.kind == "kv_get":
             keys = node.params.get("keys")
             prefix = node.params.get("key_prefix")
@@ -60,8 +93,9 @@ class KeyValueAdapter(Adapter):
         else:
             pairs = list(self.engine.range(node.params.get("start"), node.params.get("end")))
             prefix = None
-        return self._pairs_to_table(pairs, node.params.get("key_prefix"),
-                                    node.params.get("key_column", "key"))
+        table = self._pairs_to_table(pairs, node.params.get("key_prefix"),
+                                     node.params.get("key_column", "key"))
+        return apply_predicate(table, node)
 
     @staticmethod
     def _pairs_to_table(pairs: list[tuple[str, Any]], prefix: str | None,
@@ -80,7 +114,7 @@ class KeyValueAdapter(Adapter):
         return Table.from_dicts(rows)
 
 
-class TimeseriesAdapter(Adapter):
+class TimeseriesAdapter(TableOpsMixin, Adapter):
     """Executes timeseries operators: range scans, windows and summaries."""
 
     def __init__(self, engine: TimeseriesEngine) -> None:
@@ -88,9 +122,12 @@ class TimeseriesAdapter(Adapter):
         self.engine: TimeseriesEngine = engine
 
     def supported_kinds(self) -> frozenset[str]:
-        return frozenset({"ts_range", "window_aggregate", "ts_summarize"})
+        return frozenset({"ts_range", "window_aggregate", "ts_summarize",
+                          "filter", "project"})
 
     def execute(self, node: Operator, inputs: list[Any]) -> Table:
+        if node.kind in ("filter", "project"):
+            return self._table_op(node, inputs)
         if node.kind == "ts_range":
             points = self.engine.query_range(str(node.params["series"]),
                                              node.params.get("start"),
@@ -120,8 +157,15 @@ class TimeseriesAdapter(Adapter):
         key_column = str(node.params.get("key_column", "pid"))
         start = node.params.get("start")
         end = node.params.get("end")
+        series_keys = node.params.get("series_keys")
+        if series_keys is not None:
+            # The pushdown pass pinned the summary to explicit series: read
+            # only those instead of listing every series under the prefix.
+            candidates = [key for key in series_keys if self.engine.has_series(key)]
+        else:
+            candidates = self.engine.list_series()
         rows = []
-        for series_key in self.engine.list_series():
+        for series_key in candidates:
             if not series_key.startswith(prefix):
                 continue
             entity = _coerce_key(series_key[len(prefix):])
@@ -141,11 +185,11 @@ class TimeseriesAdapter(Adapter):
                              Column("vital_min", DataType.FLOAT),
                              Column("vital_max", DataType.FLOAT),
                              Column("vital_last", DataType.FLOAT)])
-            return Table(schema, [])
-        return Table.from_dicts(rows)
+            return apply_predicate(Table(schema, []), node)
+        return apply_predicate(Table.from_dicts(rows), node)
 
 
-class GraphAdapter(Adapter):
+class GraphAdapter(TableOpsMixin, Adapter):
     """Executes graph operators: node scans, paths and neighbourhood features."""
 
     def __init__(self, engine: GraphEngine) -> None:
@@ -153,10 +197,13 @@ class GraphAdapter(Adapter):
         self.engine: GraphEngine = engine
 
     def supported_kinds(self) -> frozenset[str]:
-        return frozenset({"graph_nodes", "shortest_path", "neighborhood", "graph_match"})
+        return frozenset({"graph_nodes", "shortest_path", "neighborhood",
+                          "graph_match", "filter", "project"})
 
     def execute(self, node: Operator, inputs: list[Any]) -> Any:
         kind = node.kind
+        if kind in ("filter", "project"):
+            return self._table_op(node, inputs)
         if kind == "graph_nodes":
             label = str(node.params.get("label", ""))
             rows = self.engine.node_properties(label)
@@ -187,7 +234,7 @@ class GraphAdapter(Adapter):
                     Column("length", DataType.INT)]), [])
 
 
-class TextAdapter(Adapter):
+class TextAdapter(TableOpsMixin, Adapter):
     """Executes text operators: ranked search and keyword feature extraction."""
 
     def __init__(self, engine: TextEngine) -> None:
@@ -195,9 +242,11 @@ class TextAdapter(Adapter):
         self.engine: TextEngine = engine
 
     def supported_kinds(self) -> frozenset[str]:
-        return frozenset({"text_search", "keyword_features"})
+        return frozenset({"text_search", "keyword_features", "filter", "project"})
 
     def execute(self, node: Operator, inputs: list[Any]) -> Table:
+        if node.kind in ("filter", "project"):
+            return self._table_op(node, inputs)
         if node.kind == "text_search":
             results = self.engine.search(str(node.params["query"]),
                                          top_k=int(node.params.get("top_k", 10)))
@@ -212,9 +261,16 @@ class TextAdapter(Adapter):
             raise AdapterError(f"keyword_features {node.op_id} needs at least one keyword")
         prefix = node.params.get("doc_prefix")
         id_column = str(node.params.get("id_column", "doc_id"))
+        doc_ids = node.params.get("doc_ids")
+        if doc_ids is not None:
+            # The pushdown pass pinned the read to explicit documents.
+            known = set(self.engine.documents_matching({}))
+            candidates = [doc_id for doc_id in doc_ids if doc_id in known]
+        else:
+            # documents_matching({}) returns every doc id.
+            candidates = self.engine.documents_matching({})
         rows = []
-        # documents_matching({}) returns every doc id.
-        for doc_id in self.engine.documents_matching({}):
+        for doc_id in candidates:
             if prefix is not None and not doc_id.startswith(prefix):
                 continue
             entity = doc_id[len(prefix):] if prefix else doc_id
@@ -225,5 +281,5 @@ class TextAdapter(Adapter):
         if not rows:
             columns = [Column(id_column, DataType.STRING)]
             columns += [Column(f"kw_{k}", DataType.FLOAT) for k in keywords]
-            return Table(Schema(columns), [])
-        return Table.from_dicts(rows)
+            return apply_predicate(Table(Schema(columns), []), node)
+        return apply_predicate(Table.from_dicts(rows), node)

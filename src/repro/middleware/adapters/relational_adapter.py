@@ -17,7 +17,7 @@ from typing import Any
 from repro.datamodel.table import Table
 from repro.exceptions import AdapterError
 from repro.ir.nodes import Operator
-from repro.middleware.adapters.base import Adapter
+from repro.middleware.adapters.base import Adapter, apply_predicate
 from repro.stores.relational.engine import RelationalEngine
 from repro.stores.relational.expressions import Expression
 from repro.stores.relational.operators import (
@@ -50,12 +50,22 @@ class RelationalAdapter(Adapter):
         kind = node.kind
         if kind == "scan":
             columns = node.params.get("columns")
-            return self.engine.scan(str(node.params["table"]),
-                                    list(columns) if columns else None)
+            table = self.engine.scan(str(node.params["table"]),
+                                     list(columns) if columns else None)
+            # A structured predicate absorbed by the pushdown pass evaluates
+            # engine-side, before anything crosses the adapter boundary.
+            return apply_predicate(table, node)
         if kind == "index_seek":
-            return self.engine.index_lookup(str(node.params["table"]),
-                                            str(node.params["column"]),
-                                            node.params["value"])
+            table = self.engine.index_lookup(str(node.params["table"]),
+                                             str(node.params["column"]),
+                                             node.params["value"])
+            # A seek converted from a predicated scan: apply the residual
+            # conjuncts (and the cheap equality re-check) engine-side.
+            table = apply_predicate(table, node)
+            columns = node.params.get("columns")
+            if columns:
+                table = table.project(list(columns))
+            return table
         if kind == "python_udf":
             fn = node.params["fn"]
             return fn(*inputs)

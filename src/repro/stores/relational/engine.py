@@ -209,6 +209,18 @@ class RelationalEngine(Engine):
             result = result.project(columns)
         return result
 
+    def has_index(self, table: str, column: str) -> bool:
+        """Whether an equality-capable index exists on ``table.column``.
+
+        The compiler's pushdown pass consults this to turn a scan with an
+        absorbed equality predicate into an ``index_seek``.
+        """
+        try:
+            stored = self._stored(table)
+        except StorageError:
+            return False
+        return column in stored.hash_indexes or column in stored.sorted_indexes
+
     def index_lookup(self, table: str, column: str, value: Any) -> Table:
         """Equality lookup through an index (hash preferred, sorted fallback)."""
         stored = self._stored(table)

@@ -37,7 +37,16 @@ _ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
 
 
 class Expression(abc.ABC):
-    """Base class for scalar expressions."""
+    """Base class for scalar expressions.
+
+    Expressions double as the *builder* vocabulary of the dataflow API
+    (:mod:`repro.eide.expressions`): ordering comparisons, arithmetic and the
+    boolean connectives ``&``/``|``/``~`` construct new expression nodes
+    instead of evaluating, so ``col("age") > 60`` is itself first-class IR.
+    Equality stays structural (dataclass semantics); use :meth:`eq`/:meth:`ne`
+    (or the :func:`repro.eide.expressions.col` sugar) to build equality
+    predicates.
+    """
 
     @abc.abstractmethod
     def evaluate(self, row: Mapping[str, Any]) -> Any:
@@ -50,6 +59,80 @@ class Expression(abc.ABC):
     def estimated_selectivity(self) -> float:
         """Fraction of rows expected to satisfy this expression as a predicate."""
         return 0.5
+
+    # -- builder operators (the dataflow API's predicate sugar) ---------------------
+
+    def __bool__(self) -> bool:
+        # Guard against Python's `and`/`or`/`not` and chained comparisons
+        # (`1 < col < 5`), which would silently evaluate one operand's
+        # truthiness and drop the rest of the predicate.
+        raise QueryError(
+            "an Expression has no truth value; combine predicates with "
+            "&, | and ~ (not `and`/`or`/`not`), and avoid chained comparisons"
+        )
+
+    def __gt__(self, other: Any) -> "Comparison":
+        return Comparison(">", self, _as_operand(other))
+
+    def __ge__(self, other: Any) -> "Comparison":
+        return Comparison(">=", self, _as_operand(other))
+
+    def __lt__(self, other: Any) -> "Comparison":
+        return Comparison("<", self, _as_operand(other))
+
+    def __le__(self, other: Any) -> "Comparison":
+        return Comparison("<=", self, _as_operand(other))
+
+    def eq(self, other: Any) -> "Comparison":
+        """An equality predicate (``==`` keeps dataclass equality)."""
+        return Comparison("=", self, _as_operand(other))
+
+    def ne(self, other: Any) -> "Comparison":
+        """An inequality predicate."""
+        return Comparison("!=", self, _as_operand(other))
+
+    def isin(self, *values: Any) -> "InList":
+        """An ``IN (...)`` membership predicate."""
+        if len(values) == 1 and isinstance(values[0], (list, tuple, set, frozenset)):
+            values = tuple(values[0])
+        return InList(self, tuple(values))
+
+    def is_null(self) -> "IsNull":
+        """An ``IS NULL`` predicate."""
+        return IsNull(self)
+
+    def is_not_null(self) -> "IsNull":
+        """An ``IS NOT NULL`` predicate."""
+        return IsNull(self, negated=True)
+
+    def __and__(self, other: "Expression") -> "BooleanOp":
+        return BooleanOp("and", (self, _as_operand(other)))
+
+    def __or__(self, other: "Expression") -> "BooleanOp":
+        return BooleanOp("or", (self, _as_operand(other)))
+
+    def __invert__(self) -> "BooleanOp":
+        return BooleanOp("not", (self,))
+
+    def __add__(self, other: Any) -> "Arithmetic":
+        return Arithmetic("+", self, _as_operand(other))
+
+    def __sub__(self, other: Any) -> "Arithmetic":
+        return Arithmetic("-", self, _as_operand(other))
+
+    def __mul__(self, other: Any) -> "Arithmetic":
+        return Arithmetic("*", self, _as_operand(other))
+
+    def __truediv__(self, other: Any) -> "Arithmetic":
+        return Arithmetic("/", self, _as_operand(other))
+
+    def __mod__(self, other: Any) -> "Arithmetic":
+        return Arithmetic("%", self, _as_operand(other))
+
+
+def _as_operand(value: Any) -> "Expression":
+    """Wrap a bare Python value as a :class:`Literal` operand."""
+    return value if isinstance(value, Expression) else Literal(value)
 
 
 @dataclass(frozen=True)

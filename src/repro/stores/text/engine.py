@@ -93,7 +93,8 @@ class TextEngine(Engine):
         The MIMIC workload uses this to turn a clinical note into numeric
         features (e.g. counts of "sepsis", "ventilator", "stable").
         """
-        counts = term_frequencies(self.get(doc_id)["text"])
+        with self.metrics.timed(self.name, "keyword_features", doc=doc_id):
+            counts = term_frequencies(self.get(doc_id)["text"])
         return {keyword: float(counts.get(keyword.lower(), 0)) for keyword in keywords}
 
     def documents_matching(self, metadata_filter: dict[str, Any]) -> list[str]:

@@ -143,7 +143,9 @@ class TimeseriesEngine(Engine):
         This is the per-patient vital-sign feature extraction used when the
         MIMIC workload builds its feature vector.
         """
-        points = list(self.series(key).between(start, end))
+        with self.metrics.timed(self.name, "summarize", series=key) as timer:
+            points = list(self.series(key).between(start, end))
+            timer.rows_out = len(points)
         if not points:
             return {"count": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0, "last": 0.0}
         values = [p.value for p in points]

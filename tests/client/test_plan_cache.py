@@ -107,8 +107,20 @@ class TestSessionPlanCaching:
         program_a = _orders_program()
         program_b = _orders_program()
         assert program_a.fingerprint() == program_b.fingerprint()
-        program_b.sql("extra", "SELECT * FROM orders", engine="ordersdb")
+        # Mutating structure that feeds an output changes the identity.
+        program_b.fragment("spend").params["query"] = (
+            "SELECT customer_id, sum(amount) AS total FROM orders "
+            "WHERE amount > 1 GROUP BY customer_id")
         assert program_a.fingerprint() != program_b.fingerprint()
+
+    def test_dead_fragments_do_not_change_fingerprint(self):
+        # Fingerprints cover the output-reachable dataflow only: a fragment
+        # no output depends on cannot affect results, so two such programs
+        # correctly share one cached plan.
+        program_a = _orders_program()
+        program_b = _orders_program()
+        program_b.sql("extra", "SELECT * FROM orders", engine="ordersdb")
+        assert program_a.fingerprint() == program_b.fingerprint()
 
     def test_one_shot_execute_reuses_cached_plans(self):
         system = _small_system()

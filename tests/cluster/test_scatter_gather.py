@@ -380,22 +380,51 @@ class TestShardedOrdering:
         copied = sharded.copy_parts(lambda p: p)
         assert copied.ordered_by == "key"
 
-    def test_unsupported_kind_on_shard_adapter_errors_cleanly(self):
-        # A filter bound to a (sharded) KV engine is not executable by the
-        # KV adapter; the scatter path must decline so the executor raises
-        # its ordinary error instead of a duck-typed misread.
-        from repro.exceptions import ExecutionError
+    def test_filter_on_sharded_kv_engine_runs_partition_wise(self):
+        # The dataflow API lets filters stay on non-relational engines; the
+        # KV adapter evaluates them over materialized tables, so the scatter
+        # path keeps them partition-wise.
         from repro.ir.graph import IRGraph
         from repro.ir.nodes import Operator
         from repro.middleware.executor import Executor
         from repro.stores.relational.expressions import compare
 
+        plain_system, sharded_system = self._kv_pair(3, 30)
+
+        def run(system):
+            graph = IRGraph("chain")
+            scan = graph.add(Operator("kv_range", {}, [], "profiles"))
+            kept = graph.add(Operator("filter", {
+                "predicate": compare("uid", ">=", 5),
+            }, [scan.op_id], "profiles"))
+            graph.mark_output(kept.op_id)
+            outputs, report = Executor(system.catalog).execute(graph)
+            return outputs[kept.op_id], report
+
+        sharded_out, report = run(sharded_system)
+        plain_out, _ = run(plain_system)
+        assert sorted(r["uid"] for r in sharded_out.to_dicts()) == \
+            sorted(r["uid"] for r in plain_out.to_dicts())
+        filters = [r for r in report.records if r.kind == "filter"]
+        assert filters and filters[0].details.get("merge") == "deferred"
+
+    def test_unsupported_kind_on_shard_adapter_errors_cleanly(self):
+        # An aggregate bound to a (sharded) KV engine is not executable by
+        # the KV adapter; the scatter path must decline so the executor
+        # raises its ordinary error instead of a duck-typed misread.
+        from repro.exceptions import ExecutionError
+        from repro.ir.graph import IRGraph
+        from repro.ir.nodes import Operator
+        from repro.middleware.executor import Executor
+        from repro.stores.relational.operators import AggregateSpec
+
         _, sharded_system = self._kv_pair(3, 30)
         graph = IRGraph("chain")
         scan = graph.add(Operator("kv_range", {}, [], "profiles"))
-        kept = graph.add(Operator("filter", {
-            "predicate": compare("uid", ">=", 5),
+        total = graph.add(Operator("aggregate", {
+            "group_by": [],
+            "aggregates": [AggregateSpec("sum", "uid", "total")],
         }, [scan.op_id], "profiles"))
-        graph.mark_output(kept.op_id)
+        graph.mark_output(total.op_id)
         with pytest.raises(ExecutionError):
             Executor(sharded_system.catalog).execute(graph)

@@ -192,6 +192,113 @@ class TestPasses:
         assert "age" in columns[scan.op_id]
 
 
+class TestAbsorbIntoLeaves:
+    def _filtered_scan_graph(self, predicate) -> IRGraph:
+        from repro.ir import IRGraph
+
+        graph = IRGraph("absorb")
+        scan = graph.add(Operator("scan", {"table": "admissions"},
+                                  engine="clinical-db"))
+        kept = graph.add(Operator("filter", {"predicate": predicate},
+                                  [scan.op_id], "clinical-db"))
+        graph.mark_output(kept.op_id)
+        return graph
+
+    def test_filter_absorbed_into_scan(self, catalog):
+        from repro.compiler.passes import absorb_into_leaves
+
+        graph = self._filtered_scan_graph(compare("age", ">", 60))
+        assert absorb_into_leaves(graph, catalog) == 1
+        assert graph.nodes_of_kind("filter") == []
+        scan = graph.nodes_of_kind("scan")[0]
+        assert scan.params["predicate"] is not None
+        assert graph.outputs == [scan.op_id]
+        assert_valid(graph)
+
+    def test_output_leaf_is_not_absorbed(self, catalog):
+        from repro.compiler.passes import absorb_into_leaves
+
+        graph = self._filtered_scan_graph(compare("age", ">", 60))
+        scan = graph.nodes_of_kind("scan")[0]
+        # The unfiltered scan is itself a program output: absorbing the
+        # filter into it would silently filter (and rename) that output.
+        graph.mark_output(scan.op_id)
+        assert absorb_into_leaves(graph, catalog) == 0
+        assert len(graph.nodes_of_kind("filter")) == 1
+
+    def test_converted_seek_estimate_not_double_counted(self, catalog,
+                                                        mimic_engines):
+        from repro.compiler.passes import absorb_into_leaves
+
+        mimic_engines["relational"].create_index("admissions", "pid")
+        graph = self._filtered_scan_graph(compare("pid", "=", 3))
+        absorb_into_leaves(graph, catalog)
+        annotate_graph(graph, catalog)
+        seek = graph.nodes_of_kind("index_seek")[0]
+        # 60 admissions * 0.1 equality selectivity = 6; the flat //100 seek
+        # factor must not be applied on top of the predicate selectivity.
+        assert seek.estimated_rows == 6
+
+    def test_shared_scan_is_not_absorbed(self, catalog):
+        from repro.compiler.passes import absorb_into_leaves
+
+        graph = self._filtered_scan_graph(compare("age", ">", 60))
+        scan = graph.nodes_of_kind("scan")[0]
+        # A second consumer needs the unfiltered scan: absorption must skip.
+        graph.add(Operator("project", {"columns": ["pid"]}, [scan.op_id],
+                           "clinical-db"))
+        assert absorb_into_leaves(graph, catalog) == 0
+        assert len(graph.nodes_of_kind("filter")) == 1
+
+    def test_kv_prefix_filter_gains_explicit_keys(self, catalog):
+        from repro.compiler.passes import absorb_into_leaves
+        from repro.ir import IRGraph
+
+        graph = IRGraph("kv")
+        read = graph.add(Operator("kv_get", {"keys": None,
+                                             "key_prefix": "customer/"},
+                                  engine="clinical-db"))
+        kept = graph.add(Operator("filter", {"predicate": compare("key", "=", 7)},
+                                  [read.op_id], "clinical-db"))
+        graph.mark_output(kept.op_id)
+        assert absorb_into_leaves(graph, catalog) == 1
+        assert read.params["keys"] == ["customer/7"]
+
+    def test_ts_summary_filter_gains_series_keys(self, catalog):
+        from repro.compiler.passes import absorb_into_leaves
+        from repro.ir import IRGraph
+        from repro.stores.relational.expressions import ColumnRef, InList
+
+        graph = IRGraph("ts")
+        read = graph.add(Operator("ts_summarize", {"series_prefix": "hr/"},
+                                  engine="monitors"))
+        predicate = InList(ColumnRef("pid"), (3, 5))
+        kept = graph.add(Operator("filter", {"predicate": predicate},
+                                  [read.op_id], "monitors"))
+        graph.mark_output(kept.op_id)
+        assert absorb_into_leaves(graph, catalog) == 1
+        assert read.params["series_keys"] == ["hr/3", "hr/5"]
+
+    def test_indexed_equality_converts_scan_to_index_seek(self, catalog,
+                                                          mimic_engines):
+        from repro.compiler.passes import absorb_into_leaves
+
+        mimic_engines["relational"].create_index("admissions", "pid")
+        graph = self._filtered_scan_graph(compare("pid", "=", 3))
+        assert absorb_into_leaves(graph, catalog) == 1
+        seek = graph.nodes_of_kind("index_seek")[0]
+        assert seek.params["column"] == "pid" and seek.params["value"] == 3
+
+    def test_predicate_key_values_intersects_conjuncts(self):
+        from repro.compiler.passes import predicate_key_values
+        from repro.stores.relational.expressions import ColumnRef, InList, and_
+
+        predicate = and_(InList(ColumnRef("k"), (1, 2, 3)),
+                         compare("k", "=", 2))
+        assert predicate_key_values(predicate, "k") == [2]
+        assert predicate_key_values(compare("other", "=", 1), "k") is None
+
+
 class TestPipeline:
     def test_compile_mimic_program(self, catalog, mimic_program):
         result = Compiler(catalog).compile(mimic_program)

@@ -22,9 +22,38 @@ class TestOperator:
         with pytest.raises(IRError):
             Operator("explode", {})
 
-    def test_ids_are_unique(self):
-        a, b = Operator("scan", {"table": "t"}), Operator("scan", {"table": "t"})
-        assert a.op_id != b.op_id
+    def test_ids_assigned_per_graph(self):
+        # Ids are graph-local and deterministic: no global counter, so two
+        # graphs built the same way get the same ids (and concurrent
+        # sessions cannot race on shared state).
+        def build() -> IRGraph:
+            graph = IRGraph("ids")
+            scan = graph.add(Operator("scan", {"table": "t"}))
+            graph.add(Operator("filter", {"predicate": None}, [scan.op_id]))
+            return graph
+
+        first, second = build(), build()
+        assert [n.op_id for n in first.nodes()] == ["scan_1", "filter_2"]
+        assert [n.op_id for n in first.nodes()] == [n.op_id for n in second.nodes()]
+        assert len({n.op_id for n in first.nodes()}) == 2
+
+    def test_reset_operator_ids_is_a_deprecated_noop(self):
+        from repro.ir import reset_operator_ids
+
+        graph = IRGraph("noop")
+        graph.add(Operator("scan", {"table": "t"}))
+        reset_operator_ids()
+        node = graph.add(Operator("scan", {"table": "u"}))
+        assert node.op_id == "scan_2"  # per-graph counter unaffected
+
+    def test_copied_graphs_never_collide_on_new_ids(self):
+        graph = IRGraph("orig")
+        scan = graph.add(Operator("scan", {"table": "t"}))
+        graph.mark_output(scan.op_id)
+        duplicate = graph.copy()
+        added = duplicate.add(Operator("scan", {"table": "u"}))
+        assert added.op_id not in {scan.op_id}
+        assert len(duplicate) == 2
 
     def test_annotations_properties(self):
         node = Operator("scan", {"table": "t"})
