@@ -39,6 +39,9 @@ class PlacementDecision:
         host_energy_j: Predicted host energy.
         accelerator_energy_j: Predicted accelerated energy.
         kernel: Device kernel chosen (``None`` for host).
+        host_time_source: ``"model"`` when the host time came from the
+            roofline model, ``"observed"`` when runtime feedback supplied a
+            measured host time.
     """
 
     operator: str
@@ -49,6 +52,7 @@ class PlacementDecision:
     host_energy_j: float
     accelerator_energy_j: float | None
     kernel: str | None = None
+    host_time_source: str = "model"
 
     @property
     def offloaded(self) -> bool:
@@ -78,13 +82,26 @@ class OffloadPlanner:
 
     # -- decision ----------------------------------------------------------------------
 
-    def decide(self, operator: str, work: WorkEstimate) -> PlacementDecision:
-        """Pick host or the cheapest accelerator for ``operator``."""
+    def decide(self, operator: str, work: WorkEstimate, *,
+               observed_host_time_s: float | None = None) -> PlacementDecision:
+        """Pick host or the cheapest accelerator for ``operator``.
+
+        ``observed_host_time_s`` — a measured host execution time fed back
+        from earlier runs — replaces the roofline host model when given; the
+        model is a lower bound for tight kernels and can dramatically
+        under-estimate the real per-row cost of an engine's operator path.
+        """
         host_time, host_energy = self.host_estimate(work, operator)
+        host_source = "model"
+        if observed_host_time_s is not None and observed_host_time_s > 0.0:
+            host_time = observed_host_time_s
+            host_energy = self.host.energy_j(host_time)
+            host_source = "observed"
         best = self.registry.best(operator, work)
         if best is None:
             decision = PlacementDecision(operator, "host", host_time, None, 1.0,
-                                         host_energy, None)
+                                         host_energy, None,
+                                         host_time_source=host_source)
             self.decisions.append(decision)
             return decision
         accelerator, spec, accel_time = best
@@ -101,10 +118,12 @@ class OffloadPlanner:
                 host_energy_j=host_energy,
                 accelerator_energy_j=accel_energy,
                 kernel=spec.name,
+                host_time_source=host_source,
             )
         else:
             decision = PlacementDecision(operator, "host", host_time, accel_time, 1.0,
-                                         host_energy, accel_energy, kernel=None)
+                                         host_energy, accel_energy, kernel=None,
+                                         host_time_source=host_source)
         self.decisions.append(decision)
         return decision
 

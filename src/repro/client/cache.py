@@ -263,3 +263,15 @@ class CachedPlan:
     #: all-defaults binding never changes, so argument-less runs must not
     #: pay an O(plan) copy+rebind each time.
     default_bound_graph: IRGraph | None = None
+    #: ``operator fingerprint -> estimated rows`` at compile time.  The
+    #: session compares these against the runtime statistics before every
+    #: run; drift past the configured factor ages the plan (see
+    #: ``Session._reoptimize_if_stale``).
+    baked_estimates: dict[str, int] = field(default_factory=dict)
+    #: How many times plan aging replaced this program's physical plan.
+    reoptimizations: int = 0
+    #: Plan fingerprint of the entry this one re-optimized away from.
+    reoptimized_from: str | None = None
+    #: Set (under the session's prepare lock) when aging replaced this entry
+    #: with a new one, so prepared handles racing the replacement converge.
+    superseded_by: "CachedPlan | None" = None

@@ -117,6 +117,11 @@ class PreparedProgram:
         """How many times :meth:`run` completed on this handle."""
         return self._runs
 
+    @property
+    def reoptimizations(self) -> int:
+        """How many times plan aging replaced this program's physical plan."""
+        return self._entry.reoptimizations
+
     def parameters(self) -> dict[str, Param]:
         """Declared runtime parameters (name -> placeholder)."""
         return dict(self._entry.declared_params)
@@ -150,7 +155,7 @@ class PreparedProgram:
         pins.
         """
         with self._lock:  # revalidate plan + entry atomically across threads
-            plan, entry = self._session._fresh_entry(
+            plan, entry, reoptimized = self._session._fresh_entry(
                 self._program, self._plan, self._entry, self._options)
             self._plan, self._entry = plan, entry
         graph = entry.compilation.graph
@@ -175,6 +180,8 @@ class PreparedProgram:
                 snapshot = None
         result = self._session._run_graph(entry.compilation, graph, plan,
                                           snapshot)
+        if reoptimized:
+            result.report.reoptimized = True
         with self._lock:
             self._runs += 1
         return result
@@ -266,13 +273,14 @@ class Session:
                 fingerprint=fingerprint,
                 mode=plan.mode,
                 declared_params=program.declared_params(),
+                baked_estimates=self._baked_estimates(compilation),
             )
             self.plan_cache.put(key, entry)
             return entry
 
     def _fresh_entry(self, program: "Program", plan: "ModePlan",
-                     entry: CachedPlan,
-                     options: CompilerOptions | None) -> tuple["ModePlan", CachedPlan]:
+                     entry: CachedPlan, options: CompilerOptions | None
+                     ) -> tuple["ModePlan", CachedPlan, bool]:
         """Revalidate a prepared program's plan + entry against the deployment.
 
         When engines or accelerators were registered after preparation, the
@@ -282,13 +290,88 @@ class Session:
         so even an end-run around :meth:`HeterogeneousProgram.freeze` (for
         example mutating ``fragment().params`` in place) can never replay a
         stale plan — the changed program simply recompiles.
+
+        With the deployment unchanged, the entry is additionally checked for
+        *plan aging*: when the runtime statistics have drifted past the
+        estimates baked into the cached plan, it is re-compiled with the
+        fed-back stats.  The third element of the returned tuple reports
+        whether this run's plan was physically re-optimized.
         """
         self._check_open()
         if (entry.generation == self.system.plan_generation
                 and program.fingerprint() == entry.fingerprint):
-            return plan, entry
+            refreshed = self._reoptimize_if_stale(program, plan, entry)
+            return plan, refreshed, refreshed is not entry
         plan = self.system.plan_mode(plan.mode, options)
-        return plan, self._lookup_or_compile(program, plan)
+        return plan, self._lookup_or_compile(program, plan), False
+
+    # -- plan aging ----------------------------------------------------------------------
+
+    @staticmethod
+    def _baked_estimates(compilation) -> dict[str, int]:
+        from repro.middleware.feedback import baked_estimates
+
+        return baked_estimates(compilation.graph)
+
+    def _drifted(self, entry: CachedPlan) -> bool:
+        """Whether observed cardinalities left the cached plan's estimates behind."""
+        from repro.middleware.feedback import drift_ratio
+
+        stats = self.system.feedback_stats
+        factor = self.system.config.reoptimize_drift_factor
+        if stats is None or not factor or not entry.baked_estimates:
+            return False
+        for fingerprint, estimated in entry.baked_estimates.items():
+            # actionable_rows suppresses tiny observed realities: whatever
+            # the estimate said, re-planning a few hundred rows cannot pay
+            # for its own compile time.
+            observed = stats.actionable_rows(fingerprint)
+            if observed is None:
+                continue
+            if drift_ratio(estimated, observed) >= factor:
+                return True
+        return False
+
+    def _reoptimize_if_stale(self, program: "Program", plan: "ModePlan",
+                             entry: CachedPlan) -> CachedPlan:
+        """Age a drifted plan: re-compile with fed-back statistics.
+
+        When the re-compiled plan is *physically identical* (same plan
+        fingerprint — the estimates moved but changed no decision) the old
+        entry survives with its pinned scans; only its baked estimates are
+        refreshed so the same drift is not re-detected every run.  A changed
+        plan replaces the entry in the cache and the run is flagged as
+        re-optimized.
+        """
+        if entry.superseded_by is not None:
+            return entry.superseded_by
+        if not self._drifted(entry):
+            return entry
+        with self._prepare_lock:
+            if entry.superseded_by is not None:  # a sibling got here first
+                return entry.superseded_by
+            if not self._drifted(entry):  # sibling re-baked the estimates
+                return entry
+            compilation = self.system.compile(program, accelerated=plan.accelerated,
+                                              options=plan.compile_options)
+            compilation.source_fingerprint = entry.fingerprint
+            if compilation.plan_fingerprint == entry.compilation.plan_fingerprint:
+                entry.baked_estimates = self._baked_estimates(compilation)
+                return entry
+            replacement = CachedPlan(
+                compilation=compilation,
+                snapshot=ScanSnapshot(compilation.graph),
+                generation=entry.generation,
+                fingerprint=entry.fingerprint,
+                mode=entry.mode,
+                declared_params=dict(entry.declared_params),
+                baked_estimates=self._baked_estimates(compilation),
+                reoptimizations=entry.reoptimizations + 1,
+                reoptimized_from=entry.compilation.plan_fingerprint,
+            )
+            entry.superseded_by = replacement
+            self.plan_cache.put(self._plan_key(entry.fingerprint, plan), replacement)
+            return replacement
 
     # -- one-shot execution --------------------------------------------------------------
 
@@ -349,7 +432,8 @@ class Session:
         )
         executor = Executor(system.catalog, migrator,
                             migration_strategy=plan.migration_strategy,
-                            max_workers=self.max_workers)
+                            max_workers=self.max_workers,
+                            runtime_stats=system.feedback_stats)
         outputs, report = executor.execute(graph, mode=plan.mode,
                                            result_cache=snapshot)
         report.migration_time_s = migrator.total_time_s()

@@ -39,6 +39,7 @@ from repro.stores.relational.expressions import Expression
 from repro.datamodel.schema import Column, DataType, Schema
 from repro.datamodel.table import Table
 from repro.middleware.adapters import Adapter, adapter_for
+from repro.middleware.feedback.stats import RuntimeStats
 from repro.ir.nodes import Operator
 from repro.stores.base import Engine
 from repro.stores.relational.operators import AggregateSpec
@@ -135,9 +136,15 @@ class _ShardTask:
 class ScatterGather:
     """Plans and runs scatter-gather dispatch for one executor instance."""
 
-    def __init__(self) -> None:
+    def __init__(self, stats: RuntimeStats | None = None) -> None:
         self._adapters: dict[int, Adapter] = {}
         self._adapters_lock = threading.Lock()
+        #: Runtime feedback store: per-shard subtask times are recorded after
+        #: every fan-out, and reads whose observed subtasks are smaller than
+        #: the thread-dispatch overhead are re-dispatched serially (the
+        #: charged critical path is thread-CPU based and unaffected; only
+        #: wall-clock dispatch overhead is saved).
+        self._stats = stats
 
     # -- public entry point ------------------------------------------------------------
 
@@ -177,7 +184,7 @@ class ScatterGather:
         if routed is not None:
             return self._execute_routed(engine, node, pool, shards, routed)
         tasks = [_ShardTask(self._adapter(shard), node, []) for shard in shards]
-        results, fan_out = self._fan_out(tasks, pool)
+        results, fan_out = self._fan_out(tasks, pool, (engine.name, node.kind))
         parts = tuple(value for value, _ in results)
         times = [cpu for _, cpu in results]
         details = {"shards": len(shards), "fan_out": fan_out,
@@ -253,7 +260,11 @@ class ScatterGather:
         indexes = sorted(routed)
         tasks = [_ShardTask(self._adapter(shards[index]), routed[index], [])
                  for index in indexes]
-        results, _ = self._fan_out(tasks, pool)
+        # Routed subtasks are key-addressed lookups, orders of magnitude
+        # smaller than a full fan-out of the same kind — keep their observed
+        # times under a separate key so they cannot drag the full-scatter
+        # EWMA below the serial-dispatch threshold.
+        results, _ = self._fan_out(tasks, pool, (engine.name, f"{node.kind}@routed"))
         parts = tuple(value for value, _ in results)
         times = [cpu for _, cpu in results]
         details: dict[str, Any] = {
@@ -279,7 +290,7 @@ class ScatterGather:
             _ShardTask(self._adapter_for_index(shards, index), node, [part])
             for part, index in zip(sharded.parts, sharded.shard_indexes)
         ]
-        results, fan_out = self._fan_out(tasks, pool)
+        results, fan_out = self._fan_out(tasks, pool, (engine.name, node.kind))
         times = [cpu for _, cpu in results]
         # ordered_by is not propagated: partition-wise operators only ever
         # follow relational leaves today, whose partitions are unordered.
@@ -302,7 +313,7 @@ class ScatterGather:
             _ShardTask(self._adapter_for_index(shards, index), node, [part])
             for part, index in zip(sharded.parts, sharded.shard_indexes)
         ]
-        results, fan_out = self._fan_out(tasks, pool)
+        results, fan_out = self._fan_out(tasks, pool, (engine.name, node.kind))
         parts = [value for value, _ in results]
         times = [cpu for _, cpu in results]
         merge_start = time.thread_time()
@@ -338,7 +349,7 @@ class ScatterGather:
             _ShardTask(self._adapter_for_index(shards, index), partial_node, [part])
             for part, index in zip(sharded.parts, sharded.shard_indexes)
         ]
-        results, fan_out = self._fan_out(tasks, pool)
+        results, fan_out = self._fan_out(tasks, pool, (engine.name, node.kind))
         parts = [value for value, _ in results]
         times = [cpu for _, cpu in results]
         merge_start = time.thread_time()
@@ -351,12 +362,27 @@ class ScatterGather:
 
     # -- dispatch helpers --------------------------------------------------------------
 
-    def _fan_out(self, tasks: list[_ShardTask],
-                 pool: ThreadPoolExecutor | None) -> tuple[list[tuple[Any, float]], str]:
-        if pool is not None and len(tasks) > 1:
+    def _fan_out(self, tasks: list[_ShardTask], pool: ThreadPoolExecutor | None,
+                 key: tuple[str, str] | None = None
+                 ) -> tuple[list[tuple[Any, float]], str]:
+        """Run shard subtasks, concurrently when a pool is given.
+
+        ``key`` is the ``(engine, kind)`` the subtasks belong to: observed
+        per-shard times are recorded under it, and once the observed mean
+        subtask is smaller than the thread-dispatch overhead the fan-out
+        adaptively stays serial.
+        """
+        serial = (key is not None and self._stats is not None
+                  and self._stats.prefer_serial_fan_out(*key))
+        if pool is not None and len(tasks) > 1 and not serial:
             futures = [pool.submit(task.run) for task in tasks]
-            return [future.result() for future in futures], "concurrent"
-        return [task.run() for task in tasks], "serial"
+            results, fan_out = [future.result() for future in futures], "concurrent"
+        else:
+            results, fan_out = [task.run() for task in tasks], "serial"
+        if key is not None and self._stats is not None:
+            self._stats.record_shard_times(key[0], key[1],
+                                           [cpu for _, cpu in results])
+        return results, fan_out
 
     def _adapter(self, shard: Engine) -> Adapter:
         key = id(shard)
@@ -395,6 +421,9 @@ class CombineSpec:
     alias: str
     function: str
     partials: tuple[str, ...]
+    #: Source column the aggregate reads (``None`` for ``count(*)``); the
+    #: empty-result path derives the output column's dtype from it.
+    column: str | None = None
 
 
 def decompose_aggregates(aggregates: Sequence[AggregateSpec]
@@ -412,11 +441,13 @@ def decompose_aggregates(aggregates: Sequence[AggregateSpec]
             count_alias = f"__p{position}_count"
             partials.append(AggregateSpec("sum", spec.column, sum_alias))
             partials.append(AggregateSpec("count", spec.column, count_alias))
-            combines.append(CombineSpec(spec.alias, "avg", (sum_alias, count_alias)))
+            combines.append(CombineSpec(spec.alias, "avg", (sum_alias, count_alias),
+                                        spec.column))
         else:
             partial_alias = f"__p{position}_{spec.function}"
             partials.append(AggregateSpec(spec.function, spec.column, partial_alias))
-            combines.append(CombineSpec(spec.alias, spec.function, (partial_alias,)))
+            combines.append(CombineSpec(spec.alias, spec.function, (partial_alias,),
+                                        spec.column))
     return partials, combines
 
 
@@ -473,16 +504,46 @@ def _combine_one(combine: CombineSpec, partials: dict[str, list[Any]]) -> Any:
 
 def _aggregate_schema(parts: Sequence[Table], group_by: Sequence[str],
                       combines: Sequence[CombineSpec]) -> Schema:
+    """Typed schema for an empty combined-aggregate result.
+
+    Group columns take their dtype from whichever shard partial carries
+    them.  Aggregate columns derive theirs from the *source* column's dtype
+    in the shard partial tables (``min``/``max`` preserve it, ``sum`` of
+    ints stays int) — hardcoding FLOAT here mistyped ``min``/``max`` over
+    string and int columns whenever every shard came back empty.
+    """
     columns: list[Column] = []
     for name in group_by:
-        column = None
-        for part in parts:
-            if name in part.schema:
-                column = part.schema[name]
-                break
-        columns.append(column if column is not None else Column(name, DataType.STRING))
-    columns.extend(Column(combine.alias, DataType.FLOAT) for combine in combines)
+        columns.append(_part_column(parts, name) or Column(name, DataType.STRING))
+    for combine in combines:
+        columns.append(Column(combine.alias, _combine_dtype(parts, combine)))
     return Schema(columns)
+
+
+def _part_column(parts: Sequence[Table], name: str | None) -> Column | None:
+    if name is None:
+        return None
+    for part in parts:
+        if name in part.schema:
+            return part.schema[name]
+    return None
+
+
+def _combine_dtype(parts: Sequence[Table], combine: CombineSpec) -> DataType:
+    if combine.function == "count":
+        return DataType.INT
+    if combine.function == "avg":
+        return DataType.FLOAT
+    # Prefer the partial column's dtype (present when a shard produced a
+    # typed partial table), then the source column's dtype from the shard
+    # input schemas the empty partials carry.
+    source = _part_column(parts, combine.partials[0]) \
+        or _part_column(parts, combine.column)
+    if source is None:
+        return DataType.FLOAT
+    if combine.function == "sum" and source.dtype is DataType.BOOL:
+        return DataType.INT  # Python sums booleans to int, as SQL does
+    return source.dtype
 
 
 # -- order-preserving merges ----------------------------------------------------------
@@ -512,14 +573,32 @@ def _ordered_merge(parts: Sequence[Table], by: str, descending: bool, *,
 
 
 def _global_top_k(parts: Sequence[Table], by: str, k: int, descending: bool) -> Table:
-    rows: list[dict[str, Any]] = []
-    for part in parts:
-        rows.extend(part.to_dicts())
-    rows.sort(key=lambda r: (r.get(by) is not None, r.get(by)), reverse=descending)
-    kept = rows[:k]
+    """Heap-select the global top ``k`` from per-shard top-``k`` results.
+
+    Matches the single-node ``TopK`` operator's semantics: rows whose
+    ``by`` value is ``None`` never qualify (single-node drops them before
+    the heap; the old concat-and-full-sort here let them pad ascending
+    results), and the selected key sequence is identical.  Ties are
+    *deterministic* — ``heapq.nlargest``/``nsmallest`` are stable and the
+    candidates stream in shard-index order (per-shard insertion order
+    within each shard) — but when equal keys straddle the k boundary
+    *across* shards the surviving rows may differ from single-node, whose
+    stable order is the global insertion order partitioning destroyed.
+    Unique sort keys reproduce single-node output exactly; see DESIGN.md.
+    """
+    candidates = (row for part in parts for row in part.to_dicts()
+                  if row.get(by) is not None)
+    if k <= 0:
+        kept: list[dict[str, Any]] = []
+    elif descending:
+        kept = heapq.nlargest(k, candidates, key=lambda r: r[by])
+    else:
+        kept = heapq.nsmallest(k, candidates, key=lambda r: r[by])
     if kept:
         return Table.from_dicts(kept)
-    return parts[0] if parts else Table(Schema([Column(by, DataType.FLOAT)]), [])
+    if parts:
+        return Table(parts[0].schema, [])
+    return Table(Schema([Column(by, DataType.FLOAT)]), [])
 
 
 def _rerank_search(parts: Sequence[Table], top_k: int) -> Table:

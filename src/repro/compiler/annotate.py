@@ -6,14 +6,25 @@ scans read engine statistics from the catalog, filters apply predicate
 selectivities, joins use the standard ``|L| * |R| / max(distinct)`` heuristic
 (approximated with a fixed fan-out), and everything else propagates its
 input's estimate.
+
+When a :class:`~repro.middleware.feedback.RuntimeStats` store is supplied,
+the walk additionally fingerprints every node and prefers the *observed*
+output cardinality recorded by earlier executions of the same operator over
+the analytical model — the feedback loop that lets re-compiled plans correct
+misleading selectivity guesses and post-compile data growth.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from repro.catalog import Catalog
 from repro.ir.graph import IRGraph
 from repro.ir.nodes import Operator
 from repro.stores.relational.expressions import Expression
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep the layering acyclic
+    from repro.middleware.feedback import RuntimeStats
 
 _DEFAULT_ROWS = 1_000
 _DEFAULT_ROW_BYTES = 64
@@ -21,10 +32,30 @@ _DEFAULT_ROW_BYTES = 64
 _JOIN_SELECTIVITY = 0.001
 
 
-def annotate_graph(graph: IRGraph, catalog: Catalog | None = None) -> None:
-    """Fill ``estimated_rows`` and ``estimated_bytes`` for every node in place."""
+def annotate_graph(graph: IRGraph, catalog: Catalog | None = None,
+                   stats: "RuntimeStats | None" = None) -> None:
+    """Fill ``estimated_rows`` and ``estimated_bytes`` for every node in place.
+
+    With ``stats``, every node is fingerprinted (annotation ``fingerprint``)
+    and observed cardinalities take precedence over the analytical model;
+    the model's own estimate is kept in ``estimated_rows_model`` and the
+    ``rows_source`` annotation records which one won.
+    """
+    # Lazy import: the feedback package lives in the middleware, which
+    # transitively imports the compiler; a module-level import would cycle.
+    from repro.middleware.feedback.fingerprint import fingerprint_graph
+
+    fingerprints = fingerprint_graph(graph) if stats is not None else {}
     for node in graph.topological_order():
         rows = _estimate_rows(graph, node, catalog)
+        observed = (stats.actionable_rows(fingerprints.get(node.op_id))
+                    if stats is not None else None)
+        if observed is not None:
+            node.annotations["estimated_rows_model"] = rows
+            node.annotations["rows_source"] = "observed"
+            rows = observed
+        elif stats is not None:
+            node.annotations["rows_source"] = "model"
         node.estimated_rows = rows
         node.estimated_bytes = rows * _row_bytes(graph, node, catalog)
 

@@ -11,10 +11,15 @@ device's functional kernel.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.accelerators.kernels import WorkEstimate
 from repro.accelerators.simulator import OffloadPlanner, PlacementDecision
 from repro.ir.graph import IRGraph
 from repro.ir.nodes import Operator
+
+if TYPE_CHECKING:  # runtime stats are duck-typed to keep the layering acyclic
+    from repro.middleware.feedback import RuntimeStats
 
 #: IR kind -> abstract operator name in the kernel registry.
 _KIND_TO_OPERATOR = {
@@ -30,21 +35,51 @@ _KIND_TO_OPERATOR = {
 }
 
 
-def place_accelerators(graph: IRGraph, planner: OffloadPlanner
+def place_accelerators(graph: IRGraph, planner: OffloadPlanner,
+                       stats: "RuntimeStats | None" = None
                        ) -> list[PlacementDecision]:
-    """Decide offload per accelerable operator; returns all decisions made."""
+    """Decide offload per accelerable operator; returns all decisions made.
+
+    With ``stats``, the *measured* host time of earlier executions of the
+    same operator (by structural fingerprint) replaces the roofline host
+    model in the comparison — the analytical host model is calibrated for
+    tight kernels and can be orders of magnitude more optimistic than the
+    engine's real per-row cost, which systematically starves accelerators.
+    """
     decisions: list[PlacementDecision] = []
     for node in graph.topological_order():
         operator = _KIND_TO_OPERATOR.get(node.kind)
         if operator is None:
             continue
         work = _work_estimate(graph, node)
-        decision = planner.decide(operator, work)
+        decision = planner.decide(
+            operator, work, observed_host_time_s=_observed_host_time(node, work, stats))
         decisions.append(decision)
         node.accelerator = decision.target if decision.offloaded else None
         node.annotations["placement_speedup"] = decision.speedup
         node.annotations["placement_host_time_s"] = decision.host_time_s
+        node.annotations["placement_host_source"] = decision.host_time_source
     return decisions
+
+
+def _observed_host_time(node: Operator, work: WorkEstimate,
+                        stats: "RuntimeStats | None") -> float | None:
+    """Measured host-engine time for ``node``, scaled to the current estimate."""
+    if stats is None or node.engine is None:
+        return None
+    fingerprint = node.annotations.get("fingerprint")
+    if stats.actionable_rows(fingerprint) is None:
+        return None  # tiny observed reality: placement noise, not signal
+    observed = stats.observed(fingerprint)
+    if observed is None:
+        return None
+    time_s = observed.time_for(node.engine)
+    if time_s is None or time_s <= 0.0:
+        return None
+    # Observations were taken at the observed cardinality; scale linearly to
+    # the work estimate this decision is being made for.
+    basis = max(observed.rows_in, observed.rows_out, 1.0)
+    return time_s * (max(1, work.rows) / basis)
 
 
 def _work_estimate(graph: IRGraph, node: Operator) -> WorkEstimate:

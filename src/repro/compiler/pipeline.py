@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.accelerators.simulator import OffloadPlanner, PlacementDecision
 from repro.catalog import Catalog
@@ -28,6 +29,9 @@ from repro.compiler.passes import (
 from repro.compiler.passes.placement import place_accelerators
 from repro.ir.graph import IRGraph
 from repro.ir.validation import assert_valid
+
+if TYPE_CHECKING:  # runtime stats are duck-typed to keep the layering acyclic
+    from repro.middleware.feedback import RuntimeStats
 
 
 @dataclass(frozen=True)
@@ -61,6 +65,10 @@ class CompilationResult:
     compile_time_s: float = 0.0
     #: Fingerprint of the source program (set when compiled via a session).
     source_fingerprint: str | None = None
+    #: Structural hash of the optimized, placed plan (operators, engines,
+    #: accelerators); two compiles that made the same physical decisions
+    #: share it even when their cardinality annotations differ.
+    plan_fingerprint: str = ""
 
     @property
     def offloaded_operators(self) -> int:
@@ -83,10 +91,14 @@ class Compiler:
     """Compiles heterogeneous programs to optimized, placed IR graphs."""
 
     def __init__(self, catalog: Catalog, *, planner: OffloadPlanner | None = None,
-                 options: CompilerOptions | None = None) -> None:
+                 options: CompilerOptions | None = None,
+                 stats: "RuntimeStats | None" = None) -> None:
         self.catalog = catalog
         self.planner = planner
         self.options = options if options is not None else CompilerOptions()
+        #: Runtime feedback store; when set, annotation prefers observed
+        #: cardinalities and placement uses measured host times.
+        self.stats = stats
         self.frontend = Frontend(catalog)
 
     def compile(self, program: Program,
@@ -96,15 +108,17 @@ class Compiler:
         opts = options if options is not None else self.options
         graph = self.frontend.lower(program)
         assert_valid(graph)
-        annotate_graph(graph, self.catalog)
+        annotate_graph(graph, self.catalog, self.stats)
         result = CompilationResult(graph=graph,
                                    estimated_bytes_before=total_estimated_bytes(graph))
         self._optimize(result, opts)
-        annotate_graph(graph, self.catalog)
+        annotate_graph(graph, self.catalog, self.stats)
         result.estimated_bytes_after = total_estimated_bytes(graph)
         if opts.accelerator_placement and self.planner is not None:
-            result.placement_decisions = place_accelerators(graph, self.planner)
+            result.placement_decisions = place_accelerators(graph, self.planner,
+                                                            self.stats)
         assert_valid(graph)
+        result.plan_fingerprint = _plan_fingerprint(graph)
         result.compile_time_s = time.perf_counter() - started
         return result
 
@@ -112,12 +126,13 @@ class Compiler:
                        options: CompilerOptions | None = None) -> CompilationResult:
         """Apply passes to an already-lowered graph (used by tests and benches)."""
         opts = options if options is not None else self.options
-        annotate_graph(graph, self.catalog)
+        annotate_graph(graph, self.catalog, self.stats)
         result = CompilationResult(graph=graph,
                                    estimated_bytes_before=total_estimated_bytes(graph))
         self._optimize(result, opts)
-        annotate_graph(graph, self.catalog)
+        annotate_graph(graph, self.catalog, self.stats)
         result.estimated_bytes_after = total_estimated_bytes(graph)
+        result.plan_fingerprint = _plan_fingerprint(graph)
         return result
 
     def _optimize(self, result: CompilationResult, opts: CompilerOptions) -> None:
@@ -133,9 +148,15 @@ class Compiler:
             # leaf reads into the leaves as structured predicates (enables
             # engine-side evaluation and shard pruning).
             result.pass_counts["absorb"] = absorb_into_leaves(graph, self.catalog)
-        annotate_graph(graph, self.catalog)
+        annotate_graph(graph, self.catalog, self.stats)
         if opts.join_reorder:
             result.pass_counts["join_reorder"] = reorder_joins(graph)
             result.pass_counts["join_algorithms"] = choose_join_algorithms(graph)
         if opts.dce:
             result.pass_counts["dce"] = eliminate_dead_code(graph)
+
+
+def _plan_fingerprint(graph: IRGraph) -> str:
+    from repro.middleware.feedback.fingerprint import plan_fingerprint
+
+    return plan_fingerprint(graph)

@@ -24,6 +24,7 @@ from repro.compiler.pipeline import CompilationResult, Compiler, CompilerOptions
 from repro.eide.dataflow import DatasetSource
 from repro.exceptions import ConfigurationError, ExecutionError
 from repro.middleware.executor import ExecutionReport
+from repro.middleware.feedback import RuntimeStats
 from repro.middleware.migration import SimulatedNetwork
 from repro.middleware.optimizer import CostModel
 from repro.stores.base import Engine
@@ -92,6 +93,18 @@ class SystemConfig:
     plan_cache_size: int = 64
     #: Worker threads per session (batched submits and intra-stage dispatch).
     session_workers: int = 4
+    #: Close the measurement loop: the executor records observed operator
+    #: costs and the compiler, offload planner and plan-aging logic consume
+    #: them.  Disabling freezes every plan at its a-priori estimates.
+    adaptive_feedback: bool = True
+    #: EWMA smoothing factor for runtime observations (higher = faster).
+    feedback_smoothing: float = 0.5
+    #: Estimate-vs-observation row ratio beyond which a cached plan is aged
+    #: and re-compiled with fed-back statistics; ``None`` disables aging.
+    reoptimize_drift_factor: float | None = 4.0
+    #: Observed cardinality below which feedback never steers decisions
+    #: (cardinality overrides, placement host times, plan aging).
+    feedback_min_rows: int = 512
 
 
 class PolystorePlusPlus:
@@ -101,6 +114,11 @@ class PolystorePlusPlus:
         self.config = config if config is not None else SystemConfig()
         self.catalog = Catalog()
         self.cost_model = CostModel()
+        #: Observed per-operator runtime statistics (populated by executors).
+        self.runtime_stats = RuntimeStats(
+            smoothing=self.config.feedback_smoothing,
+            min_actionable_rows=self.config.feedback_min_rows,
+        )
         self._network = SimulatedNetwork()
         self._serializer_accelerator: Accelerator | None = None
         #: Whether the serializer was pinned by an explicit
@@ -229,6 +247,11 @@ class PolystorePlusPlus:
         """Deployment generation; changes invalidate every cached plan."""
         return self._plan_generation
 
+    @property
+    def feedback_stats(self) -> RuntimeStats | None:
+        """The runtime statistics store, or ``None`` when feedback is off."""
+        return self.runtime_stats if self.config.adaptive_feedback else None
+
     def _invalidate_plans(self) -> None:
         self._plan_generation += 1
         for session in list(self._sessions):
@@ -245,7 +268,10 @@ class PolystorePlusPlus:
             "migration_serializer": serializer.profile.name if serializer else None,
             "migration_serializer_explicit": self._serializer_explicit,
             "plan_generation": self._plan_generation,
+            "adaptive_feedback": self.config.adaptive_feedback,
+            "reoptimize_drift_factor": self.config.reoptimize_drift_factor,
         }
+        description["feedback"] = self.runtime_stats.stats()
         return description
 
     # -- compilation -----------------------------------------------------------------------
@@ -255,7 +281,8 @@ class PolystorePlusPlus:
         """Build a compiler bound to this deployment."""
         planner = self.offload_planner() if accelerated else None
         return Compiler(self.catalog, planner=planner,
-                        options=options or self.config.compiler_options)
+                        options=options or self.config.compiler_options,
+                        stats=self.feedback_stats)
 
     def offload_planner(self) -> OffloadPlanner:
         """An offload planner over the registered accelerator fleet."""

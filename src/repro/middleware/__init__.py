@@ -2,6 +2,7 @@
 
 from repro.middleware.adapters import Adapter, adapter_for
 from repro.middleware.executor import ExecutionReport, Executor, TaskRecord
+from repro.middleware.feedback import ObservedOperator, RuntimeStats
 from repro.middleware.migration import DataMigrator, MigrationReport, SimulatedNetwork
 from repro.middleware.optimizer import ActiveLearningOptimizer, CostModel, DesignSpace
 
@@ -11,6 +12,8 @@ __all__ = [
     "Executor",
     "ExecutionReport",
     "TaskRecord",
+    "RuntimeStats",
+    "ObservedOperator",
     "DataMigrator",
     "MigrationReport",
     "SimulatedNetwork",

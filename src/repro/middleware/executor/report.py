@@ -27,6 +27,10 @@ class TaskRecord:
     wall_time_s: float
     simulated_time_s: float
     rows_out: int = 0
+    #: Total rows across the operator's inputs (0 for leaf reads); together
+    #: with ``rows_out`` this is the observed selectivity the runtime
+    #: feedback store learns from.
+    rows_in: int = 0
     offloaded: bool = False
     #: Served from a prepared program's pinned scan snapshot (no real work).
     cached: bool = False
@@ -67,6 +71,9 @@ class ExecutionReport:
     migration_bytes: int = 0
     #: Measured wall time of the whole run (captures stage-level overlap).
     elapsed_wall_s: float = 0.0
+    #: Whether this run executed a plan that was re-compiled because observed
+    #: cardinalities drifted past the estimates baked into the cached plan.
+    reoptimized: bool = False
 
     def add(self, record: TaskRecord) -> None:
         """Append one task record."""
@@ -144,6 +151,7 @@ class ExecutionReport:
             "offloaded": self.offloaded_tasks,
             "cached": self.cached_tasks,
             "concurrent": self.concurrent_tasks,
+            "reoptimized": self.reoptimized,
             "total_time_s": self.total_time_s,
             "pipelined_time_s": self.pipelined_time_s,
             "wall_time_s": self.wall_time_s,

@@ -33,6 +33,7 @@ from repro.ir.graph import IRGraph
 from repro.ir.nodes import Operator
 from repro.middleware.adapters import Adapter, adapter_for
 from repro.middleware.executor.report import ExecutionReport, TaskRecord
+from repro.middleware.feedback.stats import RuntimeStats
 from repro.middleware.migration import DataMigrator
 from repro.stores.base import Concurrency
 from repro.stores.relational.expressions import Expression
@@ -56,15 +57,19 @@ class Executor:
 
     def __init__(self, catalog: Catalog, migrator: DataMigrator | None = None, *,
                  migration_strategy: str | None = None,
-                 max_workers: int | None = 4) -> None:
+                 max_workers: int | None = 4,
+                 runtime_stats: RuntimeStats | None = None) -> None:
         self.catalog = catalog
         self.migrator = migrator if migrator is not None else DataMigrator()
         self.migration_strategy = migration_strategy
         #: Upper bound on intra-stage worker threads; ``None`` or <2 disables
         #: concurrent dispatch entirely.
         self.max_workers = max_workers
+        #: Feedback store observed operator costs are recorded into after
+        #: every run (``None`` disables recording entirely).
+        self.runtime_stats = runtime_stats
         self._adapters: dict[str, Adapter] = {}
-        self._scatter = ScatterGather()
+        self._scatter = ScatterGather(stats=runtime_stats)
         #: Engine-name -> ShardedEngine (or None) resolution cache; checked
         #: for every node, so the catalog lookup must not repeat per node.
         self._sharded_engines: dict[str, ShardedEngine | None] = {}
@@ -108,7 +113,33 @@ class Executor:
             name = node.annotations.get("fragment") or output_id
             outputs[name] = gather(results[output_id])
         report.elapsed_wall_s = time.perf_counter() - run_start
+        if self.runtime_stats is not None:
+            self._record_feedback(graph, report)
         return outputs, report
+
+    def _record_feedback(self, graph: IRGraph, report: ExecutionReport) -> None:
+        """Feed this run's measured operator costs back into the stats store.
+
+        Snapshot replays are skipped — they carry the charged time of the run
+        that produced them, not a fresh measurement.  Observations key on the
+        structural fingerprint annotated at compile time, so a later
+        re-compile of the same program finds them.
+        """
+        for record in report.records:
+            if record.cached or record.op_id not in graph:
+                continue
+            node = graph.node(record.op_id)
+            fingerprint = node.annotations.get("fingerprint")
+            if not isinstance(fingerprint, str):
+                continue
+            self.runtime_stats.record(
+                fingerprint,
+                kind=record.kind,
+                target=record.accelerator or record.engine,
+                time_s=record.charged_time_s,
+                rows_out=record.rows_out,
+                rows_in=record.rows_in,
+            )
 
     # -- stage dispatch -----------------------------------------------------------------
 
@@ -179,10 +210,12 @@ class Executor:
     def _execute_node(self, node: Operator, inputs: list[Any],
                       stage: int) -> tuple[Any, TaskRecord]:
         start = time.perf_counter()
+        rows_in = sum(self._rows_of(value) for value in inputs) if inputs else 0
         scattered = self._try_scatter_gather(node, inputs)
         if scattered is not None:
             value, record = scattered
             record.stage = stage
+            record.rows_in = rows_in
             record.wall_time_s = time.perf_counter() - start
             return value, record
         # Partitions only flow between operators the scatter path handles;
@@ -217,6 +250,7 @@ class Executor:
             wall_time_s=wall,
             simulated_time_s=simulated,
             rows_out=self._rows_of(value),
+            rows_in=rows_in,
             offloaded=offloaded,
             details=details,
         )

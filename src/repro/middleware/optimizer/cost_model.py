@@ -15,12 +15,16 @@ attributes to HyperMapper-style optimizers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.accelerators.kernels import WorkEstimate
 from repro.accelerators.simulator import OffloadPlanner
 from repro.ir.graph import IRGraph
 from repro.ir.nodes import Operator
 from repro.stores.base import OperationMetrics
+
+if TYPE_CHECKING:  # runtime stats are duck-typed to keep the layering acyclic
+    from repro.middleware.feedback import RuntimeStats
 
 #: Default per-row processing cost (seconds) by operator kind on a CPU engine.
 _DEFAULT_ROW_COSTS: dict[str, float] = {
@@ -73,6 +77,9 @@ class CostEstimate:
     target: str
     time_s: float
     bytes_moved: int = 0
+    #: ``"model"`` for the analytical estimate, ``"observed"`` when runtime
+    #: feedback supplied a measured operator time.
+    source: str = "model"
 
 
 @dataclass
@@ -86,8 +93,17 @@ class CostModel:
 
     # -- operator costs ----------------------------------------------------------------
 
-    def operator_cost(self, node: Operator) -> CostEstimate:
-        """Estimated cost of ``node`` on its bound CPU engine."""
+    def operator_cost(self, node: Operator,
+                      stats: "RuntimeStats | None" = None) -> CostEstimate:
+        """Estimated cost of ``node`` on its bound CPU engine.
+
+        With ``stats``, a measured charged time for the same operator
+        fingerprint on the same target takes precedence over the analytical
+        per-row constants (scaled linearly to the current row estimate).
+        """
+        observed = self._observed_cost(node, stats)
+        if observed is not None:
+            return observed
         rows = max(1, node.estimated_rows)
         per_row = self.row_costs.get(node.kind, 5e-7)
         if node.kind == "sort":
@@ -101,6 +117,25 @@ class CostModel:
             time_s = self.fixed_overhead_s + per_row * rows
         return CostEstimate(node.op_id, node.kind, node.engine or "cpu", time_s,
                             node.estimated_bytes)
+
+    @staticmethod
+    def _observed_cost(node: Operator,
+                       stats: "RuntimeStats | None") -> CostEstimate | None:
+        if stats is None:
+            return None
+        observed = stats.observed(node.annotations.get("fingerprint"))
+        if observed is None:
+            return None
+        target = node.accelerator or node.engine
+        time_s = observed.time_for(target)
+        if time_s is None or time_s <= 0.0:
+            # A zero observation (clock granularity on a trivial input) must
+            # not model the operator as free at any scale — fall back.
+            return None
+        basis = max(observed.rows_in, observed.rows_out, 1.0)
+        scaled = time_s * (max(1, node.estimated_rows) / basis)
+        return CostEstimate(node.op_id, node.kind, target or "cpu", scaled,
+                            node.estimated_bytes, source="observed")
 
     def accelerated_cost(self, node: Operator, planner: OffloadPlanner
                          ) -> CostEstimate | None:
@@ -130,11 +165,19 @@ class CostModel:
                                                  self.migration_byte_costs["binary_pipe"])
         return self.fixed_overhead_s + per_byte * max(0, payload_bytes)
 
-    def plan_cost(self, graph: IRGraph, *, planner: OffloadPlanner | None = None
-                  ) -> float:
-        """Total estimated time of a plan, honouring accelerator placements."""
+    def plan_cost(self, graph: IRGraph, *, planner: OffloadPlanner | None = None,
+                  stats: "RuntimeStats | None" = None) -> float:
+        """Total estimated time of a plan, honouring accelerator placements.
+
+        Observed operator times (``stats``) take precedence over both the
+        analytical CPU constants and the device models.
+        """
         total = 0.0
         for node in graph.nodes():
+            observed = self._observed_cost(node, stats)
+            if observed is not None:
+                total += observed.time_s
+                continue
             if node.accelerator and planner is not None:
                 accelerated = self.accelerated_cost(node, planner)
                 if accelerated is not None:
