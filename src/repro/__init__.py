@@ -35,7 +35,9 @@ from repro.eide import (
     compile_natural_language,
     dataset,
     lit,
+    view_dataset,
 )
+from repro.views import MaintenancePolicy, MaterializedView
 
 __version__ = "1.2.0"
 
@@ -51,6 +53,9 @@ __all__ = [
     "DataflowProgram",
     "Dataset",
     "dataset",
+    "view_dataset",
+    "MaterializedView",
+    "MaintenancePolicy",
     "col",
     "lit",
     "compile_natural_language",

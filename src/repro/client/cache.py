@@ -9,10 +9,12 @@ Two caches make :meth:`~repro.client.PreparedProgram.run` cheap:
   additionally clears live session caches explicitly).
 * :class:`ScanSnapshot` — per-plan pinned results for *pure* operators whose
   values depend only on engine state (scans, summaries, joins over them, and
-  the migrations that ship them).  Each pinned entry remembers the data
-  versions of every engine its subtree reads; a version bump invalidates
-  exactly the affected entries on the next run.  Operators with side effects
-  or nondeterminism (``train``, ``kmeans``, ``python_udf``, tensor ops that
+  the migrations that ship them).  Each pinned entry remembers the *scoped*
+  data versions its subtree's leaf reads depend on — the table a scan reads,
+  the series a window covers — so a write to one table no longer unpins
+  entries that only read other tables; reads whose footprint cannot be named
+  fall back to the engine-wide counter.  Operators with side effects or
+  nondeterminism (``train``, ``kmeans``, ``python_udf``, tensor ops that
   mutate the FLOP counters) are never pinned and re-execute every run.
 """
 
@@ -21,7 +23,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
 
 from repro.catalog import Catalog
 from repro.cluster.scatter import ShardedValue
@@ -29,6 +31,7 @@ from repro.compiler.pipeline import CompilationResult
 from repro.datamodel.table import Table
 from repro.ir.graph import IRGraph
 from repro.middleware.executor.report import TaskRecord
+from repro.stores.changelog import leaf_read_scope
 
 #: Operator kinds whose results are pure functions of engine state and
 #: upstream values — the only kinds a prepared program may pin.
@@ -45,12 +48,20 @@ SNAPSHOT_KINDS = frozenset({
 
 
 class PlanCache:
-    """A thread-safe LRU cache of compiled plans with hit/miss statistics."""
+    """A thread-safe LRU cache of compiled plans with hit/miss statistics.
 
-    def __init__(self, capacity: int = 64) -> None:
+    ``on_evict`` is called (outside the cache lock) with every value the
+    cache lets go of — LRU victims, same-key replacements and invalidated
+    entries — so owners can release resources the value holds, most
+    importantly a :class:`CachedPlan`'s pinned scan snapshot.
+    """
+
+    def __init__(self, capacity: int = 64,
+                 on_evict: Callable[[Any], None] | None = None) -> None:
         if capacity < 1:
             raise ValueError("plan cache capacity must be at least 1")
         self.capacity = capacity
+        self._on_evict = on_evict
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.RLock()
         self._hits = 0
@@ -71,21 +82,36 @@ class PlanCache:
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert ``value``, evicting the least-recently-used entry if full."""
+        released: list[Any] = []
         with self._lock:
+            previous = self._entries.get(key)
+            if previous is not None and previous is not value:
+                released.append(previous)
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                _, victim = self._entries.popitem(last=False)
+                released.append(victim)
                 self._evictions += 1
+        self._release(released)
 
     def invalidate(self) -> int:
         """Drop every entry; returns the number removed."""
         with self._lock:
+            released = list(self._entries.values())
             removed = len(self._entries)
             self._entries.clear()
             if removed:
                 self._invalidations += 1
-            return removed
+        self._release(released)
+        return removed
+
+    def _release(self, values: list[Any]) -> None:
+        """Run the eviction callback outside the lock (it may take others)."""
+        if self._on_evict is None:
+            return
+        for value in values:
+            self._on_evict(value)
 
     def stats(self) -> dict[str, int]:
         """Hit/miss/eviction counters plus current size."""
@@ -124,20 +150,31 @@ def _protective_copy(value: Any) -> Any:
     return value
 
 
+#: One snapshot dependency: ``(engine name, scope or None)``.  ``None``
+#: scope validates against the engine-wide counter.
+SnapshotDep = tuple[str, "str | None"]
+
+
 class ScanSnapshot:
     """Pinned pure-operator results for one compiled plan.
 
     Implements the executor's ``ResultCache`` protocol.  Entries are only
     pinned for operators whose whole upstream subtree consists of
-    :data:`SNAPSHOT_KINDS`; each entry is validated against the data versions
-    of the engines that subtree reads before every run.
+    :data:`SNAPSHOT_KINDS`; each entry is validated against the *scoped*
+    data versions of the leaf reads that subtree depends on before every
+    run.  Scoping is what keeps unrelated writes from unpinning everything:
+    a scan of ``orders`` depends on ``(engine, "table:orders")``, so a write
+    to ``customers`` on the same engine leaves it pinned.  Interior
+    operators (filters, joins, migrations, ...) are pure functions of their
+    inputs and contribute no dependencies of their own — except ``predict``,
+    which reads the model registry of its ML engine.
     """
 
     def __init__(self, graph: IRGraph) -> None:
         self._lock = threading.RLock()
         self._eligible = self._eligible_subtrees(graph)
         self._entries: dict[str, tuple[Any, TaskRecord]] = {}
-        self._entry_versions: dict[str, dict[str, int]] = {}
+        self._entry_versions: dict[str, dict[SnapshotDep, int]] = {}
         # Versions observed at each run's begin_run.  Thread-local because
         # overlapping runs (Session.submit) share one snapshot: each run must
         # tag its pins with the versions *it* started from, not a sibling's.
@@ -146,41 +183,43 @@ class ScanSnapshot:
         self.invalidated = 0
 
     @staticmethod
-    def _eligible_subtrees(graph: IRGraph) -> dict[str, frozenset[str]]:
-        """Map each pinnable op id to the engine names its subtree reads."""
-        eligible: dict[str, frozenset[str]] = {}
+    def _eligible_subtrees(graph: IRGraph) -> dict[str, frozenset[SnapshotDep]]:
+        """Map each pinnable op id to the scoped reads its subtree depends on."""
+        eligible: dict[str, frozenset[SnapshotDep]] = {}
         for node in graph.topological_order():
             if node.kind not in SNAPSHOT_KINDS:
                 continue
             if any(input_id not in eligible for input_id in node.inputs):
                 continue
-            engines: set[str] = set()
+            deps: set[SnapshotDep] = set()
             for input_id in node.inputs:
-                engines.update(eligible[input_id])
-            if node.engine:
-                engines.add(node.engine)
-            for key in ("source_engine", "target_engine"):
-                name = node.params.get(key)
-                if name:
-                    engines.add(str(name))
-            eligible[node.op_id] = frozenset(engines)
+                deps.update(eligible[input_id])
+            if not node.inputs and node.engine:
+                # A leaf read: depend on exactly the scope it covers.
+                deps.add((node.engine, leaf_read_scope(node.kind, node.params)))
+            elif node.kind == "predict" and node.engine:
+                # Scoring reads model state from the ML engine, not just its
+                # dataflow inputs.
+                deps.add((node.engine, None))
+            eligible[node.op_id] = frozenset(deps)
         return eligible
 
     # -- executor ResultCache protocol ---------------------------------------------------
 
     def begin_run(self, catalog: Catalog) -> None:
-        """Drop entries whose engines changed since they were pinned."""
+        """Drop entries whose scoped reads changed since they were pinned."""
         with self._lock:
-            versions: dict[str, int] = {}
-            for engines in self._eligible.values():
-                for name in engines:
-                    if name not in versions and catalog.has_engine(name):
-                        versions[name] = catalog.engine(name).data_version
+            versions: dict[SnapshotDep, int] = {}
+            for deps in self._eligible.values():
+                for dep in deps:
+                    name, scope = dep
+                    if dep not in versions and catalog.has_engine(name):
+                        versions[dep] = catalog.engine(name).data_version_for(scope)
             self._run_state.versions = versions
             stale = [
                 op_id for op_id, pinned in self._entry_versions.items()
-                if any(versions.get(name) != version
-                       for name, version in pinned.items())
+                if any(versions.get(dep) != version
+                       for dep, version in pinned.items())
             ]
             for op_id in stale:
                 self._entries.pop(op_id, None)
@@ -198,8 +237,8 @@ class ScanSnapshot:
             run_versions = getattr(self._run_state, "versions", None)
             if run_versions is not None:
                 pinned = self._entry_versions.get(op_id, {})
-                if any(run_versions.get(name) != version
-                       for name, version in pinned.items()):
+                if any(run_versions.get(dep) != version
+                       for dep, version in pinned.items()):
                     return None
             self.replays += 1
             value, record = entry
@@ -212,8 +251,8 @@ class ScanSnapshot:
 
     def store(self, op_id: str, value: Any, record: TaskRecord) -> None:
         with self._lock:
-            engines = self._eligible.get(op_id)
-            if engines is None or op_id in self._entries:
+            deps = self._eligible.get(op_id)
+            if deps is None or op_id in self._entries:
                 return
         pinned = _protective_copy(value)  # O(rows), outside the lock
         with self._lock:
@@ -222,8 +261,8 @@ class ScanSnapshot:
             run_versions = getattr(self._run_state, "versions", {})
             self._entries[op_id] = (pinned, record)
             self._entry_versions[op_id] = {
-                name: run_versions[name]
-                for name in engines if name in run_versions
+                dep: run_versions[dep]
+                for dep in deps if dep in run_versions
             }
 
     # -- management ----------------------------------------------------------------------

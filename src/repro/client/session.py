@@ -222,7 +222,8 @@ class Session:
         self.system = system
         self.name = name
         self.max_workers = max_workers
-        self.plan_cache = PlanCache(plan_cache_size)
+        self.plan_cache = PlanCache(plan_cache_size,
+                                    on_evict=self._release_entry)
         self._lock = threading.RLock()
         #: Serializes lookup-or-compile so concurrent prepares of one program
         #: cannot compile twice and hand out divergent snapshot instances.
@@ -249,6 +250,19 @@ class Session:
             program.freeze()
         entry = self._lookup_or_compile(program, plan)
         return PreparedProgram(self, program, plan, entry, options)
+
+    @staticmethod
+    def _release_entry(entry: Any) -> None:
+        """Unpin a plan-cache entry's scan snapshot when the cache lets it go.
+
+        Fires on LRU eviction, same-key replacement (plan aging) and
+        invalidation, so pinned engine reads never outlive the entry's
+        reachability from the cache.  A prepared handle still holding the
+        entry simply re-pins on its next run.
+        """
+        snapshot = getattr(entry, "snapshot", None)
+        if snapshot is not None:
+            snapshot.clear()
 
     def _plan_key(self, fingerprint: str, plan: "ModePlan") -> tuple:
         return (fingerprint, plan.mode, plan.compile_options,
@@ -433,7 +447,8 @@ class Session:
         executor = Executor(system.catalog, migrator,
                             migration_strategy=plan.migration_strategy,
                             max_workers=self.max_workers,
-                            runtime_stats=system.feedback_stats)
+                            runtime_stats=system.feedback_stats,
+                            views=system.views)
         outputs, report = executor.execute(graph, mode=plan.mode,
                                            result_cache=snapshot)
         report.migration_time_s = migrator.total_time_s()

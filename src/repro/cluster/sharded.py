@@ -29,6 +29,7 @@ from the old shard map; :meth:`cutover` swaps the maps atomically and keeps
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import threading
 from dataclasses import dataclass
@@ -39,6 +40,7 @@ from repro.datamodel.schema import Column, DataType, Schema
 from repro.datamodel.table import Table
 from repro.exceptions import ConfigurationError, StorageError
 from repro.stores.base import Capability, DataModel, Engine
+from repro.stores.changelog import DeltaBatch, table_scope
 
 #: Data models the scatter-gather executor can partition correctly.  Graph
 #: engines are excluded: paths and neighbourhoods cross shard boundaries, so
@@ -125,6 +127,16 @@ class ShardedEngine(Engine):
         #: Offset keeping the aggregated data_version monotonic across
         #: cutovers (the new shard set starts from fresh counters).
         self._version_base = 0
+        #: Per-scope offsets keeping scoped versions strictly increasing
+        #: across cutovers (recalibrated in :meth:`cutover`).
+        self._scope_bases: dict[str, int] = {}
+        #: Per-scope "log marks": the scoped version recorded (under the
+        #: facade lock) at each facade-log append for that scope.  A scoped
+        #: version that moved past its mark means a mutation bumped the
+        #: scope *without* logging — a write applied directly to a shard
+        #: instance — and delta consumers must resync (see
+        #: :meth:`pull_changes`).
+        self._scope_log_marks: dict[str, int] = {}
         #: ``(shards, partitioner)`` being populated by an in-flight
         #: rebalance; writes are mirrored into it, reads never see it.
         self._pending: tuple[list[Engine], Partitioner] | None = None
@@ -225,6 +237,173 @@ class ShardedEngine(Engine):
             return (self._version_base + self._data_version
                     + sum(shard.data_version for shard in self._shards))
 
+    def data_version_for(self, scope: str | None) -> int:
+        """Scoped mutation counter aggregated across the shard set.
+
+        Combines the facade's own scoped counters (bumped when routed writes
+        are relayed onto the facade changelog) with every shard's scoped
+        counter — so even a write applied directly to a shard instance
+        invalidates scoped readers.  A per-scope base, recalibrated at every
+        cutover, keeps each scoped counter strictly increasing across a
+        rebalance: the fresh shard set's counters start near zero, and
+        without the base a scope could return to a previously observed value
+        (ABA), letting a pinned snapshot replay data that misses writes.
+        """
+        if scope is None:
+            return self.data_version
+        with self._lock:
+            return self._scope_bases.get(scope, 0) + self._scoped_raw(scope)
+
+    def _scoped_raw(self, scope: str) -> int:
+        """Scoped aggregate without the cutover base (caller holds the lock)."""
+        return (self._unscoped_version
+                + self._scope_versions.get(scope, 0)
+                + sum(shard.data_version_for(scope) for shard in self._shards))
+
+    def known_scopes(self) -> set[str]:
+        """Scopes recorded by the facade or any current shard."""
+        with self._lock:
+            scopes = set(self._scope_versions)
+            for shard in self._shards:
+                scopes |= shard.known_scopes()
+            return scopes
+
+    # -- changelog relay ---------------------------------------------------------------
+
+    def _staged_logs(self, shards: Sequence[Engine]
+                     ) -> list[tuple[Engine, int]]:
+        """Remember each shard log's position before a routed write."""
+        return [(shard, shard.changelog.latest_seq) for shard in shards]
+
+    class _RelayScope:
+        """Handle a routed write uses to declare which shard logs it touches."""
+
+        __slots__ = ("_engine", "staged")
+
+        def __init__(self, engine: "ShardedEngine") -> None:
+            self._engine = engine
+            self.staged: list[tuple[Engine, int]] = []
+
+        def stage(self, *shards: Engine) -> None:
+            """Snapshot the given shards' log positions before writing them."""
+            self.staged.extend(self._engine._staged_logs(shards))
+
+    @contextlib.contextmanager
+    def _routed_write(self):
+        """The one place that owns the stage/write/relay/notify ordering.
+
+        Usage: ``with self._routed_write() as relay: relay.stage(shard);
+        shard.put(...)``.  The facade lock is held across staging, the
+        write and the relay append (so ``snapshot_scan`` stays atomic with
+        the log); listener notification happens after the lock is released
+        (an eager view refresh may read this engine).  A body that raises
+        mid-write still relays whatever its staged shards logged — those
+        mutations really happened, and dropping their batches would leave
+        orphaned version bumps the next routed write's log mark absorbs,
+        silently diverging delta consumers.
+        """
+        scope = self._RelayScope(self)
+        appended: list[DeltaBatch] = []
+        try:
+            with self._lock:
+                try:
+                    yield scope
+                finally:
+                    appended = self._relay_locked(
+                        self._collect_relay(scope.staged))
+        finally:
+            self._notify_relayed(appended)
+
+    def _collect_relay(self, staged: list[tuple[Engine, int]]) -> list[DeltaBatch]:
+        """The batches a routed write appended to the staged shard logs.
+
+        Must be called while the facade lock is still held (so no unrelated
+        batch can land between the write and the collection).
+        """
+        batches: list[DeltaBatch] = []
+        for shard, seq_before in staged:
+            shard_batches, complete = shard.changelog.read_since(seq_before)
+            if not complete:
+                batches.append(DeltaBatch(seq=0, scope=None, gap=True))
+                continue
+            batches.extend(shard_batches)
+        return batches
+
+    def _relay_locked(self, batches: list[DeltaBatch]) -> list[DeltaBatch]:
+        """Append shard-logged batches to the facade's cutover-stable log.
+
+        Must run while the facade lock is still held: appending atomically
+        with the shard mutation is what lets ``snapshot_scan`` hand out a
+        consistent ``(data, log position)`` pair — a snapshot taken under
+        the lock can never see a row whose batch has not landed yet.
+        Listener delivery is deferred to :meth:`_notify_relayed`.
+        """
+        return [self._append_facade_batch(batch.scope,
+                                          None if batch.gap else batch.entries)
+                for batch in batches]
+
+    def _append_facade_batch(self, scope: str | None,
+                             entries: Any) -> DeltaBatch:
+        """Append one batch to the facade log + update its log mark.
+
+        Caller holds the facade lock; notification is deferred (the
+        returned batch goes through :meth:`_notify_relayed` /
+        ``changelog.notify_batch`` after the lock is released).
+        """
+        batch = self.mark_data_changed(scope, entries, notify=False)
+        if scope is not None:
+            self._scope_log_marks[scope] = self.data_version_for(scope)
+        return batch
+
+    def _notify_relayed(self, appended: list[DeltaBatch]) -> None:
+        """Deliver deferred notifications *outside* the facade lock.
+
+        An eager view refresh subscribed to the facade log may read this
+        engine from the listener; delivering under the lock could deadlock
+        it against its own read path.
+        """
+        for batch in appended:
+            self.changelog.notify_batch(batch)
+
+    def snapshot_scan(self, table: str, columns: Sequence[str] | None = None
+                      ) -> tuple[Table, int, int]:
+        """An atomic ``(merged scan, changelog head, scoped version)`` triple.
+
+        Writes and facade-log appends share the facade lock, so a snapshot
+        taken under it is quiescent by construction: every row it contains
+        is covered by a batch at or before the returned head, and every
+        later batch describes data the snapshot does not contain.  The
+        scoped version anchors the caller's off-log detection baseline.
+        """
+        with self._lock:
+            return (self.scan(table, columns), self.changelog.latest_seq,
+                    self.data_version_for(table_scope(table)))
+
+    def pull_changes(self, cursor: int, scope: str | None
+                     ) -> tuple[list[DeltaBatch], bool, int, int, int | None]:
+        """An atomic changelog pull plus off-log evidence for ``scope``.
+
+        Returns ``(batches, complete, head, scoped_version, log_mark)``.
+        The mark is the scoped version recorded at the last facade-log
+        append for the scope; a current version past the mark means the
+        scope was mutated *without* a log entry (a direct shard write) and
+        the caller's delta state cannot be trusted.  All five values are
+        captured under the facade lock, so they are mutually consistent
+        even against concurrent routed writes.
+
+        Detection is probe-point based: a direct shard write followed by a
+        routed write before any probe is absorbed into that write's mark
+        (the mark records the then-current version, off-log bumps
+        included).  Direct shard writes are off-API; their hard guarantee
+        is engine-level invalidation via :meth:`data_version_for` — the
+        changelog detects them best-effort, at the next quiet probe.
+        """
+        with self._lock:
+            batches, complete, head = self.changelog.pull(cursor, scope)
+            version = self.data_version_for(scope)
+            mark = self._scope_log_marks.get(scope) if scope is not None else None
+            return batches, complete, head, version, mark
+
     def describe(self) -> dict[str, Any]:
         description = super().describe()
         with self._lock:
@@ -251,6 +430,8 @@ class ShardedEngine(Engine):
                 shard.create_table(name, schema, **kwargs)
             self._shard_keys[name] = key
             self._table_kwargs[name] = dict(kwargs)
+            batch = self._append_facade_batch(table_scope(name), ())
+        self.changelog.notify_batch(batch)
 
     def drop_table(self, name: str) -> None:
         """Drop ``name`` from every shard."""
@@ -260,6 +441,8 @@ class ShardedEngine(Engine):
             self._shard_keys.pop(name, None)
             self._table_kwargs.pop(name, None)
             self._table_indexes.pop(name, None)
+            batch = self._append_facade_batch(table_scope(name), None)
+        self.changelog.notify_batch(batch)
 
     def create_index(self, table: str, column: str, *, kind: str = "hash") -> None:
         """Create a secondary index on every shard (and any pending shards)."""
@@ -275,7 +458,7 @@ class ShardedEngine(Engine):
 
     def insert(self, table: str, rows: Iterable[Sequence[Any]], **kwargs: Any) -> int:
         """Insert positional rows, routing each by the table's shard key."""
-        with self._lock:
+        with self._routed_write() as relay:
             key_index = self._shard_key_index(table)
             count = 0
             grouped: dict[int, list[tuple]] = {}
@@ -284,10 +467,52 @@ class ShardedEngine(Engine):
                 grouped.setdefault(
                     self._partitioner.shard_for(row_t[key_index]), []).append(row_t)
                 count += 1
+            relay.stage(*(self._shards[i] for i in grouped))
             for shard_index, shard_rows in grouped.items():
                 self._shards[shard_index].insert(table, shard_rows, **kwargs)
             self._mirror_relational_insert(table, key_index, grouped)
         return count
+
+    def delete_rows(self, table: str, predicate: Any) -> list[tuple]:
+        """Delete matching rows on every shard; returns the deleted rows.
+
+        Refused while a rebalance is in flight: the snapshot copy could
+        resurrect rows deleted from the pending shard set.
+        """
+        with self._routed_write() as relay:
+            self._check_not_rebalancing("delete_rows")
+            relay.stage(*self._shards)
+            deleted: list[tuple] = []
+            for shard in self._shards:
+                deleted.extend(shard.delete_rows(table, predicate))
+        return deleted
+
+    def update_rows(self, table: str, predicate: Any,
+                    updates: Mapping[str, Any]) -> list[tuple[tuple, tuple]]:
+        """Update matching rows on every shard; returns ``(old, new)`` pairs.
+
+        The shard key column cannot be updated (the row would need to move
+        shards); refused while a rebalance is in flight.
+        """
+        with self._routed_write() as relay:
+            self._check_not_rebalancing("update_rows")
+            shard_key = self._shard_keys.get(table)
+            if shard_key is not None and shard_key in updates:
+                raise StorageError(
+                    f"cannot update shard key column {shard_key!r} of {table!r}"
+                )
+            relay.stage(*self._shards)
+            updated: list[tuple[tuple, tuple]] = []
+            for shard in self._shards:
+                updated.extend(shard.update_rows(table, predicate, updates))
+        return updated
+
+    def _check_not_rebalancing(self, operation: str) -> None:
+        if self._pending is not None:
+            raise ConfigurationError(
+                f"engine {self.name!r} is rebalancing; {operation} is not "
+                f"supported while dual-writes are active"
+            )
 
     def insert_dicts(self, table: str, rows: Iterable[Mapping[str, Any]]) -> int:
         """Insert dictionary rows, routing each by the table's shard key."""
@@ -325,8 +550,10 @@ class ShardedEngine(Engine):
 
     def put(self, key: str, value: Any) -> None:
         """Insert or overwrite ``key`` on its owning shard."""
-        with self._lock:
-            self._shards[self._partitioner.shard_for(key)].put(key, value)
+        with self._routed_write() as relay:
+            owner = self._shards[self._partitioner.shard_for(key)]
+            relay.stage(owner)
+            owner.put(key, value)
             if self._pending is not None:
                 shards, partitioner = self._pending
                 shards[partitioner.shard_for(key)].put(key, value)
@@ -339,8 +566,10 @@ class ShardedEngine(Engine):
 
     def delete(self, key: str) -> None:
         """Delete ``key`` from its owning shard."""
-        with self._lock:
-            self._shards[self._partitioner.shard_for(key)].delete(key)
+        with self._routed_write() as relay:
+            owner = self._shards[self._partitioner.shard_for(key)]
+            relay.stage(owner)
+            owner.delete(key)
             if self._pending is not None:
                 shards, partitioner = self._pending
                 shards[partitioner.shard_for(key)].delete(key)
@@ -350,8 +579,10 @@ class ShardedEngine(Engine):
 
     def create_series(self, key: str, tags: dict[str, str] | None = None) -> Any:
         """Create (or return) a series on its owning shard."""
-        with self._lock:
-            series = self._shards[self._partitioner.shard_for(key)].create_series(key, tags)
+        with self._routed_write() as relay:
+            owner = self._shards[self._partitioner.shard_for(key)]
+            relay.stage(owner)
+            series = owner.create_series(key, tags)
             if self._pending is not None:
                 shards, partitioner = self._pending
                 shards[partitioner.shard_for(key)].create_series(key, tags)
@@ -359,8 +590,10 @@ class ShardedEngine(Engine):
 
     def append(self, key: str, timestamp: float, value: float) -> None:
         """Append one point to the series' owning shard."""
-        with self._lock:
-            self._shards[self._partitioner.shard_for(key)].append(key, timestamp, value)
+        with self._routed_write() as relay:
+            owner = self._shards[self._partitioner.shard_for(key)]
+            relay.stage(owner)
+            owner.append(key, timestamp, value)
             if self._pending is not None:
                 shards, partitioner = self._pending
                 shards[partitioner.shard_for(key)].append(key, timestamp, value)
@@ -368,9 +601,10 @@ class ShardedEngine(Engine):
     def append_many(self, key: str, points: Iterable[tuple[float, float]]) -> int:
         """Append many points to the series' owning shard."""
         materialized = list(points)
-        with self._lock:
-            count = self._shards[self._partitioner.shard_for(key)].append_many(
-                key, materialized)
+        with self._routed_write() as relay:
+            owner = self._shards[self._partitioner.shard_for(key)]
+            relay.stage(owner)
+            count = owner.append_many(key, materialized)
             if self._pending is not None:
                 shards, partitioner = self._pending
                 shards[partitioner.shard_for(key)].append_many(key, materialized)
@@ -380,9 +614,10 @@ class ShardedEngine(Engine):
 
     def add_document(self, doc_id: str, text: str, **kwargs: Any) -> Any:
         """Index one document on its owning shard (routed by ``doc_id``)."""
-        with self._lock:
-            result = self._shards[self._partitioner.shard_for(doc_id)].add_document(
-                doc_id, text, **kwargs)
+        with self._routed_write() as relay:
+            owner = self._shards[self._partitioner.shard_for(doc_id)]
+            relay.stage(owner)
+            result = owner.add_document(doc_id, text, **kwargs)
             if self._pending is not None:
                 shards, partitioner = self._pending
                 shards[partitioner.shard_for(doc_id)].add_document(
@@ -570,12 +805,35 @@ class ShardedEngine(Engine):
             if self._pending is None:
                 raise ConfigurationError(f"engine {self.name!r} is not rebalancing")
             old_version = self.data_version
+            # Include scopes whose only remaining record is a prior base:
+            # a scope written before an earlier rebalance may exist on no
+            # current shard, and dropping its base would let its version
+            # regress to zero at the next cutover.
+            scopes = self.known_scopes() | set(self._scope_bases)
+            for shard in self._pending[0]:
+                scopes |= shard.known_scopes()
+            old_scoped = {scope: self.data_version_for(scope) for scope in scopes}
             retired = self._shards
             self._shards, self._partitioner = self._pending
             self._pending = None
             self._pending_overrides = set()
             new_sum = sum(shard.data_version for shard in self._shards)
             self._version_base = old_version + 1 - self._data_version - new_sum
+            # Re-base every known scope past its pre-cutover value: the new
+            # shard set's scoped counters are unrelated to the old set's, so
+            # without this a scope could coincidentally return to an earlier
+            # value and falsely re-validate a pinned snapshot.
+            self._scope_bases = {
+                scope: old_scoped[scope] + 1 - self._scoped_raw(scope)
+                for scope in scopes
+            }
+            # The cutover moved every scoped version without logging (it is
+            # not a data change); refresh the log marks so delta consumers
+            # do not mistake the bump for an off-log write and resync.
+            self._scope_log_marks = {
+                scope: self.data_version_for(scope)
+                for scope in scopes | set(self._scope_log_marks)
+            }
             return retired
 
     def abort_rebalance(self) -> None:

@@ -55,8 +55,10 @@ class Frontend:
             return lowered[id(node)]
         inputs = [self._lower_node(graph, child, labels, lowered)
                   for child in node.inputs]
-        operator = Operator(node.kind, dict(node.params), inputs,
-                            self._engine_name(node))
+        # ``view_read`` is served by the middleware's view registry, not an
+        # engine; it carries no engine binding at all.
+        engine = None if node.kind == "view_read" else self._engine_name(node)
+        operator = Operator(node.kind, dict(node.params), inputs, engine)
         operator.annotations["fragment"] = labels.get(id(node), "")
         graph.add(operator)
         lowered[id(node)] = operator.op_id

@@ -44,10 +44,18 @@ class CompilerOptions:
     join_reorder: bool = True
     dce: bool = True
     accelerator_placement: bool = True
+    #: Rewrite program subtrees matching registered materialized views into
+    #: ``view_read`` operators.  Disable to force base-table execution (the
+    #: recompute baseline benchmarks compare against).
+    use_views: bool = True
 
     @classmethod
     def none(cls) -> "CompilerOptions":
-        """All optimizations disabled (the unoptimized baseline)."""
+        """All optimizations disabled (the unoptimized baseline).
+
+        View rewriting stays on: reading a maintained view is a semantic
+        routing choice, not an optimization pass.
+        """
         return cls(pushdown=False, fusion=False, cse=False, join_reorder=False,
                    dce=False, accelerator_placement=False)
 

@@ -28,6 +28,8 @@ from repro.middleware.feedback import RuntimeStats
 from repro.middleware.migration import SimulatedNetwork
 from repro.middleware.optimizer import CostModel
 from repro.stores.base import Engine
+from repro.views.registry import ViewRegistry
+from repro.views.view import MaintenancePolicy, MaterializedView
 
 #: Execution modes supported by :meth:`PolystorePlusPlus.execute`.
 EXECUTION_MODES = ("one_size_fits_all", "cpu_polystore", "polystore++")
@@ -131,6 +133,8 @@ class PolystorePlusPlus:
         self._sessions: "weakref.WeakSet" = weakref.WeakSet()
         self._default_session = None
         self._default_session_lock = threading.Lock()
+        #: Materialized views registered on this deployment (see repro.views).
+        self.views = ViewRegistry(self)
 
     # -- deployment -----------------------------------------------------------------------
 
@@ -272,6 +276,7 @@ class PolystorePlusPlus:
             "reoptimize_drift_factor": self.config.reoptimize_drift_factor,
         }
         description["feedback"] = self.runtime_stats.stats()
+        description["views"] = self.views.describe()
         return description
 
     # -- compilation -----------------------------------------------------------------------
@@ -294,7 +299,16 @@ class PolystorePlusPlus:
     def compile(self, program: Program, *,
                 accelerated: bool = True,
                 options: CompilerOptions | None = None) -> CompilationResult:
-        """Compile a heterogeneous program against this deployment."""
+        """Compile a heterogeneous program against this deployment.
+
+        Subtrees structurally matching a registered materialized view are
+        first rewritten into ``view_read`` operators (unless the options
+        disable ``use_views``), so the compiled plan reads maintained state
+        instead of recomputing the view's pipeline.
+        """
+        opts = options if options is not None else self.config.compiler_options
+        if opts.use_views and self.views.rewritable:
+            program = self.views.rewrite(program)
         return self.compiler(accelerated=accelerated, options=options).compile(program)
 
     # -- execution --------------------------------------------------------------------------
@@ -369,6 +383,35 @@ class PolystorePlusPlus:
                       ) -> dict[str, ExecutionResult]:
         """Run the same program under several modes (experiments E7/E8/E9)."""
         return {mode: self.execute(program, mode=mode) for mode in modes}
+
+    # -- materialized views ----------------------------------------------------------------
+
+    def create_view(self, name: str, dataset, *,
+                    policy: "MaintenancePolicy | str" = "deferred",
+                    staleness_s: float = 0.0,
+                    auto_delta_rows: int = 4096) -> MaterializedView:
+        """Register a materialized view over a :class:`Dataset` expression.
+
+        The initial materialization runs through the normal compile/execute
+        pipeline; afterwards the view refreshes incrementally from the source
+        engines' changelogs (where the tree is delta-composable) under the
+        chosen maintenance policy — ``"eager"`` (on write), ``"deferred"``
+        (staleness-bounded refresh on read), ``"manual"``, or ``"auto"``
+        (feedback-steered between eager and deferred).  Prepared programs
+        whose subtree matches the view's expression transparently read the
+        maintained state.
+        """
+        return self.views.create(name, dataset, policy=policy,
+                                 staleness_s=staleness_s,
+                                 auto_delta_rows=auto_delta_rows)
+
+    def drop_view(self, name: str) -> None:
+        """Unregister a materialized view."""
+        self.views.drop(name)
+
+    def view(self, name: str) -> MaterializedView:
+        """A registered materialized view by name."""
+        return self.views.get(name)
 
     # -- calibration ---------------------------------------------------------------------------
 

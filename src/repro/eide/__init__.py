@@ -17,6 +17,7 @@ from repro.eide.dataflow import (
     DatasetSource,
     dataset,
     to_dataflow,
+    view_dataset,
 )
 from repro.eide.expressions import Col, canonicalize, col, lit
 from repro.eide.natural_language import compile_natural_language, recognize_intent
@@ -33,6 +34,7 @@ __all__ = [
     "DataflowNode",
     "dataset",
     "to_dataflow",
+    "view_dataset",
     "col",
     "lit",
     "Col",

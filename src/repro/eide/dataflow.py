@@ -403,6 +403,38 @@ def dataset(engine: str | None = None) -> DatasetSource:
     return DatasetSource(engine)
 
 
+def resolve_node_engine(node: DataflowNode, catalog: Any) -> str | None:
+    """The engine a dataflow node would execute on, or ``None``.
+
+    Mirrors the frontend's default-engine rule without raising: explicit
+    bindings win, otherwise the node's paradigm resolves through the
+    catalog.  Shared by the view registry (which engines to subscribe to)
+    and the incremental compiler (which engine a delta source reads) so the
+    two can never disagree.
+    """
+    if node.engine is not None:
+        return node.engine
+    paradigm = KIND_PARADIGMS.get(node.kind)
+    if paradigm is None:
+        return None
+    try:
+        return catalog.default_engine_for(paradigm).name
+    except Exception:  # noqa: BLE001 - no engine registered for the paradigm
+        return None
+
+
+def view_dataset(name: str) -> Dataset:
+    """A read of a registered materialized view, as a composable dataset.
+
+    Programs composed over a view read its *maintained* state: the executor
+    serves the ``view_read`` from the system's view registry, refreshing
+    first when the view's maintenance policy calls for it.  (Programs whose
+    subtree merely *matches* a registered view's expression are rewritten to
+    this form automatically at compile time.)
+    """
+    return Dataset(DataflowNode("view_read", {"view": str(name)}, (), None))
+
+
 class DataflowProgram:
     """A named set of output datasets — the unit sessions prepare and run.
 

@@ -1,7 +1,7 @@
 """Hierarchical intermediate representation for heterogeneous programs."""
 
 from repro.ir.graph import IRGraph
-from repro.ir.nodes import ACCELERABLE_KINDS, OPERATOR_KINDS, Operator, reset_operator_ids
+from repro.ir.nodes import ACCELERABLE_KINDS, OPERATOR_KINDS, Operator
 from repro.ir.validation import assert_valid, validate_graph, validate_operator
 
 __all__ = [
@@ -9,7 +9,6 @@ __all__ = [
     "Operator",
     "OPERATOR_KINDS",
     "ACCELERABLE_KINDS",
-    "reset_operator_ids",
     "validate_graph",
     "validate_operator",
     "assert_valid",

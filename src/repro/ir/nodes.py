@@ -35,6 +35,8 @@ OPERATOR_KINDS = frozenset({
     "matmul", "gemv", "train", "predict", "kmeans", "feature_matrix",
     # data movement and glue
     "migrate", "materialize", "union", "python_udf",
+    # materialized-view reads (served by the view registry, not an engine)
+    "view_read",
 })
 
 #: Kinds that are candidates for accelerator offload (paper §III-A).
@@ -120,14 +122,3 @@ class Operator:
             annotations=dict(self.annotations),
             op_id=self.op_id,
         )
-
-
-def reset_operator_ids() -> None:
-    """Deprecated no-op kept for compatibility.
-
-    Operator ids are now assigned per :class:`~repro.ir.graph.IRGraph` (see
-    :meth:`~repro.ir.graph.IRGraph.add`), so there is no process-global
-    counter left to reset: every graph numbers its operators from 1
-    deterministically, and concurrent sessions can no longer race on shared
-    mutable state.
-    """

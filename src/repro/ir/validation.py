@@ -29,6 +29,7 @@ _REQUIRED_PARAMS: dict[str, tuple[str, ...]] = {
     "kmeans": ("n_clusters",),
     "migrate": ("source_engine", "target_engine"),
     "python_udf": ("fn",),
+    "view_read": ("view",),
 }
 
 #: How many data-flow inputs each kind expects (None = any number).
@@ -62,6 +63,7 @@ _EXPECTED_INPUTS: dict[str, int | None] = {
     "materialize": 1,
     "python_udf": None,
     "neighborhood": 0,
+    "view_read": 0,
 }
 
 

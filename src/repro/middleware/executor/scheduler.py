@@ -58,10 +58,14 @@ class Executor:
     def __init__(self, catalog: Catalog, migrator: DataMigrator | None = None, *,
                  migration_strategy: str | None = None,
                  max_workers: int | None = 4,
-                 runtime_stats: RuntimeStats | None = None) -> None:
+                 runtime_stats: RuntimeStats | None = None,
+                 views: Any | None = None) -> None:
         self.catalog = catalog
         self.migrator = migrator if migrator is not None else DataMigrator()
         self.migration_strategy = migration_strategy
+        #: The deployment's view registry; ``view_read`` operators are served
+        #: from it (policy-triggered refresh charges fold into the record).
+        self.views = views
         #: Upper bound on intra-stage worker threads; ``None`` or <2 disables
         #: concurrent dispatch entirely.
         self.max_workers = max_workers
@@ -211,6 +215,8 @@ class Executor:
                       stage: int) -> tuple[Any, TaskRecord]:
         start = time.perf_counter()
         rows_in = sum(self._rows_of(value) for value in inputs) if inputs else 0
+        if node.kind == "view_read":
+            return self._execute_view_read(node, stage, start)
         scattered = self._try_scatter_gather(node, inputs)
         if scattered is not None:
             value, record = scattered
@@ -308,8 +314,47 @@ class Executor:
                 self._shard_pool = ThreadPoolExecutor(max_workers=self.max_workers)
             return self._shard_pool
 
+    def _execute_view_read(self, node: Operator, stage: int,
+                           start: float) -> tuple[Any, TaskRecord]:
+        """Serve a materialized-view read from the registry.
+
+        The charged time is the wall cost of the read plus the charged time
+        of any maintenance refresh the read triggered under the view's
+        policy — a stale deferred view pays its (delta-sized) refresh here,
+        where a plain program would have paid a full recompute.
+        """
+        if self.views is None:
+            raise ExecutionError(
+                f"operator {node.op_id} reads view {node.params.get('view')!r} "
+                f"but the executor has no view registry"
+            )
+        value, refresh_charged, refresh_wall, details = self.views.serve(
+            str(node.params["view"]))
+        wall = time.perf_counter() - start
+        # Substitute the refresh's *charged* cost for its measured wall
+        # share — adding it on top would double-count the refresh, since the
+        # wall around serve() already contains its execution.
+        charged = max(0.0, wall - refresh_wall) + refresh_charged
+        record = TaskRecord(
+            op_id=node.op_id,
+            kind=node.kind,
+            engine=None,
+            accelerator=None,
+            stage=stage,
+            wall_time_s=wall,
+            simulated_time_s=charged,
+            rows_out=self._rows_of(value),
+            details={**details, "refresh_charged_s": refresh_charged},
+        )
+        return value, record
+
     def _execute_on_engine(self, node: Operator, inputs: list[Any]) -> Any:
         if node.engine is None:
+            if node.kind == "python_udf":
+                # Engine-less UDFs run in the middleware itself — the form
+                # materialized-view delta programs take (their operators are
+                # closures over maintained state, not engine calls).
+                return node.params["fn"](*inputs)
             raise ExecutionError(f"operator {node.op_id} has no engine binding")
         adapter = self._adapter(node.engine)
         if not adapter.can_execute(node):
@@ -404,6 +449,10 @@ class Executor:
     def _rows_of(value: Any) -> int:
         if isinstance(value, (Table, list, ShardedValue)):
             return len(value)
+        # Z-set deltas report their total multiplicity as the row count.
+        total = getattr(value, "total_weight", None)
+        if isinstance(total, int):
+            return total
         return 1
 
 

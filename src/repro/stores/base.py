@@ -14,9 +14,10 @@ import abc
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
 
 from repro.exceptions import UnsupportedOperationError
+from repro.stores.changelog import ChangeLog
 
 
 class DataModel(enum.Enum):
@@ -166,19 +167,62 @@ class Engine(abc.ABC):
         self.name = name
         self.metrics = MetricsRecorder()
         self._data_version = 0
+        #: Mutations not attributed to any scope (invalidate everything).
+        self._unscoped_version = 0
+        #: Per-scope mutation counters (table/namespace/series granularity).
+        self._scope_versions: dict[str, int] = {}
+        #: Typed delta batches describing every mutation (see
+        #: :mod:`repro.stores.changelog`); materialized views consume these.
+        self.changelog = ChangeLog()
 
     @property
     def data_version(self) -> int:
         """Monotonic counter bumped on every mutation of engine state.
 
-        Prepared programs use it to validate pinned scan snapshots: a
-        version change invalidates every cached result read from this engine.
+        This is the aggregated, engine-wide counter: any write anywhere in
+        the engine changes it, so consumers that cannot name their read
+        footprint stay correct.  Scope-aware consumers validate against
+        :meth:`data_version_for` instead.
         """
         return self._data_version
 
-    def mark_data_changed(self) -> None:
-        """Record that engine state changed (called by every mutator)."""
+    def data_version_for(self, scope: str | None) -> int:
+        """Mutation counter for one scope (table/namespace/series).
+
+        Changes when ``scope`` itself is written *or* when an unscoped
+        mutation lands (an unscoped write may have touched anything).
+        ``scope=None`` is the engine-wide counter.
+        """
+        if scope is None:
+            return self._data_version
+        return self._unscoped_version + self._scope_versions.get(scope, 0)
+
+    def known_scopes(self) -> set[str]:
+        """Every scope this engine has recorded a mutation for."""
+        return set(self._scope_versions)
+
+    def mark_data_changed(self, scope: str | None = None,
+                          entries: Sequence[tuple[Any, int]] | None = None,
+                          *, notify: bool = True):
+        """Record that engine state changed (called by every mutator).
+
+        ``scope`` names the table/namespace/series the mutation touched
+        (``None`` conservatively invalidates every scope).  ``entries`` is
+        the mutation as Z-set ``(record, weight)`` pairs; when omitted the
+        changelog records a *gap* and delta consumers of the scope resync.
+        ``notify=False`` defers listener delivery to the caller (who must
+        call ``changelog.notify_batch`` on the returned batch after
+        releasing its locks).  Returns the appended
+        :class:`~repro.stores.changelog.DeltaBatch`.
+        """
         self._data_version += 1
+        if scope is None:
+            self._unscoped_version += 1
+        else:
+            self._scope_versions[scope] = self._scope_versions.get(scope, 0) + 1
+        if entries is None:
+            return self.changelog.mark_gap(scope, notify=notify)
+        return self.changelog.append(scope, entries, notify=notify)
 
     @abc.abstractmethod
     def capabilities(self) -> frozenset[Capability]:

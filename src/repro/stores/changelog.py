@@ -1,0 +1,264 @@
+"""The cross-engine changelog: typed, scoped delta batches per engine.
+
+Every mutation of engine state is described by a :class:`DeltaBatch` — a
+Z-set style set of ``(record, weight)`` entries (DBSP's generalized
+multiset: weight ``+1`` inserts a record, ``-1`` deletes it, an update is a
+``-1``/``+1`` pair) tagged with a *scope* naming the table, namespace or
+series the mutation touched.  The batch stream is the invalidation currency
+of the system:
+
+* per-scope version counters (:meth:`~repro.stores.base.Engine.data_version_for`)
+  let pinned scan snapshots revalidate only against the scopes they read,
+* materialized views (:mod:`repro.views`) consume the batches to refresh in
+  time proportional to the change instead of the base data.
+
+Mutations an engine cannot (or does not) describe as entries are recorded
+as *gaps*: a gap poisons every cursor that opened before it, forcing
+consumers of the affected scope back to a full resync.  This keeps the log
+honest — a consumer never silently misses a write.
+
+Retention is bounded (:attr:`ChangeLog.capacity` batches); a cursor that
+falls behind the retained window reads ``complete=False`` and must resync.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+#: Scope name for an engine-wide (unscoped) mutation.
+UNSCOPED = None
+
+
+def table_scope(table: str) -> str:
+    """The changelog scope of one relational table."""
+    return f"table:{table}"
+
+
+def kv_scope() -> str:
+    """The changelog scope of a key/value engine's single namespace."""
+    return "kv"
+
+
+def series_scope(key: str) -> str:
+    """The changelog scope of one timeseries."""
+    return f"series:{key}"
+
+
+def docs_scope() -> str:
+    """The changelog scope of a document (text) engine's corpus."""
+    return "docs"
+
+
+def leaf_read_scope(kind: str, params: dict[str, Any]) -> str | None:
+    """The scope an IR leaf read depends on (``None`` = whole engine).
+
+    This is the read-side counterpart of the write-side scope constructors
+    above: a pinned ``scan`` of one table only revalidates against that
+    table's counter, a ``ts_range`` of one series against that series.
+    Reads whose footprint cannot be named (prefix summaries, graph
+    traversals) conservatively depend on the engine-level counter.
+    """
+    if kind in ("scan", "index_seek"):
+        table = params.get("table")
+        return table_scope(str(table)) if table else None
+    if kind in ("kv_get", "kv_range"):
+        return kv_scope()
+    if kind in ("ts_range", "window_aggregate"):
+        series = params.get("series")
+        return series_scope(str(series)) if series else None
+    if kind in ("text_search", "keyword_features"):
+        return docs_scope()
+    return None
+
+
+@dataclass(frozen=True)
+class DeltaBatch:
+    """One mutation of engine state, as a weighted (Z-set) record batch.
+
+    ``entries`` is empty for *gap* batches — mutations the engine could not
+    describe record-by-record (DDL, bulk rebuilds, engines without typed
+    deltas).  Consumers positioned before a gap affecting their scope must
+    resync from the base data.
+    """
+
+    seq: int
+    scope: str | None
+    entries: tuple[tuple[Any, int], ...] = ()
+    gap: bool = False
+
+    @property
+    def rows(self) -> int:
+        """Total absolute multiplicity carried by this batch."""
+        return sum(abs(weight) for _, weight in self.entries)
+
+
+#: Listener signature: called synchronously after a batch is appended.
+Listener = Callable[[DeltaBatch], None]
+
+
+class ChangeLog:
+    """A bounded, scoped, subscribable log of one engine's delta batches.
+
+    Retention is capped both by batch count (``capacity``) and by total
+    retained entry rows (``max_rows``) — a bulk load logging one huge batch
+    must not pin a table-sized entry list in memory; it ages out (possibly
+    immediately), and consumers behind the trim resync from the base.
+    """
+
+    def __init__(self, capacity: int = 4096, *,
+                 max_rows: int = 262_144) -> None:
+        if capacity < 1:
+            raise ValueError("changelog capacity must be at least 1")
+        if max_rows < 1:
+            raise ValueError("changelog max_rows must be at least 1")
+        self.capacity = capacity
+        self.max_rows = max_rows
+        self._lock = threading.RLock()
+        #: Retained batches, oldest first; a deque so steady-state eviction
+        #: (one batch out per batch in, on every engine write) stays O(1).
+        self._batches: deque[DeltaBatch] = deque()
+        self._retained_rows = 0
+        self._next_seq = 1
+        #: Sequence number of the oldest batch still retained, or the next
+        #: seq when the log is empty.  Cursors older than this must resync.
+        self._oldest_retained = 1
+        self._listeners: list[Listener] = []
+
+    # -- writing ------------------------------------------------------------------------
+
+    def append(self, scope: str | None, entries: Sequence[tuple[Any, int]],
+               *, notify: bool = True) -> DeltaBatch:
+        """Record one typed mutation batch (and, by default, notify).
+
+        ``notify=False`` lets a caller holding its own write lock append
+        atomically with the mutation and deliver the notification after
+        releasing it (see :meth:`notify_batch`).
+        """
+        return self._push(scope, tuple(entries), gap=False, notify=notify)
+
+    def mark_gap(self, scope: str | None = UNSCOPED, *,
+                 notify: bool = True) -> DeltaBatch:
+        """Record an undescribed mutation of ``scope`` (``None`` = everything)."""
+        return self._push(scope, (), gap=True, notify=notify)
+
+    def notify_batch(self, batch: DeltaBatch) -> None:
+        """Deliver a deferred notification for an already-appended batch."""
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(batch)
+
+    def _push(self, scope: str | None, entries: tuple, *, gap: bool,
+              notify: bool) -> DeltaBatch:
+        with self._lock:
+            batch = DeltaBatch(seq=self._next_seq, scope=scope,
+                               entries=entries, gap=gap)
+            self._next_seq += 1
+            self._batches.append(batch)
+            self._retained_rows += len(entries)
+            while self._batches and (len(self._batches) > self.capacity
+                                     or self._retained_rows > self.max_rows):
+                evicted = self._batches.popleft()
+                self._retained_rows -= len(evicted.entries)
+            self._oldest_retained = (self._batches[0].seq if self._batches
+                                     else self._next_seq)
+        # Listeners run outside the log lock (and callers are expected to
+        # have released their engine locks): an eager view refresh triggered
+        # here may fan work out to threads that read the same engine.
+        if notify:
+            self.notify_batch(batch)
+        return batch
+
+    # -- reading ------------------------------------------------------------------------
+
+    @property
+    def latest_seq(self) -> int:
+        """Sequence number of the newest batch (0 when nothing was logged)."""
+        with self._lock:
+            return self._next_seq - 1
+
+    def read_since(self, cursor: int, scope: str | None = None
+                   ) -> tuple[list[DeltaBatch], bool]:
+        """Batches with ``seq > cursor`` affecting ``scope``, plus completeness.
+
+        ``scope=None`` reads every scope.  The second element is ``False``
+        when the cursor fell behind the retained window or a *gap* batch
+        affecting the scope appeared after the cursor — the consumer's state
+        can no longer be maintained from deltas and must be resynced.
+        """
+        with self._lock:
+            batches, complete, _ = self._read_locked(cursor, scope)
+            return batches, complete
+
+    def pull(self, cursor: int, scope: str | None = None
+             ) -> tuple[list[DeltaBatch], bool, int]:
+        """:meth:`read_since` plus the head seq the read covered, atomically.
+
+        A scope-filtered consumer must advance its cursor to the returned
+        head even when no batch matched: a complete read provably missed
+        nothing up to the head, and leaving the cursor behind would let
+        heavy writes to *other* scopes trim the log past it — forcing full
+        resyncs of a scope that received zero writes.
+        """
+        with self._lock:
+            return self._read_locked(cursor, scope)
+
+    def _read_locked(self, cursor: int, scope: str | None
+                     ) -> tuple[list[DeltaBatch], bool, int]:
+        head = self._next_seq - 1
+        if cursor >= head:
+            # Caught up — the common case for every staleness probe on the
+            # write hot path; must not walk the retained window.
+            return [], True, head
+        if cursor < self._oldest_retained - 1:
+            return [], False, head
+        out: list[DeltaBatch] = []
+        # Seqs are contiguous (appends +1, evictions only from the left),
+        # so the first batch past the cursor sits at a known offset.
+        start = cursor + 1 - self._oldest_retained
+        for batch in itertools.islice(self._batches, start, None):
+            affects = (scope is None or batch.scope is None
+                       or batch.scope == scope)
+            if not affects:
+                continue
+            if batch.gap:
+                return [], False, head
+            out.append(batch)
+        return out, True, head
+
+    # -- subscriptions ------------------------------------------------------------------
+
+    def subscribe(self, listener: Listener) -> None:
+        """Register a synchronous per-batch listener (idempotent)."""
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Listener) -> None:
+        """Remove a listener registered with :meth:`subscribe`."""
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    # -- introspection ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Retention and position counters."""
+        with self._lock:
+            return {
+                "batches": len(self._batches),
+                "capacity": self.capacity,
+                "retained_rows": self._retained_rows,
+                "max_rows": self.max_rows,
+                "latest_seq": self._next_seq - 1,
+                "oldest_retained": self._oldest_retained,
+                "listeners": len(self._listeners),
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._batches)

@@ -13,6 +13,7 @@ from typing import Any, Iterator
 
 from repro.exceptions import StorageError
 from repro.stores.base import Capability, Concurrency, DataModel, Engine
+from repro.stores.changelog import kv_scope
 from repro.stores.keyvalue.memtable import TOMBSTONE, MemTable
 from repro.stores.keyvalue.sstable import SSTable, merge_sstables
 
@@ -38,11 +39,29 @@ class KeyValueEngine(Engine):
 
     # -- writes -----------------------------------------------------------------
 
+    def _live_value(self, key: str, default: Any = None) -> Any:
+        """Current live value without recording read metrics (write path)."""
+        found, value = self._memtable.get(key)
+        if not found:
+            for sstable in reversed(self._sstables):
+                found, value = sstable.get(key)
+                if found:
+                    break
+        if not found or value is TOMBSTONE:
+            return default
+        return value
+
     def put(self, key: str, value: Any) -> None:
         """Insert or overwrite ``key``."""
+        sentinel = object()
+        previous = self._live_value(key, sentinel)
         self._wal.append(("put", key, value))
         self._memtable.put(key, value)
-        self.mark_data_changed()
+        entries: list[tuple[Any, int]] = []
+        if previous is not sentinel:
+            entries.append(((key, previous), -1))
+        entries.append(((key, value), 1))
+        self.mark_data_changed(kv_scope(), entries=entries)
         if self._memtable.is_full:
             self.flush()
 
@@ -55,9 +74,12 @@ class KeyValueEngine(Engine):
 
     def delete(self, key: str) -> None:
         """Delete ``key`` (tombstoned until the next compaction)."""
+        sentinel = object()
+        previous = self._live_value(key, sentinel)
         self._wal.append(("delete", key, None))
         self._memtable.delete(key)
-        self.mark_data_changed()
+        entries = [((key, previous), -1)] if previous is not sentinel else []
+        self.mark_data_changed(kv_scope(), entries=entries)
         if self._memtable.is_full:
             self.flush()
 
@@ -82,17 +104,11 @@ class KeyValueEngine(Engine):
 
     def get(self, key: str, default: Any = None) -> Any:
         """Value for ``key``, or ``default`` when missing or deleted."""
+        sentinel = object()
         with self.metrics.timed(self.name, "get", key=key) as timer:
-            found, value = self._memtable.get(key)
-            if not found:
-                for sstable in reversed(self._sstables):
-                    found, value = sstable.get(key)
-                    if found:
-                        break
-            timer.rows_out = 1 if found and value is not TOMBSTONE else 0
-        if not found or value is TOMBSTONE:
-            return default
-        return value
+            value = self._live_value(key, sentinel)
+            timer.rows_out = 0 if value is sentinel else 1
+        return default if value is sentinel else value
 
     def multi_get(self, keys: list[str]) -> dict[str, Any]:
         """Values for several keys; missing keys are omitted."""

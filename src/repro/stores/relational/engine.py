@@ -9,12 +9,14 @@ metrics that the Polystore++ middleware's optimizer consumes.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.datamodel.schema import Schema
 from repro.datamodel.table import Table
 from repro.exceptions import QueryError, StorageError
 from repro.stores.base import Capability, Concurrency, DataModel, Engine
+from repro.stores.changelog import table_scope
 from repro.stores.relational.expressions import Expression
 from repro.stores.relational.index import HashIndex, SortedIndex
 from repro.stores.relational.operators import (
@@ -82,6 +84,9 @@ class RelationalEngine(Engine):
     def __init__(self, name: str = "relational") -> None:
         super().__init__(name)
         self._tables: dict[str, StoredTable] = {}
+        #: Serializes mutations against each other and against
+        #: :meth:`snapshot_scan`; plain reads stay lock-free.
+        self._write_lock = threading.RLock()
 
     def capabilities(self) -> frozenset[Capability]:
         return frozenset({
@@ -99,17 +104,26 @@ class RelationalEngine(Engine):
 
     def create_table(self, name: str, schema: Schema, *, page_capacity: int = 256) -> None:
         """Create an empty table."""
-        if name in self._tables:
-            raise StorageError(f"table {name!r} already exists")
-        self._tables[name] = StoredTable(name, schema, page_capacity)
-        self.mark_data_changed()
+        with self._write_lock:
+            if name in self._tables:
+                raise StorageError(f"table {name!r} already exists")
+            self._tables[name] = StoredTable(name, schema, page_capacity)
+            batch = self.mark_data_changed(table_scope(name), entries=(),
+                                           notify=False)
+        # Listeners run outside the write lock (an eager view refresh may
+        # take its own lock and read back through snapshot_scan).
+        self.changelog.notify_batch(batch)
 
     def drop_table(self, name: str) -> None:
         """Drop a table and its indexes."""
-        if name not in self._tables:
-            raise StorageError(f"table {name!r} does not exist")
-        del self._tables[name]
-        self.mark_data_changed()
+        with self._write_lock:
+            if name not in self._tables:
+                raise StorageError(f"table {name!r} does not exist")
+            del self._tables[name]
+            # A drop cannot be described row-by-row: log a gap so delta
+            # consumers of the table resync instead of silently diverging.
+            batch = self.mark_data_changed(table_scope(name), notify=False)
+        self.changelog.notify_batch(batch)
 
     def create_index(self, table: str, column: str, *, kind: str = "hash") -> None:
         """Create a secondary index on an existing table column."""
@@ -150,16 +164,126 @@ class RelationalEngine(Engine):
     def insert(self, table: str, rows: Iterable[Sequence[Any]], *,
                validate: bool = False) -> int:
         """Insert positional rows into a table; returns the count inserted."""
+        batch = None
+        try:
+            with self._write_lock:
+                stored = self._stored(table)
+                inserted: list[tuple] = []
+                try:
+                    with self.metrics.timed(self.name, "insert",
+                                            table=table) as timer:
+                        for row in rows:
+                            stored.insert(row, validate=validate)
+                            inserted.append(tuple(row))
+                        timer.rows_in = len(inserted)
+                except BaseException:
+                    if inserted:
+                        # Rows landed in the heap before the failure: the
+                        # mutation must not go unrecorded (pinned snapshots
+                        # would replay pre-insert data, views would diverge
+                        # undetectably).  A gap makes consumers resync.
+                        batch = self.mark_data_changed(table_scope(table),
+                                                       notify=False)
+                    raise
+                if inserted:
+                    batch = self.mark_data_changed(
+                        table_scope(table),
+                        entries=[(row, 1) for row in inserted], notify=False)
+        finally:
+            if batch is not None:
+                self.changelog.notify_batch(batch)
+        return len(inserted)
+
+    def delete_rows(self, table: str, predicate: Expression) -> list[tuple]:
+        """Delete every row satisfying ``predicate``; returns the deleted rows.
+
+        The heap and all indexes are rebuilt from the surviving rows; the
+        deletions land in the changelog as weight ``-1`` entries.
+        """
+        batch = None
+        with self._write_lock:
+            deleted, _ = self._rewrite_rows(table, predicate, None)
+            if deleted:
+                batch = self.mark_data_changed(
+                    table_scope(table),
+                    entries=[(row, -1) for row in deleted], notify=False)
+        if batch is not None:
+            self.changelog.notify_batch(batch)
+        return deleted
+
+    def update_rows(self, table: str, predicate: Expression,
+                    updates: Mapping[str, Any]) -> list[tuple[tuple, tuple]]:
+        """Set columns on every row satisfying ``predicate``.
+
+        Returns ``(old_row, new_row)`` pairs; each update is logged as a
+        ``-1``/``+1`` entry pair (the Z-set form of an upsert).
+        """
+        batch = None
+        with self._write_lock:
+            stored = self._stored(table)
+            for column in updates:
+                if column not in stored.schema:
+                    raise StorageError(f"table {table!r} has no column {column!r}")
+            _, updated = self._rewrite_rows(table, predicate, dict(updates))
+            if updated:
+                entries: list[tuple[tuple, int]] = []
+                for old, new in updated:
+                    entries.append((old, -1))
+                    entries.append((new, 1))
+                batch = self.mark_data_changed(table_scope(table),
+                                               entries=entries, notify=False)
+        if batch is not None:
+            self.changelog.notify_batch(batch)
+        return updated
+
+    def snapshot_scan(self, table: str, columns: Sequence[str] | None = None
+                      ) -> tuple[Table, int, int]:
+        """An atomic ``(scan, changelog head, scoped version)`` triple.
+
+        Taken under the write lock, so every row in the snapshot is covered
+        by a batch at or before the returned head — the consistency anchor
+        materialized-view resyncs need (a plain scan racing a writer could
+        contain a row whose batch lands after the scan, which a delta
+        consumer would then double-apply).
+        """
+        with self._write_lock:
+            return (self.scan(table, columns), self.changelog.latest_seq,
+                    self.data_version_for(table_scope(table)))
+
+    def _rewrite_rows(self, table: str, predicate: Expression,
+                      updates: dict[str, Any] | None
+                      ) -> tuple[list[tuple], list[tuple[tuple, tuple]]]:
+        """Rebuild a table's heap applying a delete or update in one pass."""
         stored = self._stored(table)
-        count = 0
-        with self.metrics.timed(self.name, "insert", table=table) as timer:
-            for row in rows:
-                stored.insert(row, validate=validate)
-                count += 1
-            timer.rows_in = count
-        if count:
-            self.mark_data_changed()
-        return count
+        names = stored.schema.names
+        kept: list[tuple] = []
+        deleted: list[tuple] = []
+        updated: list[tuple[tuple, tuple]] = []
+        operation = "update" if updates is not None else "delete"
+        with self.metrics.timed(self.name, operation, table=table) as timer:
+            for row in stored.heap.scan():
+                row_t = tuple(row)
+                if not predicate.evaluate(dict(zip(names, row_t))):
+                    kept.append(row_t)
+                    continue
+                if updates is None:
+                    deleted.append(row_t)
+                else:
+                    new_row = tuple(updates.get(name, value)
+                                    for name, value in zip(names, row_t))
+                    updated.append((row_t, new_row))
+                    kept.append(new_row)
+            timer.rows_in = len(deleted) + len(updated)
+        if deleted or updated:
+            rebuilt = StoredTable(table, stored.schema, stored.heap.page_capacity)
+            rebuilt.hash_indexes = {c: type(i)(c)
+                                    for c, i in stored.hash_indexes.items()}
+            rebuilt.sorted_indexes = {c: type(i)(c)
+                                      for c, i in stored.sorted_indexes.items()}
+            for row_t in kept:
+                rebuilt.insert(row_t)
+            self._tables[table] = rebuilt
+        return deleted, updated
 
     def insert_dicts(self, table: str, rows: Iterable[Mapping[str, Any]]) -> int:
         """Insert dictionary rows into a table."""

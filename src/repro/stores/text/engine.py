@@ -12,6 +12,7 @@ from typing import Any
 
 from repro.exceptions import StorageError
 from repro.stores.base import Capability, Concurrency, DataModel, Engine
+from repro.stores.changelog import docs_scope
 from repro.stores.text.inverted_index import InvertedIndex
 from repro.stores.text.tokenizer import term_frequencies, tokenize
 
@@ -39,9 +40,14 @@ class TextEngine(Engine):
     def add_document(self, doc_id: str, text: str,
                      metadata: dict[str, Any] | None = None) -> None:
         """Add or replace a document."""
+        previous = self._documents.get(doc_id)
         self._documents[doc_id] = {"text": text, "metadata": dict(metadata or {})}
         self._index.add(doc_id, text)
-        self.mark_data_changed()
+        entries: list[tuple[Any, int]] = []
+        if previous is not None:
+            entries.append(((doc_id, previous["text"]), -1))
+        entries.append(((doc_id, text), 1))
+        self.mark_data_changed(docs_scope(), entries=entries)
 
     def add_documents(self, documents: list[dict[str, Any]]) -> int:
         """Bulk-add documents of the form ``{"doc_id", "text", "metadata"?}``."""
@@ -56,9 +62,10 @@ class TextEngine(Engine):
         """Remove a document."""
         if doc_id not in self._documents:
             raise StorageError(f"document {doc_id!r} does not exist")
-        del self._documents[doc_id]
+        removed = self._documents.pop(doc_id)
         self._index.remove(doc_id)
-        self.mark_data_changed()
+        self.mark_data_changed(docs_scope(),
+                               entries=[((doc_id, removed["text"]), -1)])
 
     # -- reads --------------------------------------------------------------------
 

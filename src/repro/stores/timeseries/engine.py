@@ -12,6 +12,7 @@ from typing import Any, Iterable, Iterator
 
 from repro.exceptions import StorageError
 from repro.stores.base import Capability, Concurrency, DataModel, Engine
+from repro.stores.changelog import series_scope
 from repro.stores.timeseries.series import Point, Series
 from repro.stores.timeseries.window import (
     WindowResult,
@@ -46,26 +47,29 @@ class TimeseriesEngine(Engine):
         """Create (or return an existing) series."""
         if key not in self._series:
             self._series[key] = Series(key, tags)
-            self.mark_data_changed()
+            # Creation carries no points: an empty (non-gap) batch still
+            # bumps the series scope and the engine-wide counter.
+            self.mark_data_changed(series_scope(key), entries=())
         return self._series[key]
 
     def append(self, key: str, timestamp: float, value: float) -> None:
         """Append one point to a series, creating it if needed."""
         self.create_series(key).append(timestamp, value)
-        self.mark_data_changed()
+        self.mark_data_changed(series_scope(key),
+                               entries=[((timestamp, value), 1)])
 
     def append_many(self, key: str, points: Iterable[tuple[float, float]]) -> int:
         """Append many points to one series; returns the count appended."""
         series = self.create_series(key)
-        count = 0
+        appended: list[tuple[tuple[float, float], int]] = []
         with self.metrics.timed(self.name, "append_many", series=key) as timer:
             for timestamp, value in points:
                 series.append(timestamp, value)
-                count += 1
-            timer.rows_in = count
-        if count:
-            self.mark_data_changed()
-        return count
+                appended.append(((timestamp, value), 1))
+            timer.rows_in = len(appended)
+        if appended:
+            self.mark_data_changed(series_scope(key), entries=appended)
+        return len(appended)
 
     # -- reads --------------------------------------------------------------------------
 

@@ -220,6 +220,148 @@ class TestDataVersionInvalidation:
         assert prepared._entry.snapshot.pinned > 0
 
 
+class TestScopedInvalidation:
+    """Satellite: ``data_version`` is per-table/namespace, not per-engine."""
+
+    def _two_table_system(self):
+        relational = RelationalEngine("ordersdb")
+        schema = make_schema(("order_id", DataType.INT), ("amount", DataType.FLOAT))
+        relational.load_table("orders", Table(schema, [
+            (i, float(i)) for i in range(50)]))
+        relational.load_table("refunds", Table(schema, [
+            (i, float(-i)) for i in range(20)]))
+        return build_accelerated_polystore([relational])
+
+    def _two_table_program(self):
+        from repro.eide.dataflow import DataflowProgram, dataset
+
+        program = DataflowProgram("two-tables")
+        source = dataset("ordersdb")
+        program.output("orders", source.table("orders"))
+        program.output("refunds", source.table("refunds"))
+        return program
+
+    def test_write_to_one_table_keeps_other_tables_pinned(self):
+        system = self._two_table_system()
+        session = system.session()
+        prepared = session.prepare(self._two_table_program())
+        prepared.run()
+        system.engine("ordersdb").insert("refunds", [(999, -1.0)])
+        result = prepared.run()
+        # Same engine, different table: the orders scan replays from its
+        # pin while the refunds scan re-reads.
+        cached = {r.cached for r in result.report.records if r.kind == "scan"}
+        assert cached == {True, False}
+        fresh = [r for r in result.report.records
+                 if r.kind == "scan" and not r.cached]
+        assert len(fresh) == 1
+        assert len(result.output("refunds")) == 21
+
+    def test_write_to_same_table_still_invalidates(self):
+        system = self._two_table_system()
+        session = system.session()
+        prepared = session.prepare(self._two_table_program())
+        prepared.run()
+        system.engine("ordersdb").insert("orders", [(999, 1.0)])
+        result = prepared.run()
+        fresh = [r for r in result.report.records if not r.cached]
+        assert any(r.kind == "scan" for r in fresh)
+        assert len(result.output("orders")) == 51
+
+    def test_per_series_scoping_for_timeseries_reads(self):
+        timeseries = TimeseriesEngine("telemetry")
+        timeseries.append_many("cpu", [(float(i), 1.0) for i in range(10)])
+        timeseries.append_many("mem", [(float(i), 2.0) for i in range(10)])
+        system = build_accelerated_polystore([timeseries])
+        from repro.eide.dataflow import DataflowProgram, dataset
+
+        program = DataflowProgram("two-series")
+        source = dataset("telemetry")
+        program.output("cpu", source.series("cpu"))
+        program.output("mem", source.series("mem"))
+        session = system.session()
+        prepared = session.prepare(program)
+        prepared.run()
+        timeseries.append("mem", 99.0, 3.0)
+        result = prepared.run()
+        states = sorted(r.cached for r in result.report.records)
+        assert states == [False, True]  # cpu pinned, mem re-read
+
+
+class TestSnapshotRelease:
+    """Satellite: evicted/superseded entries release their pinned snapshots."""
+
+    def test_lru_eviction_clears_the_victims_pins(self):
+        system = _small_system()
+        session = system.session(plan_cache_size=1)
+        first = session.prepare(_orders_program())
+        first.run()
+        entry = first._entry
+        assert entry.snapshot.pinned > 0
+        # Preparing a different program evicts the first entry...
+        other = _orders_program()
+        other.sql("extra", "SELECT * FROM orders", engine="ordersdb")
+        other.output("extra")
+        session.prepare(other)
+        # ...and the eviction callback released its pinned engine reads.
+        assert entry.snapshot.pinned == 0
+        # The live handle simply re-pins on its next run.
+        first.run()
+        assert entry.snapshot.pinned > 0
+
+    def test_same_key_replacement_clears_the_old_snapshot(self):
+        system = _small_system()
+        session = system.session()
+        prepared = session.prepare(_orders_program())
+        prepared.run()
+        old_entry = prepared._entry
+        assert old_entry.snapshot.pinned > 0
+        key = session._plan_key(old_entry.fingerprint, prepared._plan)
+        replacement = session.plan_cache.get(key)
+        assert replacement is old_entry
+        # Simulate what plan aging does: replace the entry under its key.
+        from repro.client.cache import CachedPlan, ScanSnapshot
+
+        new_entry = CachedPlan(
+            compilation=old_entry.compilation,
+            snapshot=ScanSnapshot(old_entry.compilation.graph),
+            generation=old_entry.generation,
+            fingerprint=old_entry.fingerprint,
+            mode=old_entry.mode,
+        )
+        session.plan_cache.put(key, new_entry)
+        assert old_entry.snapshot.pinned == 0
+
+    def test_invalidation_clears_every_entrys_pins(self):
+        system = _small_system()
+        session = system.session()
+        prepared = session.prepare(_orders_program())
+        prepared.run()
+        entry = prepared._entry
+        assert entry.snapshot.pinned > 0
+        system.register_engine(RelationalEngine("sidecar"))
+        assert entry.snapshot.pinned == 0
+
+    def test_unreferenced_evicted_entries_are_collectable(self):
+        import gc
+        import weakref
+
+        system = _small_system()
+        session = system.session(plan_cache_size=1)
+        prepared = session.prepare(_orders_program())
+        prepared.run()
+        snapshot_ref = weakref.ref(prepared._entry.snapshot)
+        entry_ref = weakref.ref(prepared._entry)
+        other = _orders_program()
+        other.sql("extra", "SELECT * FROM orders", engine="ordersdb")
+        other.output("extra")
+        session.prepare(other)  # evicts the first entry from the LRU
+        del prepared  # drop the only remaining strong reference
+        gc.collect()
+        assert entry_ref() is None
+        assert snapshot_ref() is None
+
+
 class TestOverlappingRunValidation:
     def test_lookup_declines_pins_stale_for_this_run(self):
         """A run that began after a write must not replay an older run's pin."""

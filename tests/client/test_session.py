@@ -95,11 +95,12 @@ class TestPreparedPrograms:
         deployment.engine("ordersdb").insert("orders", [(1000, 3, 99.0, 0)])
         refreshed = prepared.run()
         # Invalidation is per-subtree: everything reading ordersdb re-runs,
-        # while the untouched timeseries summary stays pinned.
+        # while the untouched timeseries summary — and the migration that
+        # ships it, a pure function of its input — stays pinned.
         fresh_kinds = {r.kind for r in refreshed.report.records if not r.cached}
         cached_kinds = {r.kind for r in refreshed.report.records if r.cached}
         assert "join" in fresh_kinds
-        assert cached_kinds <= {"ts_summarize"}
+        assert cached_kinds <= {"ts_summarize", "migrate"}
         changed = refreshed.output("features").to_dicts()
         assert changed != baseline
 

@@ -37,14 +37,14 @@ class TestOperator:
         assert [n.op_id for n in first.nodes()] == [n.op_id for n in second.nodes()]
         assert len({n.op_id for n in first.nodes()}) == 2
 
-    def test_reset_operator_ids_is_a_deprecated_noop(self):
-        from repro.ir import reset_operator_ids
+    def test_reset_operator_ids_shim_is_gone(self):
+        # The PR-3 deprecation shim has been removed: ids are per-graph and
+        # there is no process-global counter left to reset.
+        import repro.ir
+        import repro.ir.nodes
 
-        graph = IRGraph("noop")
-        graph.add(Operator("scan", {"table": "t"}))
-        reset_operator_ids()
-        node = graph.add(Operator("scan", {"table": "u"}))
-        assert node.op_id == "scan_2"  # per-graph counter unaffected
+        assert not hasattr(repro.ir, "reset_operator_ids")
+        assert not hasattr(repro.ir.nodes, "reset_operator_ids")
 
     def test_copied_graphs_never_collide_on_new_ids(self):
         graph = IRGraph("orig")
