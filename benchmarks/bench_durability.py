@@ -1,0 +1,117 @@
+"""Durable-write throughput per WAL sync policy, and recovery time.
+
+Two measurements over a relational engine backed by the durability
+subsystem:
+
+* **write throughput** — insert ``DURABILITY_BENCH_ROWS`` rows (default
+  100k) in fixed-size batches under each WAL sync policy (``off``,
+  ``interval``, ``always``) plus an in-memory baseline, and report
+  rows/second.  ``off`` and ``interval`` buffer identically per record (the
+  interval policy fsyncs on a timer), so they should stay within a small
+  factor of the in-memory run; ``always`` fsyncs every record and is
+  expected to be much slower — the benchmark only asserts ordering sanity,
+  not absolute numbers.
+* **recovery time** — close the durable deployment, then measure a cold
+  :class:`~repro.core.system.PolystorePlusPlus` ``data_dir`` open plus
+  engine re-registration (manifest load, snapshot restore, WAL tail
+  replay).  A clean close checkpoints, so the tail is empty and recovery
+  cost is dominated by the snapshot restore; the benchmark asserts the
+  recovered row count and that zero batches were replayed.
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_durability.py -q
+Smoke mode (CI):  DURABILITY_BENCH_ROWS=5000 PYTHONPATH=src python -m pytest ...
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import PolystorePlusPlus
+from repro.core.system import SystemConfig
+from repro.datamodel import DataType, make_schema
+from repro.stores import RelationalEngine
+
+#: Base cardinality; the acceptance criterion requires a 100k-row base.
+N_ROWS = int(os.environ.get("DURABILITY_BENCH_ROWS", "100000"))
+#: Rows per insert call (one WAL record per call).
+BATCH = int(os.environ.get("DURABILITY_BENCH_BATCH", "500"))
+#: Recovery must finish within this many seconds (generous; smoke-safe).
+MAX_RECOVERY_S = float(os.environ.get("DURABILITY_MAX_RECOVERY_S", "30.0"))
+
+_SCHEMA = make_schema(("order_id", DataType.INT), ("customer", DataType.STRING),
+                      ("amount", DataType.FLOAT))
+
+
+def _rows(start: int, count: int):
+    return [(start + i, f"c{(start + i) % 100}", float((start + i) % 97))
+            for i in range(count)]
+
+
+def _write_run(tmp_path, sync: str | None) -> float:
+    """Insert N_ROWS in batches; returns wall seconds. sync=None -> no disk."""
+    if sync is None:
+        system = PolystorePlusPlus()
+    else:
+        system = PolystorePlusPlus(SystemConfig(
+            data_dir=str(tmp_path / f"sync-{sync}"), durability_sync=sync,
+            # One checkpoint mid-run so checkpointing cost is represented
+            # without dominating.
+            durability_snapshot_every=max(1, N_ROWS // BATCH // 2),
+        ))
+    engine = system.register_engine(RelationalEngine("ordersdb"))
+    engine.create_table("orders", _SCHEMA)
+    start = time.perf_counter()
+    for offset in range(0, N_ROWS, BATCH):
+        engine.insert("orders", _rows(offset, min(BATCH, N_ROWS - offset)))
+    elapsed = time.perf_counter() - start
+    system.close()
+    return elapsed
+
+
+def test_write_throughput_per_sync_policy(tmp_path):
+    results: dict[str, float] = {}
+    for sync in (None, "off", "interval", "always"):
+        label = sync or "in-memory"
+        results[label] = _write_run(tmp_path, sync)
+    print(f"\nrows written       : {N_ROWS} (batches of {BATCH})")
+    for label, elapsed in results.items():
+        print(f"{label:<11}: {elapsed * 1000:8.1f} ms "
+              f"({N_ROWS / elapsed:10.0f} rows/s)")
+    # Sanity ordering only: fsync-per-record must not beat buffered writes.
+    assert results["always"] >= results["off"] * 0.5
+    # Buffered durability should cost less than 25x the in-memory run even
+    # on slow CI disks (locally it is ~1.1-1.5x).
+    assert results["interval"] <= results["in-memory"] * 25
+
+
+def test_recovery_time(tmp_path):
+    data_dir = tmp_path / "recovery"
+    system = PolystorePlusPlus(data_dir=str(data_dir))
+    engine = system.register_engine(RelationalEngine("ordersdb"))
+    engine.create_table("orders", _SCHEMA)
+    for offset in range(0, N_ROWS, BATCH):
+        engine.insert("orders", _rows(offset, min(BATCH, N_ROWS - offset)))
+    system.close()
+
+    start = time.perf_counter()
+    reborn = PolystorePlusPlus(data_dir=str(data_dir))
+    recovered = reborn.register_engine(RelationalEngine("ordersdb"))
+    elapsed = time.perf_counter() - start
+
+    table = recovered.snapshot_scan("orders")[0]
+    assert len(table.rows) == N_ROWS
+    report = reborn.durability.recovery_report()["ordersdb"]
+    assert report["restored"] and report["replayed_batches"] == 0
+    print(f"\nrecovered rows     : {N_ROWS}")
+    print(f"recovery (snapshot): {elapsed * 1000:.1f} ms")
+    assert elapsed <= MAX_RECOVERY_S, f"recovery took {elapsed:.1f}s"
+    reborn.close()
+
+
+if __name__ == "__main__":
+    import pathlib
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        test_write_throughput_per_sync_policy(pathlib.Path(tmp))
+        test_recovery_time(pathlib.Path(tmp))

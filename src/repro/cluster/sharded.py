@@ -140,6 +140,10 @@ class ShardedEngine(Engine):
         #: ``(shards, partitioner)`` being populated by an in-flight
         #: rebalance; writes are mirrored into it, reads never see it.
         self._pending: tuple[list[Engine], Partitioner] | None = None
+        #: Durability hook invoked (under the facade lock) after a cutover
+        #: rebases the counters; set by the durability manager so the new
+        #: shard generation can be snapshotted and the manifest swapped.
+        self._durability_cutover: Any = None
         #: Keys overwritten/deleted by dual-writes since ``begin_rebalance``.
         #: The snapshot copy must not clobber them: key/value puts are
         #: last-write-wins, so replaying a pre-snapshot value over a newer
@@ -342,15 +346,17 @@ class ShardedEngine(Engine):
                                           None if batch.gap else batch.entries)
                 for batch in batches]
 
-    def _append_facade_batch(self, scope: str | None,
-                             entries: Any) -> DeltaBatch:
+    def _append_facade_batch(self, scope: str | None, entries: Any,
+                             op: tuple[str, Any] | None = None) -> DeltaBatch:
         """Append one batch to the facade log + update its log mark.
 
         Caller holds the facade lock; notification is deferred (the
         returned batch goes through :meth:`_notify_relayed` /
-        ``changelog.notify_batch`` after the lock is released).
+        ``changelog.notify_batch`` after the lock is released).  Only
+        facade-level DDL sets ``op``: relayed data batches are replayed by
+        the shards' own WALs, so the facade record needs no op payload.
         """
-        batch = self.mark_data_changed(scope, entries, notify=False)
+        batch = self.mark_data_changed(scope, entries, notify=False, op=op)
         if scope is not None:
             self._scope_log_marks[scope] = self.data_version_for(scope)
         return batch
@@ -430,7 +436,10 @@ class ShardedEngine(Engine):
                 shard.create_table(name, schema, **kwargs)
             self._shard_keys[name] = key
             self._table_kwargs[name] = dict(kwargs)
-            batch = self._append_facade_batch(table_scope(name), ())
+            batch = self._append_facade_batch(
+                table_scope(name), (),
+                op=("create_table", {"table": name, "shard_key": key,
+                                     "kwargs": dict(kwargs)}))
         self.changelog.notify_batch(batch)
 
     def drop_table(self, name: str) -> None:
@@ -441,7 +450,8 @@ class ShardedEngine(Engine):
             self._shard_keys.pop(name, None)
             self._table_kwargs.pop(name, None)
             self._table_indexes.pop(name, None)
-            batch = self._append_facade_batch(table_scope(name), None)
+            batch = self._append_facade_batch(
+                table_scope(name), None, op=("drop_table", {"table": name}))
         self.changelog.notify_batch(batch)
 
     def create_index(self, table: str, column: str, *, kind: str = "hash") -> None:
@@ -450,6 +460,9 @@ class ShardedEngine(Engine):
             for shard in self._all_write_shards():
                 shard.create_index(table, column, kind=kind)
             self._table_indexes.setdefault(table, {})[column] = kind
+            self.emit_durability_meta(("create_index", {"table": table,
+                                                        "column": column,
+                                                        "kind": kind}))
 
     def has_index(self, table: str, column: str) -> bool:
         """Whether every shard carries an index on ``table.column``."""
@@ -834,6 +847,11 @@ class ShardedEngine(Engine):
                 scope: self.data_version_for(scope)
                 for scope in scopes | set(self._scope_log_marks)
             }
+            if self._durability_cutover is not None:
+                # Still under the facade lock: the new generation must be
+                # snapshotted and the manifest swapped before any further
+                # write can land on the new shards.
+                self._durability_cutover(self, retired)
             return retired
 
     def abort_rebalance(self) -> None:

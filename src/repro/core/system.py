@@ -107,13 +107,26 @@ class SystemConfig:
     #: Observed cardinality below which feedback never steers decisions
     #: (cardinality overrides, placement host times, plan aging).
     feedback_min_rows: int = 512
+    #: Data directory for durable storage; ``None`` keeps the deployment
+    #: fully in-memory (see :mod:`repro.durability`).
+    data_dir: str | None = None
+    #: WAL sync policy: ``"always"`` (fsync per record), ``"interval"``
+    #: (fsync at most once per ``durability_sync_interval_s``) or ``"off"``.
+    durability_sync: str = "interval"
+    #: Maximum fsync interval for the ``"interval"`` sync policy.
+    durability_sync_interval_s: float = 0.05
+    #: WAL records between automatic checkpoints (snapshot + rotation).
+    durability_snapshot_every: int = 512
 
 
 class PolystorePlusPlus:
     """The accelerated polystore system."""
 
-    def __init__(self, config: SystemConfig | None = None) -> None:
+    def __init__(self, config: SystemConfig | None = None, *,
+                 data_dir: str | None = None) -> None:
         self.config = config if config is not None else SystemConfig()
+        if data_dir is not None:
+            self.config.data_dir = data_dir
         self.catalog = Catalog()
         self.cost_model = CostModel()
         #: Observed per-operator runtime statistics (populated by executors).
@@ -135,12 +148,65 @@ class PolystorePlusPlus:
         self._default_session_lock = threading.Lock()
         #: Materialized views registered on this deployment (see repro.views).
         self.views = ViewRegistry(self)
+        #: Durability manager when a data directory is configured.
+        self._durability = None
+        if self.config.data_dir is not None:
+            self.open(self.config.data_dir)
+
+    # -- durability -----------------------------------------------------------------------
+
+    @property
+    def durability(self):
+        """The active :class:`~repro.durability.DurabilityManager`, if any."""
+        return self._durability
+
+    def open(self, path: str | None = None) -> "PolystorePlusPlus":
+        """Open (or create) a durable data directory at ``path``.
+
+        Every supported engine registered now or later is restored from its
+        latest valid snapshot plus the WAL tail, then persisted from there
+        on; persisted view definitions re-register once their source
+        engines are back.  Returns ``self`` for chaining.
+        """
+        from repro.durability import DurabilityManager
+
+        if self._durability is not None:
+            raise ConfigurationError(
+                f"system already open at {self._durability.root}"
+            )
+        target = path if path is not None else self.config.data_dir
+        if target is None:
+            raise ConfigurationError("open() needs a path or config.data_dir")
+        self.config.data_dir = target
+        self._durability = DurabilityManager(
+            self, target,
+            sync=self.config.durability_sync,
+            sync_interval_s=self.config.durability_sync_interval_s,
+            snapshot_every=self.config.durability_snapshot_every,
+        )
+        for engine in self.catalog.engines():
+            self._durability.attach(engine)
+        self._invalidate_plans()
+        return self
+
+    def close(self) -> None:
+        """Checkpoint and detach durable storage (a clean shutdown).
+
+        The system keeps working in memory afterwards; :meth:`open` the
+        same directory (usually from a fresh process) to recover.
+        """
+        if self._durability is None:
+            return
+        self._durability.close()
+        self._durability = None
 
     # -- deployment -----------------------------------------------------------------------
 
     def register_engine(self, engine: Engine) -> Engine:
         """Attach a data-processing engine (invalidates cached plans)."""
         self.catalog.register_engine(engine)
+        if self._durability is not None:
+            self._durability.attach(engine)
         self._invalidate_plans()
         return engine
 
@@ -277,6 +343,8 @@ class PolystorePlusPlus:
         }
         description["feedback"] = self.runtime_stats.stats()
         description["views"] = self.views.describe()
+        description["durability"] = (self._durability.describe()
+                                     if self._durability is not None else None)
         return description
 
     # -- compilation -----------------------------------------------------------------------

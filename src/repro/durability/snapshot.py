@@ -1,0 +1,102 @@
+"""Atomic snapshot and manifest files for the durability subsystem.
+
+Snapshots are single framed records (same length+crc32 framing as the WAL)
+written to a temp file and renamed into place, so a reader either sees a
+complete, checksummed snapshot or none at all.  The manifest is a small
+JSON file — also written atomically — naming the snapshot to restore from
+and the WAL segment to replay after it:
+
+``{"snapshot_id", "snapshot", "wal_segment", "scoped_versions", ...}``
+
+The recovery invariant: the state in the manifest's snapshot equals the
+integral of every WAL record up to (excluding) ``wal_segment``, so restore
+= load snapshot + replay segments ``>= wal_segment``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.durability import faults
+from repro.durability.wal import Liveness, decode_stream, encode_record
+from repro.exceptions import StorageError
+
+MANIFEST_NAME = "manifest.json"
+SNAPSHOT_PREFIX = "snap-"
+SNAPSHOT_SUFFIX = ".pkl"
+
+
+def snapshot_name(snapshot_id: int) -> str:
+    """Filename of snapshot ``snapshot_id``."""
+    return f"{SNAPSHOT_PREFIX}{snapshot_id:08d}{SNAPSHOT_SUFFIX}"
+
+
+def snapshot_id(name: str) -> int | None:
+    """Snapshot id encoded in ``name``, or ``None`` for other files."""
+    if not (name.startswith(SNAPSHOT_PREFIX) and name.endswith(SNAPSHOT_SUFFIX)):
+        return None
+    digits = name[len(SNAPSHOT_PREFIX):-len(SNAPSHOT_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+def write_atomic(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a temp file + fsync + rename."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def write_snapshot(directory: Path, snap_id: int, payload: Any,
+                   liveness: Liveness) -> str:
+    """Atomically persist one snapshot payload; returns its filename.
+
+    An armed ``"snapshot.write"`` fault point dies after the temp file is
+    written but before the rename — the manifest never references the
+    half-taken snapshot and recovery uses the previous one.
+    """
+    name = snapshot_name(snap_id)
+    path = directory / name
+    data = encode_record(payload)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    if faults.trip("snapshot.write"):
+        liveness.kill()
+        raise faults.InjectedFault(
+            f"fault point 'snapshot.write' fired in {directory}"
+        )
+    os.replace(tmp, path)
+    return name
+
+
+def load_snapshot(directory: Path, name: str) -> Any:
+    """Load and checksum-verify one snapshot file."""
+    records, torn = decode_stream((directory / name).read_bytes())
+    if len(records) != 1 or torn:
+        raise StorageError(f"snapshot {name!r} in {directory} is corrupt")
+    return records[0]
+
+
+def write_manifest(directory: Path, manifest: dict[str, Any]) -> None:
+    """Atomically replace the directory's manifest."""
+    data = json.dumps(manifest, indent=2, sort_keys=True).encode()
+    write_atomic(directory / MANIFEST_NAME, data)
+
+
+def load_manifest(directory: Path) -> dict[str, Any] | None:
+    """The directory's manifest, or ``None`` when it was never written."""
+    path = directory / MANIFEST_NAME
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise StorageError(f"unreadable manifest in {directory}: {exc}") from exc

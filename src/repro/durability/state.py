@@ -1,0 +1,343 @@
+"""Per-engine state capture, restore and WAL replay.
+
+The durability manager is engine-agnostic; this module holds the per-model
+knowledge: how to dump an engine's state into a picklable payload, how to
+rebuild the engine from it, and how to re-apply one WAL record.
+
+Replay goes back through the engines' own mutators wherever possible (the
+``op`` payload each mutator attaches to its changelog batch names the call
+to repeat).  Re-running the mutator regenerates the *same* changelog batch,
+the same version-counter bumps and the same heap/memtable layout the live
+process produced — which is what makes the recovered scoped data versions
+byte-compatible with a never-crashed twin.  The two relational cases whose
+mutators cannot reproduce heap order from entries alone (``delete`` /
+``update``) are replayed by an order-preserving rewrite below.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import TYPE_CHECKING, Any
+
+from repro.exceptions import StorageError
+from repro.stores.base import Engine
+from repro.stores.changelog import table_scope
+from repro.stores.keyvalue.engine import KeyValueEngine
+from repro.stores.keyvalue.memtable import TOMBSTONE, MemTable
+from repro.stores.keyvalue.sstable import SSTable
+from repro.stores.relational.engine import RelationalEngine, StoredTable
+from repro.stores.relational.index import HashIndex, SortedIndex
+from repro.stores.text.engine import TextEngine
+from repro.stores.timeseries.engine import TimeseriesEngine
+from repro.stores.timeseries.series import Series
+
+if TYPE_CHECKING:  # circular with manager (it passes itself as the spill sink)
+    from repro.durability.manager import EngineStore
+
+#: Engine classes the durability subsystem can persist (graph/array/ML
+#: engines log only unscoped gap batches and have no dump path yet).
+PERSISTABLE_ENGINES = (RelationalEngine, KeyValueEngine, TimeseriesEngine,
+                       TextEngine)
+
+#: Marker standing in for the (unpicklable, identity-compared) tombstone
+#: sentinel inside persisted key/value payloads.
+TOMBSTONE_MARKER = ("__repro.kv.tombstone__",)
+
+
+def _encode_value(value: Any) -> Any:
+    return TOMBSTONE_MARKER if value is TOMBSTONE else value
+
+
+def _decode_value(value: Any) -> Any:
+    return TOMBSTONE if value == TOMBSTONE_MARKER else value
+
+
+def encode_entries(entries: Any) -> list[tuple[str, Any]]:
+    """Tombstone-safe ``(key, value)`` list for memtables and SSTables."""
+    return [(key, _encode_value(value)) for key, value in entries]
+
+
+def decode_entries(entries: Any) -> list[tuple[str, Any]]:
+    """Inverse of :func:`encode_entries`."""
+    return [(key, _decode_value(value)) for key, value in entries]
+
+
+# -- counters ------------------------------------------------------------------------
+
+
+def dump_counters(engine: Engine) -> dict[str, Any]:
+    """The engine's version counters and changelog position."""
+    return {
+        "data_version": engine._data_version,
+        "unscoped": engine._unscoped_version,
+        "scopes": dict(engine._scope_versions),
+        "next_seq": engine.changelog._next_seq,
+    }
+
+
+def restore_counters(engine: Engine, counters: dict[str, Any]) -> None:
+    """Reset the engine's counters to a snapshot's values.
+
+    The in-memory changelog restarts empty at the snapshot's sequence
+    number: retention is bounded anyway, replayed WAL records re-append the
+    tail batches, and consumers (views) resync from the base data.
+    """
+    engine._data_version = counters["data_version"]
+    engine._unscoped_version = counters["unscoped"]
+    engine._scope_versions = dict(counters["scopes"])
+    log = engine.changelog
+    with log._lock:
+        log._batches.clear()
+        log._retained_rows = 0
+        log._next_seq = counters["next_seq"]
+        log._oldest_retained = counters["next_seq"]
+
+
+# -- state dump / restore ------------------------------------------------------------
+
+
+def dump_state(engine: Engine, store: "EngineStore | None" = None) -> dict[str, Any]:
+    """Picklable full state of one engine (dispatch on engine type)."""
+    if isinstance(engine, RelationalEngine):
+        tables = {}
+        for name, stored in engine._tables.items():
+            tables[name] = {
+                "schema": stored.schema,
+                "page_capacity": stored.heap.page_capacity,
+                "rows": [tuple(row) for row in stored.heap.scan()],
+                "hash_indexes": sorted(stored.hash_indexes),
+                "sorted_indexes": sorted(stored.sorted_indexes),
+            }
+        return {"model": "relational", "tables": tables}
+    if isinstance(engine, KeyValueEngine):
+        sstables = []
+        for sst in engine._sstables:
+            filename = getattr(sst, "_spill_file", None)
+            if filename is None and store is not None:
+                filename = store.spill_sstable(sst)
+            if filename is not None:
+                sstables.append({"file": filename})
+            else:
+                sstables.append({"entries": encode_entries(sst.items())})
+        return {
+            "model": "key_value",
+            "capacity": engine._memtable.capacity,
+            "memtable": encode_entries(engine._memtable.items()),
+            "sstables": sstables,
+            "wal_ops": list(engine._wal),
+        }
+    if isinstance(engine, TimeseriesEngine):
+        series = {}
+        for key, one in engine._series.items():
+            series[key] = {
+                "tags": dict(one.tags),
+                "points": [(point.timestamp, point.value) for point in one],
+            }
+        return {"model": "timeseries", "series": series}
+    if isinstance(engine, TextEngine):
+        return {
+            "model": "document",
+            "documents": {doc_id: {"text": doc["text"],
+                                   "metadata": dict(doc["metadata"])}
+                          for doc_id, doc in engine._documents.items()},
+        }
+    raise StorageError(
+        f"engine {engine.name!r} ({type(engine).__name__}) is not persistable"
+    )
+
+
+def restore_state(engine: Engine, state: dict[str, Any],
+                  store: "EngineStore | None" = None) -> None:
+    """Rebuild an engine's data structures from a snapshot payload."""
+    if isinstance(engine, RelationalEngine):
+        tables: dict[str, StoredTable] = {}
+        for name, spec in state["tables"].items():
+            stored = StoredTable(name, spec["schema"], spec["page_capacity"])
+            # Index objects go in first so inserts maintain them.
+            for column in spec["hash_indexes"]:
+                stored.hash_indexes[column] = HashIndex(column)
+            for column in spec["sorted_indexes"]:
+                stored.sorted_indexes[column] = SortedIndex(column)
+            for row in spec["rows"]:
+                stored.insert(row)
+            tables[name] = stored
+        engine._tables = tables
+        return
+    if isinstance(engine, KeyValueEngine):
+        memtable = MemTable(state["capacity"])
+        for key, value in decode_entries(state["memtable"]):
+            memtable._entries[key] = value
+        sstables: list[SSTable] = []
+        for ref in state["sstables"]:
+            if "file" in ref:
+                if store is None:
+                    raise StorageError("spilled SSTable needs a store to load")
+                sstables.append(store.load_sstable(ref["file"]))
+            else:
+                sstables.append(SSTable(decode_entries(ref["entries"])))
+        engine._memtable = memtable
+        engine._sstables = sstables
+        engine._wal = list(state["wal_ops"])
+        return
+    if isinstance(engine, TimeseriesEngine):
+        series: dict[str, Series] = {}
+        for key, spec in state["series"].items():
+            one = Series(key, spec["tags"])
+            for timestamp, value in spec["points"]:
+                one.append(timestamp, value)
+            series[key] = one
+        engine._series = series
+        return
+    if isinstance(engine, TextEngine):
+        engine._documents = {}
+        engine._index = type(engine._index)()
+        for doc_id, doc in state["documents"].items():
+            engine._documents[doc_id] = {"text": doc["text"],
+                                         "metadata": dict(doc["metadata"])}
+            engine._index.add(doc_id, doc["text"])
+        return
+    raise StorageError(
+        f"engine {engine.name!r} ({type(engine).__name__}) is not persistable"
+    )
+
+
+# -- WAL replay ----------------------------------------------------------------------
+
+
+def replay_record(engine: Engine, record: dict[str, Any]) -> bool:
+    """Re-apply one WAL record; returns ``True`` for batch records.
+
+    Meta records (mutations that bypass the changelog, e.g. index DDL)
+    count separately — they bump no version counters, exactly as live.
+    """
+    if record["k"] == "m":
+        _replay_meta(engine, record["op"])
+        return False
+    op = record.get("op")
+    if op is None:
+        raise StorageError(
+            f"engine {engine.name!r}: WAL batch for scope {record.get('scope')!r} "
+            f"carries no op payload and cannot be replayed"
+        )
+    kind, args = op
+    entries = record.get("entries") or ()
+    if isinstance(engine, RelationalEngine):
+        _replay_relational(engine, kind, args, entries)
+    elif isinstance(engine, KeyValueEngine):
+        _replay_keyvalue(engine, kind, args)
+    elif isinstance(engine, TimeseriesEngine):
+        _replay_timeseries(engine, kind, args, entries)
+    elif isinstance(engine, TextEngine):
+        _replay_text(engine, kind, args)
+    else:
+        raise StorageError(f"engine {engine.name!r} is not replayable")
+    return True
+
+
+def _replay_meta(engine: Engine, op: tuple[str, dict[str, Any]]) -> None:
+    kind, args = op
+    if kind == "create_index":
+        engine.create_index(args["table"], args["column"], kind=args["kind"])
+        return
+    raise StorageError(f"unknown meta op {kind!r} for engine {engine.name!r}")
+
+
+def _replay_relational(engine: RelationalEngine, kind: str,
+                       args: dict[str, Any], entries: Any) -> None:
+    if kind == "create_table":
+        engine.create_table(args["table"], args["schema"],
+                            page_capacity=args["page_capacity"])
+    elif kind == "drop_table":
+        engine.drop_table(args["table"])
+    elif kind == "insert":
+        engine.insert(args["table"], [row for row, _ in entries])
+    elif kind == "insert_torn":
+        # The original insert failed mid-way: its landed rows were recorded
+        # in the gap's op.  Re-land them and re-mark the gap so counters
+        # and the changelog match the crashed process exactly.
+        table = args["table"]
+        stored = engine._tables[table]
+        for row in args["rows"]:
+            stored.insert(row)
+        engine.mark_data_changed(table_scope(table),
+                                 op=("insert_torn", dict(args)))
+    elif kind == "delete":
+        _replay_rewrite(engine, args["table"], entries, kind)
+    elif kind == "update":
+        _replay_rewrite(engine, args["table"], entries, kind)
+    else:
+        raise StorageError(f"unknown relational op {kind!r}")
+
+
+def _replay_rewrite(engine: RelationalEngine, table: str, entries: Any,
+                    kind: str) -> None:
+    """Order-preserving replay of a logged delete/update.
+
+    Rebuilds the heap by walking it in scan order — removing each ``-1``
+    row occurrence (delete) or substituting its paired ``+1`` row in place
+    (update) — which reproduces the heap layout the live ``_rewrite_rows``
+    pass left behind, so post-recovery scans return rows in the same order.
+    """
+    stored = engine._tables[table]
+    if kind == "delete":
+        removals = Counter(row for row, _ in entries)
+        replacements: dict[tuple, deque] = {}
+    else:
+        removals = Counter()
+        replacements = {}
+        pairs = iter(entries)
+        for (old, _), (new, _) in zip(pairs, pairs):
+            replacements.setdefault(old, deque()).append(new)
+    kept: list[tuple] = []
+    for row in stored.heap.scan():
+        row_t = tuple(row)
+        if removals.get(row_t, 0) > 0:
+            removals[row_t] -= 1
+            continue
+        queued = replacements.get(row_t)
+        if queued:
+            kept.append(queued.popleft())
+            continue
+        kept.append(row_t)
+    rebuilt = StoredTable(table, stored.schema, stored.heap.page_capacity)
+    for column in stored.hash_indexes:
+        rebuilt.hash_indexes[column] = HashIndex(column)
+    for column in stored.sorted_indexes:
+        rebuilt.sorted_indexes[column] = SortedIndex(column)
+    for row_t in kept:
+        rebuilt.insert(row_t)
+    engine._tables[table] = rebuilt
+    engine.mark_data_changed(table_scope(table), entries=entries,
+                             op=(kind, {"table": table}))
+
+
+def _replay_keyvalue(engine: KeyValueEngine, kind: str,
+                     args: dict[str, Any]) -> None:
+    if kind == "put":
+        engine.put(args["key"], args["value"])
+    elif kind == "delete":
+        engine.delete(args["key"])
+    else:
+        raise StorageError(f"unknown key/value op {kind!r}")
+
+
+def _replay_timeseries(engine: TimeseriesEngine, kind: str,
+                       args: dict[str, Any], entries: Any) -> None:
+    if kind == "create_series":
+        engine.create_series(args["key"], args["tags"])
+    elif kind == "append":
+        (timestamp, value), _ = entries[0]
+        engine.append(args["key"], timestamp, value)
+    elif kind == "append_many":
+        engine.append_many(args["key"], [point for point, _ in entries])
+    else:
+        raise StorageError(f"unknown timeseries op {kind!r}")
+
+
+def _replay_text(engine: TextEngine, kind: str, args: dict[str, Any]) -> None:
+    if kind == "add_document":
+        engine.add_document(args["doc_id"], args["text"], args["metadata"])
+    elif kind == "remove_document":
+        engine.remove_document(args["doc_id"])
+    else:
+        raise StorageError(f"unknown document op {kind!r}")

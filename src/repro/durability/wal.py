@@ -1,0 +1,207 @@
+"""Segmented, checksummed write-ahead log files.
+
+Every record is framed as ``<u32 length><u32 crc32><pickle payload>``; a
+reader that finds a frame whose length or checksum does not hold treats the
+log as ending at the previous record — the torn-tail truncation a crash
+mid-append requires.  Segments (``wal-%08d.log``) are rotated at every
+checkpoint, so a manifest can reference a segment number and recovery
+replays whole segments from there; offsets within a segment are never
+needed.
+
+Sync policies trade write latency for the durability window:
+
+* ``"always"`` — flush + ``fsync`` after every record (no loss window),
+* ``"interval"`` — flush after every record, ``fsync`` at most once per
+  configured interval (loss window = the interval, bounded data at risk),
+* ``"off"`` — library buffering only (crash may lose the OS buffer; the
+  checksummed framing still guarantees a clean, truncated recovery).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import time
+import zlib
+from pathlib import Path
+from typing import Any
+
+from repro.durability import faults
+from repro.exceptions import StorageError
+
+#: Valid values for the ``sync`` policy knob.
+SYNC_POLICIES = ("always", "interval", "off")
+
+_HEADER = struct.Struct("<II")
+
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".log"
+
+
+def segment_name(index: int) -> str:
+    """Filename of WAL segment ``index``."""
+    return f"{SEGMENT_PREFIX}{index:08d}{SEGMENT_SUFFIX}"
+
+
+def segment_index(name: str) -> int | None:
+    """Segment index encoded in ``name``, or ``None`` for other files."""
+    if not (name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX)):
+        return None
+    digits = name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+def encode_record(record: Any) -> bytes:
+    """Frame one record (length + crc32 + pickle)."""
+    payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_stream(data: bytes) -> tuple[list[Any], int]:
+    """Decode framed records; returns ``(records, torn_trailing_bytes)``.
+
+    Decoding stops at the first frame whose length or checksum does not
+    hold; the remaining byte count is reported so recovery can surface that
+    a torn/corrupt tail was truncated.
+    """
+    records: list[Any] = []
+    pos = 0
+    total = len(data)
+    while pos < total:
+        if pos + _HEADER.size > total:
+            break
+        length, crc = _HEADER.unpack_from(data, pos)
+        start = pos + _HEADER.size
+        payload = data[start:start + length]
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            break
+        try:
+            records.append(pickle.loads(payload))
+        except Exception:  # noqa: BLE001 - a corrupt-but-checksummed frame
+            break
+        pos = start + length
+    return records, total - pos
+
+
+def read_records(directory: Path, start_segment: int) -> tuple[list[Any], int]:
+    """All records in segments ``>= start_segment``, oldest first.
+
+    Returns ``(records, truncated_records)`` where the second element
+    counts torn/corrupt tails dropped.  Corruption in a non-final segment
+    also stops the replay there (everything after it is unreachable without
+    the dropped records), which the truncation count surfaces.
+    """
+    paths: list[tuple[int, Path]] = []
+    for entry in directory.iterdir():
+        index = segment_index(entry.name)
+        if index is not None and index >= start_segment:
+            paths.append((index, entry))
+    paths.sort()
+    records: list[Any] = []
+    truncated = 0
+    for position, (_, path) in enumerate(paths):
+        decoded, torn_bytes = decode_stream(path.read_bytes())
+        records.extend(decoded)
+        if torn_bytes:
+            truncated += 1
+            if position != len(paths) - 1:
+                # Records beyond a mid-log corruption cannot be applied in
+                # order; count the unreadable segments and stop.
+                truncated += len(paths) - position - 1
+            break
+    return records, truncated
+
+
+class WalWriter:
+    """Appends framed records to the current segment of one WAL directory."""
+
+    def __init__(self, directory: Path, liveness: "Liveness", *,
+                 sync: str = "interval", sync_interval_s: float = 0.05,
+                 start_segment: int = 0) -> None:
+        if sync not in SYNC_POLICIES:
+            raise StorageError(
+                f"unknown WAL sync policy {sync!r}; choose one of {SYNC_POLICIES}"
+            )
+        self.directory = directory
+        self.sync = sync
+        self.sync_interval_s = sync_interval_s
+        self._liveness = liveness
+        self._segment = start_segment
+        self._file = open(directory / segment_name(start_segment), "ab")
+        self._last_fsync = time.monotonic()
+
+    @property
+    def segment(self) -> int:
+        """Index of the segment currently being appended to."""
+        return self._segment
+
+    def append(self, record: Any) -> None:
+        """Append one record under the configured sync policy.
+
+        An armed ``"wal.append"`` fault point writes half the frame, kills
+        the manager and raises — the on-disk result is exactly the torn
+        trailing record a mid-append crash leaves.
+        """
+        if not self._liveness.alive:
+            return
+        frame = encode_record(record)
+        if faults.trip("wal.append"):
+            self._file.write(frame[:max(1, len(frame) // 2)])
+            self._file.flush()
+            self._liveness.kill()
+            raise faults.InjectedFault(
+                f"fault point 'wal.append' fired in {self.directory}"
+            )
+        self._file.write(frame)
+        if self.sync == "off":
+            return
+        self._file.flush()
+        if self.sync == "always":
+            os.fsync(self._file.fileno())
+        else:
+            now = time.monotonic()
+            if now - self._last_fsync >= self.sync_interval_s:
+                os.fsync(self._file.fileno())
+                self._last_fsync = now
+
+    def rotate(self) -> int:
+        """Start a fresh segment (called at every checkpoint)."""
+        if not self._liveness.alive:
+            return self._segment
+        self._file.flush()
+        if self.sync != "off":
+            os.fsync(self._file.fileno())
+        self._file.close()
+        self._segment += 1
+        self._file = open(self.directory / segment_name(self._segment), "ab")
+        return self._segment
+
+    def close(self) -> None:
+        """Flush, sync and close the current segment."""
+        if self._file.closed:
+            return
+        if self._liveness.alive:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        self._file.close()
+
+
+class Liveness:
+    """Shared am-I-still-alive flag simulating process death.
+
+    A fired fault point kills the whole durability manager: every store
+    sharing this flag stops writing, so the on-disk state is frozen at the
+    instant of the fault — which is what recovery must then be able to
+    consume.
+    """
+
+    def __init__(self) -> None:
+        self._dead = False
+
+    @property
+    def alive(self) -> bool:
+        return not self._dead
+
+    def kill(self) -> None:
+        self._dead = True

@@ -174,6 +174,10 @@ class Engine(abc.ABC):
         #: Typed delta batches describing every mutation (see
         #: :mod:`repro.stores.changelog`); materialized views consume these.
         self.changelog = ChangeLog()
+        #: Durability hook for mutations that bypass the changelog (index
+        #: DDL): set by the durability manager, called by
+        #: :meth:`emit_durability_meta`.
+        self._durability_meta: Any = None
 
     @property
     def data_version(self) -> int:
@@ -203,7 +207,8 @@ class Engine(abc.ABC):
 
     def mark_data_changed(self, scope: str | None = None,
                           entries: Sequence[tuple[Any, int]] | None = None,
-                          *, notify: bool = True):
+                          *, notify: bool = True,
+                          op: tuple[str, Any] | None = None):
         """Record that engine state changed (called by every mutator).
 
         ``scope`` names the table/namespace/series the mutation touched
@@ -212,7 +217,8 @@ class Engine(abc.ABC):
         changelog records a *gap* and delta consumers of the scope resync.
         ``notify=False`` defers listener delivery to the caller (who must
         call ``changelog.notify_batch`` on the returned batch after
-        releasing its locks).  Returns the appended
+        releasing its locks).  ``op`` names the mutator call that produced
+        the change, for durable replay.  Returns the appended
         :class:`~repro.stores.changelog.DeltaBatch`.
         """
         self._data_version += 1
@@ -221,8 +227,17 @@ class Engine(abc.ABC):
         else:
             self._scope_versions[scope] = self._scope_versions.get(scope, 0) + 1
         if entries is None:
-            return self.changelog.mark_gap(scope, notify=notify)
-        return self.changelog.append(scope, entries, notify=notify)
+            return self.changelog.mark_gap(scope, notify=notify, op=op)
+        return self.changelog.append(scope, entries, notify=notify, op=op)
+
+    def emit_durability_meta(self, op: tuple[str, Any]) -> None:
+        """Report a mutation that bypasses the changelog (e.g. index DDL).
+
+        A no-op unless a durability manager is attached; the WAL records it
+        as a *meta* record so recovery can replay the call.
+        """
+        if self._durability_meta is not None:
+            self._durability_meta(op)
 
     @abc.abstractmethod
     def capabilities(self) -> frozenset[Capability]:

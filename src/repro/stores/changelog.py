@@ -89,6 +89,12 @@ class DeltaBatch:
     scope: str | None
     entries: tuple[tuple[Any, int], ...] = ()
     gap: bool = False
+    #: Logical operation that produced this batch — ``(name, args)`` — used
+    #: by the durability subsystem to replay the mutation through the
+    #: engine's own API.  ``None`` for batches no mutator claims (engines
+    #: without durable replay); recovery treats those as untyped version
+    #: bumps only.
+    op: tuple[str, Any] | None = None
 
     @property
     def rows(self) -> int:
@@ -127,23 +133,30 @@ class ChangeLog:
         #: seq when the log is empty.  Cursors older than this must resync.
         self._oldest_retained = 1
         self._listeners: list[Listener] = []
+        #: Durability sink: called under the log lock for every appended
+        #: batch, so WAL order equals sequence order (see
+        #: :mod:`repro.durability.manager`).
+        self._wal_sink: Listener | None = None
 
     # -- writing ------------------------------------------------------------------------
 
     def append(self, scope: str | None, entries: Sequence[tuple[Any, int]],
-               *, notify: bool = True) -> DeltaBatch:
+               *, notify: bool = True,
+               op: tuple[str, Any] | None = None) -> DeltaBatch:
         """Record one typed mutation batch (and, by default, notify).
 
         ``notify=False`` lets a caller holding its own write lock append
         atomically with the mutation and deliver the notification after
-        releasing it (see :meth:`notify_batch`).
+        releasing it (see :meth:`notify_batch`).  ``op`` tags the batch with
+        the mutator call that produced it, for durable replay.
         """
-        return self._push(scope, tuple(entries), gap=False, notify=notify)
+        return self._push(scope, tuple(entries), gap=False, notify=notify,
+                          op=op)
 
-    def mark_gap(self, scope: str | None = UNSCOPED, *,
-                 notify: bool = True) -> DeltaBatch:
+    def mark_gap(self, scope: str | None = UNSCOPED, *, notify: bool = True,
+                 op: tuple[str, Any] | None = None) -> DeltaBatch:
         """Record an undescribed mutation of ``scope`` (``None`` = everything)."""
-        return self._push(scope, (), gap=True, notify=notify)
+        return self._push(scope, (), gap=True, notify=notify, op=op)
 
     def notify_batch(self, batch: DeltaBatch) -> None:
         """Deliver a deferred notification for an already-appended batch."""
@@ -153,10 +166,10 @@ class ChangeLog:
             listener(batch)
 
     def _push(self, scope: str | None, entries: tuple, *, gap: bool,
-              notify: bool) -> DeltaBatch:
+              notify: bool, op: tuple[str, Any] | None = None) -> DeltaBatch:
         with self._lock:
             batch = DeltaBatch(seq=self._next_seq, scope=scope,
-                               entries=entries, gap=gap)
+                               entries=entries, gap=gap, op=op)
             self._next_seq += 1
             self._batches.append(batch)
             self._retained_rows += len(entries)
@@ -166,6 +179,8 @@ class ChangeLog:
                 self._retained_rows -= len(evicted.entries)
             self._oldest_retained = (self._batches[0].seq if self._batches
                                      else self._next_seq)
+            if self._wal_sink is not None:
+                self._wal_sink(batch)
         # Listeners run outside the log lock (and callers are expected to
         # have released their engine locks): an eager view refresh triggered
         # here may fan work out to threads that read the same engine.
@@ -229,6 +244,18 @@ class ChangeLog:
                 return [], False, head
             out.append(batch)
         return out, True, head
+
+    # -- durability ---------------------------------------------------------------------
+
+    def attach_wal(self, sink: Listener) -> None:
+        """Install the durability sink (at most one; called under the lock)."""
+        with self._lock:
+            self._wal_sink = sink
+
+    def detach_wal(self) -> None:
+        """Remove the durability sink."""
+        with self._lock:
+            self._wal_sink = None
 
     # -- subscriptions ------------------------------------------------------------------
 

@@ -3,8 +3,14 @@
 A small LSM-style store: writes land in a write-ahead log and a memtable;
 full memtables are frozen into immutable SSTables; reads check the memtable
 first and then SSTables newest-to-oldest; an explicit :meth:`compact`
-merges all SSTables.  The recommendation workload of the paper's Figure 1
-uses it for user profiles and external events.
+size-tiers adjacent SSTables (``full=True`` merges everything into one).
+The recommendation workload of the paper's Figure 1 uses it for user
+profiles and external events.
+
+When a durability manager is attached (:meth:`attach_spill`), frozen
+SSTables spill to disk and flush/compact trigger checkpoints — the
+previously in-memory-only SSTable path becomes the persistent level of the
+store.
 """
 
 from __future__ import annotations
@@ -29,6 +35,13 @@ class KeyValueEngine(Engine):
         self._memtable = MemTable(memtable_capacity)
         self._sstables: list[SSTable] = []
         self._wal: list[tuple[str, str, Any]] = []
+        #: Durability spill sink (``flushed``/``compacted``/``spill_sstable``);
+        #: ``None`` keeps the engine fully in-memory.
+        self._spill: Any = None
+
+    def attach_spill(self, sink: Any) -> None:
+        """Install (or with ``None`` remove) the durability spill sink."""
+        self._spill = sink
 
     def capabilities(self) -> frozenset[Capability]:
         return frozenset({
@@ -61,7 +74,8 @@ class KeyValueEngine(Engine):
         if previous is not sentinel:
             entries.append(((key, previous), -1))
         entries.append(((key, value), 1))
-        self.mark_data_changed(kv_scope(), entries=entries)
+        self.mark_data_changed(kv_scope(), entries=entries,
+                               op=("put", {"key": key, "value": value}))
         if self._memtable.is_full:
             self.flush()
 
@@ -79,26 +93,51 @@ class KeyValueEngine(Engine):
         self._wal.append(("delete", key, None))
         self._memtable.delete(key)
         entries = [((key, previous), -1)] if previous is not sentinel else []
-        self.mark_data_changed(kv_scope(), entries=entries)
+        self.mark_data_changed(kv_scope(), entries=entries,
+                               op=("delete", {"key": key}))
         if self._memtable.is_full:
             self.flush()
 
     def flush(self) -> None:
-        """Freeze the memtable into a new SSTable."""
+        """Freeze the memtable into a new SSTable (spilled when durable)."""
         if len(self._memtable) == 0:
             return
         self._sstables.append(SSTable.from_memtable(self._memtable))
         self._memtable.clear()
+        if self._spill is not None:
+            self._spill.flushed(self)
 
-    def compact(self) -> None:
-        """Merge every SSTable into one, discarding shadowed entries."""
+    def compact(self, *, full: bool = False) -> None:
+        """Merge SSTables, discarding shadowed entries.
+
+        The default is an incremental, size-tiered pass: the newest pair of
+        adjacent SSTables merges only when the newer one has reached at
+        least half the older one's size, cascading downward — a small fresh
+        flush never forces a rewrite of a large old run.  Tombstones
+        survive a partial merge while an older level still holds their key
+        (see :func:`merge_sstables`).  ``full=True`` rewrites everything
+        into a single tombstone-free SSTable.
+        """
         self.flush()
         if len(self._sstables) <= 1:
             return
-        with self.metrics.timed(self.name, "compact") as timer:
-            merged = merge_sstables(self._sstables)
-            timer.rows_out = len(merged)
-        self._sstables = [merged]
+        with self.metrics.timed(self.name, "compact", full=full) as timer:
+            if full:
+                merged = merge_sstables(self._sstables)
+                self._sstables = [merged]
+                timer.rows_out = len(merged)
+            else:
+                i = len(self._sstables) - 1
+                while i >= 1:
+                    older, newer = self._sstables[i - 1], self._sstables[i]
+                    if len(newer) * 2 >= len(older):
+                        combined = merge_sstables(
+                            [older, newer], older=self._sstables[:i - 1])
+                        self._sstables[i - 1:i + 1] = [combined]
+                        timer.rows_out += len(combined)
+                    i -= 1
+        if self._spill is not None:
+            self._spill.compacted(self)
 
     # -- reads -------------------------------------------------------------------
 

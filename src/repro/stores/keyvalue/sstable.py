@@ -58,16 +58,31 @@ class SSTable:
         return len(self._keys)
 
 
-def merge_sstables(tables: list[SSTable]) -> SSTable:
+def merge_sstables(tables: list[SSTable],
+                   older: list[SSTable] | None = None) -> SSTable:
     """Compact several SSTables into one, newest table winning per key.
 
-    Tombstones are dropped from the merged output (a full compaction), so the
-    result contains only live entries.
+    Tombstone handling follows Z-set annihilation: a tombstone (weight
+    ``-1``) cancels the entry it shadows.  With ``older=None`` (a full
+    compaction — nothing exists below the merged tables) every tombstone
+    has annihilated its target and is dropped.  When ``older`` names the
+    SSTables *below* the merge inputs, a tombstone whose key still exists
+    at one of those levels must be kept — dropping it would resurrect the
+    shadowed value; only tombstones for keys absent from every older level
+    are dropped.
     """
     merged: dict[str, Any] = {}
     # Oldest first so that newer tables overwrite older entries.
     for table in tables:
         for key, value in table.items():
             merged[key] = value
-    live = [(key, value) for key, value in sorted(merged.items()) if value is not TOMBSTONE]
-    return SSTable(live)
+
+    def keep(key: str, value: Any) -> bool:
+        if value is not TOMBSTONE:
+            return True
+        if older is None:
+            return False
+        return any(table.get(key)[0] for table in older)
+
+    return SSTable([(key, value) for key, value in sorted(merged.items())
+                    if keep(key, value)])

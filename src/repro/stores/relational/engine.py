@@ -108,8 +108,10 @@ class RelationalEngine(Engine):
             if name in self._tables:
                 raise StorageError(f"table {name!r} already exists")
             self._tables[name] = StoredTable(name, schema, page_capacity)
-            batch = self.mark_data_changed(table_scope(name), entries=(),
-                                           notify=False)
+            batch = self.mark_data_changed(
+                table_scope(name), entries=(), notify=False,
+                op=("create_table", {"table": name, "schema": schema,
+                                     "page_capacity": page_capacity}))
         # Listeners run outside the write lock (an eager view refresh may
         # take its own lock and read back through snapshot_scan).
         self.changelog.notify_batch(batch)
@@ -122,7 +124,8 @@ class RelationalEngine(Engine):
             del self._tables[name]
             # A drop cannot be described row-by-row: log a gap so delta
             # consumers of the table resync instead of silently diverging.
-            batch = self.mark_data_changed(table_scope(name), notify=False)
+            batch = self.mark_data_changed(table_scope(name), notify=False,
+                                           op=("drop_table", {"table": name}))
         self.changelog.notify_batch(batch)
 
     def create_index(self, table: str, column: str, *, kind: str = "hash") -> None:
@@ -142,6 +145,11 @@ class RelationalEngine(Engine):
             stored.sorted_indexes[column] = sorted_index
         else:
             raise StorageError(f"unknown index kind {kind!r}")
+        # Index DDL changes no data version, so it never reaches the
+        # changelog — report it on the durability side channel instead.
+        self.emit_durability_meta(("create_index", {"table": table,
+                                                    "column": column,
+                                                    "kind": kind}))
 
     def list_tables(self) -> list[str]:
         """Names of all registered tables."""
@@ -181,14 +189,19 @@ class RelationalEngine(Engine):
                         # Rows landed in the heap before the failure: the
                         # mutation must not go unrecorded (pinned snapshots
                         # would replay pre-insert data, views would diverge
-                        # undetectably).  A gap makes consumers resync.
-                        batch = self.mark_data_changed(table_scope(table),
-                                                       notify=False)
+                        # undetectably).  A gap makes consumers resync.  The
+                        # op carries the landed rows so durable replay can
+                        # reproduce the exact torn heap state.
+                        batch = self.mark_data_changed(
+                            table_scope(table), notify=False,
+                            op=("insert_torn", {"table": table,
+                                                "rows": list(inserted)}))
                     raise
                 if inserted:
                     batch = self.mark_data_changed(
                         table_scope(table),
-                        entries=[(row, 1) for row in inserted], notify=False)
+                        entries=[(row, 1) for row in inserted], notify=False,
+                        op=("insert", {"table": table}))
         finally:
             if batch is not None:
                 self.changelog.notify_batch(batch)
@@ -206,7 +219,8 @@ class RelationalEngine(Engine):
             if deleted:
                 batch = self.mark_data_changed(
                     table_scope(table),
-                    entries=[(row, -1) for row in deleted], notify=False)
+                    entries=[(row, -1) for row in deleted], notify=False,
+                    op=("delete", {"table": table}))
         if batch is not None:
             self.changelog.notify_batch(batch)
         return deleted
@@ -231,7 +245,8 @@ class RelationalEngine(Engine):
                     entries.append((old, -1))
                     entries.append((new, 1))
                 batch = self.mark_data_changed(table_scope(table),
-                                               entries=entries, notify=False)
+                                               entries=entries, notify=False,
+                                               op=("update", {"table": table}))
         if batch is not None:
             self.changelog.notify_batch(batch)
         return updated

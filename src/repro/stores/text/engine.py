@@ -47,7 +47,10 @@ class TextEngine(Engine):
         if previous is not None:
             entries.append(((doc_id, previous["text"]), -1))
         entries.append(((doc_id, text), 1))
-        self.mark_data_changed(docs_scope(), entries=entries)
+        self.mark_data_changed(
+            docs_scope(), entries=entries,
+            op=("add_document", {"doc_id": doc_id, "text": text,
+                                 "metadata": dict(metadata or {})}))
 
     def add_documents(self, documents: list[dict[str, Any]]) -> int:
         """Bulk-add documents of the form ``{"doc_id", "text", "metadata"?}``."""
@@ -65,7 +68,8 @@ class TextEngine(Engine):
         removed = self._documents.pop(doc_id)
         self._index.remove(doc_id)
         self.mark_data_changed(docs_scope(),
-                               entries=[((doc_id, removed["text"]), -1)])
+                               entries=[((doc_id, removed["text"]), -1)],
+                               op=("remove_document", {"doc_id": doc_id}))
 
     # -- reads --------------------------------------------------------------------
 

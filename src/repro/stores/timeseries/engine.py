@@ -49,14 +49,17 @@ class TimeseriesEngine(Engine):
             self._series[key] = Series(key, tags)
             # Creation carries no points: an empty (non-gap) batch still
             # bumps the series scope and the engine-wide counter.
-            self.mark_data_changed(series_scope(key), entries=())
+            self.mark_data_changed(
+                series_scope(key), entries=(),
+                op=("create_series", {"key": key, "tags": dict(tags or {})}))
         return self._series[key]
 
     def append(self, key: str, timestamp: float, value: float) -> None:
         """Append one point to a series, creating it if needed."""
         self.create_series(key).append(timestamp, value)
         self.mark_data_changed(series_scope(key),
-                               entries=[((timestamp, value), 1)])
+                               entries=[((timestamp, value), 1)],
+                               op=("append", {"key": key}))
 
     def append_many(self, key: str, points: Iterable[tuple[float, float]]) -> int:
         """Append many points to one series; returns the count appended."""
@@ -68,7 +71,8 @@ class TimeseriesEngine(Engine):
                 appended.append(((timestamp, value), 1))
             timer.rows_in = len(appended)
         if appended:
-            self.mark_data_changed(series_scope(key), entries=appended)
+            self.mark_data_changed(series_scope(key), entries=appended,
+                                   op=("append_many", {"key": key}))
         return len(appended)
 
     # -- reads --------------------------------------------------------------------------

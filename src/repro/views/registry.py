@@ -95,6 +95,8 @@ class ViewRegistry:
         # Cached plans were compiled against the old registry; recompile so
         # matching subtrees start reading the view.
         self.system._invalidate_plans()
+        if self.system.durability is not None:
+            self.system.durability.save_view(view)
         return view
 
     def drop(self, name: str) -> None:
@@ -106,6 +108,8 @@ class ViewRegistry:
             self._by_canonical.pop(view.canonical, None)
             self._resubscribe_all()
         self.system._invalidate_plans()
+        if self.system.durability is not None:
+            self.system.durability.forget_view(name)
 
     def get(self, name: str) -> MaterializedView:
         """A registered view by name."""

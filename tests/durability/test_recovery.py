@@ -1,0 +1,427 @@
+"""Crash recovery: restart roundtrips, hard kills, twins and views.
+
+The twin pattern: apply the same mutations to a durable system and to a
+never-persisted engine, crash (or close) the durable one, recover it from
+disk, and require byte-identical reads *and* identical scoped data versions
+and changelog positions — recovery must be indistinguishable from having
+never crashed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PolystorePlusPlus, col
+from repro.compiler.pipeline import CompilerOptions
+from repro.core.system import SystemConfig
+from repro.datamodel import DataType, Table, make_schema
+from repro.durability import InjectedFault, faults
+from repro.eide.dataflow import DataflowProgram, Dataset
+from repro.exceptions import ConfigurationError
+from repro.stores import (
+    GraphEngine,
+    KeyValueEngine,
+    RelationalEngine,
+    TextEngine,
+    TimeseriesEngine,
+)
+
+SCHEMA = make_schema(("order_id", DataType.INT), ("customer", DataType.STRING),
+                     ("amount", DataType.FLOAT))
+
+
+@pytest.fixture(autouse=True)
+def _clear_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _config(data_dir, **overrides) -> SystemConfig:
+    defaults = {"data_dir": str(data_dir), "durability_sync": "always"}
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+def _relational_ops(db):
+    db.create_table("orders", SCHEMA)
+    db.insert("orders", [(i, f"c{i % 5}", float(i % 9)) for i in range(60)])
+    db.create_index("orders", "customer", kind="hash")
+    db.delete_rows("orders", col("order_id") < 8)
+    db.update_rows("orders", col("order_id") == 11, {"amount": 99.0})
+
+
+def _kv_ops(kv):
+    for i in range(25):
+        kv.put(f"user/{i:03d}", {"clicks": i})
+    kv.delete("user/007")
+    kv.compact()
+
+
+def _ts_ops(ts):
+    ts.create_series("cpu", {"host": "a"})
+    for i in range(30):
+        ts.append("cpu", float(i), float(i % 5))
+    ts.append_many("mem", [(float(i), 1.0) for i in range(10)])
+
+
+def _text_ops(text):
+    for i in range(12):
+        text.add_document(f"d{i}", f"polystore shard number {i}", {"n": i})
+    text.remove_document("d3")
+
+
+def _engine_fingerprint(engine):
+    """Everything recovery must reproduce exactly for one engine."""
+    state: dict = {
+        "scoped": {scope: engine.data_version_for(scope)
+                   for scope in sorted(engine.known_scopes())},
+        "data_version": engine.data_version,
+        "log_head": engine.changelog.latest_seq,
+    }
+    if isinstance(engine, RelationalEngine):
+        state["tables"] = {
+            name: list(engine.snapshot_scan(name)[0].rows)
+            for name in engine.list_tables()
+        }
+    elif isinstance(engine, KeyValueEngine):
+        state["data"] = list(engine.scan())
+    elif isinstance(engine, TimeseriesEngine):
+        state["series"] = {
+            key: [(p.timestamp, p.value) for p in engine.series(key)]
+            for key in engine.list_series()
+        }
+    elif isinstance(engine, TextEngine):
+        state["docs"] = {d: engine.get(d) for d in engine.documents_matching({})}
+        state["search"] = engine.search("polystore")
+    return state
+
+
+class TestCleanRestart:
+    def test_all_four_engines_roundtrip(self, tmp_path):
+        system = PolystorePlusPlus(data_dir=str(tmp_path))
+        engines = {
+            "ordersdb": system.register_engine(RelationalEngine("ordersdb")),
+            "profiles": system.register_engine(
+                KeyValueEngine("profiles", memtable_capacity=8)),
+            "metrics": system.register_engine(TimeseriesEngine("metrics")),
+            "docs": system.register_engine(TextEngine("docs")),
+        }
+        _relational_ops(engines["ordersdb"])
+        _kv_ops(engines["profiles"])
+        _ts_ops(engines["metrics"])
+        _text_ops(engines["docs"])
+        expected = {name: _engine_fingerprint(e) for name, e in engines.items()}
+        system.close()
+
+        reborn = PolystorePlusPlus(data_dir=str(tmp_path))
+        recovered = {
+            "ordersdb": reborn.register_engine(RelationalEngine("ordersdb")),
+            "profiles": reborn.register_engine(
+                KeyValueEngine("profiles", memtable_capacity=8)),
+            "metrics": reborn.register_engine(TimeseriesEngine("metrics")),
+            "docs": reborn.register_engine(TextEngine("docs")),
+        }
+        for name, engine in recovered.items():
+            assert _engine_fingerprint(engine) == expected[name], name
+        # A clean close checkpointed everything: the tail is empty.
+        for report in reborn.durability.recovery_report().values():
+            assert report["restored"] and report["replayed_batches"] == 0
+
+    def test_secondary_index_recovers_via_meta_replay(self, tmp_path):
+        system = PolystorePlusPlus(data_dir=str(tmp_path))
+        db = system.register_engine(RelationalEngine("ordersdb"))
+        _relational_ops(db)
+        system.close()
+
+        reborn = PolystorePlusPlus(data_dir=str(tmp_path))
+        db2 = reborn.register_engine(RelationalEngine("ordersdb"))
+        assert "customer" in db2._tables["orders"].hash_indexes
+        index = db2._tables["orders"].hash_indexes["customer"]
+        assert sorted(index.lookup("c1"))  # populated, not just present
+
+    def test_unsupported_engine_is_skipped_not_broken(self, tmp_path):
+        system = PolystorePlusPlus(data_dir=str(tmp_path))
+        graph = system.register_engine(GraphEngine("net"))
+        graph.add_node("a", "person")
+        graph.add_node("b", "person")
+        graph.add_edge("a", "b", "knows")
+        description = system.durability.describe()
+        assert "net" in description["skipped_engines"]
+        assert "net" not in description["engines"]
+        system.close()
+
+    def test_mismatched_engine_type_is_rejected(self, tmp_path):
+        system = PolystorePlusPlus(data_dir=str(tmp_path))
+        system.register_engine(KeyValueEngine("store"))
+        system.close()
+        reborn = PolystorePlusPlus(data_dir=str(tmp_path))
+        with pytest.raises(ConfigurationError):
+            reborn.register_engine(TextEngine("store"))
+
+    def test_double_open_rejected_and_close_is_idempotent(self, tmp_path):
+        system = PolystorePlusPlus(data_dir=str(tmp_path))
+        with pytest.raises(ConfigurationError):
+            system.open(str(tmp_path))
+        system.close()
+        system.close()
+
+
+class TestHardKill:
+    def test_mid_append_kill_matches_never_crashed_twin(self, tmp_path):
+        system = PolystorePlusPlus(_config(tmp_path))
+        db = system.register_engine(RelationalEngine("ordersdb"))
+        twin = RelationalEngine("ordersdb")
+        for engine in (db, twin):
+            _relational_ops(engine)
+        expected = _engine_fingerprint(twin)
+
+        faults.arm("wal.append")
+        with pytest.raises(InjectedFault):
+            db.insert("orders", [(999, "doomed", 1.0)])
+        # The in-memory system saw the doomed write; disk must not have.
+        assert any(r[0] == 999 for r in db.snapshot_scan("orders")[0].rows)
+
+        reborn = PolystorePlusPlus(data_dir=str(tmp_path))
+        db2 = reborn.register_engine(RelationalEngine("ordersdb"))
+        assert _engine_fingerprint(db2) == expected
+        report = reborn.durability.recovery_report()["ordersdb"]
+        assert report["truncated_records"] == 1
+
+    def test_mid_snapshot_kill_recovers_from_previous_checkpoint(self, tmp_path):
+        system = PolystorePlusPlus(_config(tmp_path, durability_snapshot_every=5))
+        kv = system.register_engine(KeyValueEngine("profiles"))
+        twin = KeyValueEngine("profiles")
+        for i in range(3):
+            kv.put(f"k{i}", i)
+            twin.put(f"k{i}", i)
+        faults.arm("snapshot.write")
+        # The 5th WAL record triggers a checkpoint inside the write; the
+        # snapshot dies pre-rename, but the write's WAL record already
+        # landed — recovery must include it.
+        with pytest.raises(InjectedFault):
+            for i in range(3, 10):
+                kv.put(f"k{i}", i)
+        for i in range(3, 5):
+            twin.put(f"k{i}", i)
+
+        reborn = PolystorePlusPlus(data_dir=str(tmp_path))
+        kv2 = reborn.register_engine(KeyValueEngine("profiles"))
+        assert _engine_fingerprint(kv2) == _engine_fingerprint(twin)
+        report = reborn.durability.recovery_report()["profiles"]
+        assert report["replayed_batches"] > 0
+
+    def test_recovery_replays_only_the_tail(self, tmp_path):
+        system = PolystorePlusPlus(_config(tmp_path))
+        kv = system.register_engine(KeyValueEngine("profiles"))
+        for i in range(40):
+            kv.put(f"pre/{i}", i)
+        system.durability.checkpoint()
+        for i in range(7):
+            kv.put(f"post/{i}", i)
+        faults.arm("wal.append")
+        with pytest.raises(InjectedFault):
+            kv.put("doomed", 0)
+
+        reborn = PolystorePlusPlus(data_dir=str(tmp_path))
+        kv2 = reborn.register_engine(KeyValueEngine("profiles"))
+        report = reborn.durability.recovery_report()["profiles"]
+        # Only the 7 post-checkpoint records replay, not all 47.
+        assert report["replayed_batches"] == 7
+        assert kv2.get("pre/39") == 39 and kv2.get("post/6") == 6
+        assert kv2.get("doomed") is None
+
+    def test_torn_multi_row_insert_recovers_consistently(self, tmp_path):
+        system = PolystorePlusPlus(_config(tmp_path))
+        db = system.register_engine(RelationalEngine("ordersdb"))
+        db.create_table("orders", SCHEMA)
+        with pytest.raises(Exception):
+            # Row 3 fails validation after two rows landed in the heap; the
+            # engine logs a gap whose op carries the landed rows.
+            db.insert("orders", [(1, "a", 1.0), (2, "b", 2.0),
+                                 ("bad", object(), None)], validate=True)
+        live = _engine_fingerprint(db)
+        system.close()
+
+        reborn = PolystorePlusPlus(data_dir=str(tmp_path))
+        db2 = reborn.register_engine(RelationalEngine("ordersdb"))
+        assert _engine_fingerprint(db2) == live
+
+
+class TestShardedDurability:
+    def _deploy(self, tmp_path, num_shards=2, **overrides):
+        system = PolystorePlusPlus(_config(tmp_path, **overrides))
+        engine = system.register_sharded_engine("ordersdb", RelationalEngine,
+                                                num_shards)
+        return system, engine
+
+    def test_sharded_roundtrip_preserves_topology_and_data(self, tmp_path):
+        system, engine = self._deploy(tmp_path, num_shards=3)
+        engine.load_table("orders", Table(SCHEMA, [
+            (i, f"c{i % 5}", float(i)) for i in range(50)
+        ]))
+        engine.create_index("orders", "customer")
+        expected = _engine_fingerprint(engine)
+        expected_rows = sorted(engine.scan("orders").rows)
+        system.close()
+
+        # The constructor asks for 2 shards; the persisted 3-shard topology
+        # must win.
+        reborn = PolystorePlusPlus(data_dir=str(tmp_path))
+        engine2 = reborn.register_sharded_engine("ordersdb", RelationalEngine, 2)
+        assert engine2.num_shards == 3
+        assert sorted(engine2.scan("orders").rows) == expected_rows
+        assert _engine_fingerprint(engine2)["scoped"] == expected["scoped"]
+        assert engine2.has_index("orders", "customer")
+
+    def test_rebalance_cutover_is_durable(self, tmp_path):
+        system, engine = self._deploy(tmp_path, num_shards=2)
+        engine.load_table("orders", Table(SCHEMA, [
+            (i, f"c{i % 5}", float(i)) for i in range(40)
+        ]))
+        system.rebalance_sharded_engine("ordersdb", 4)
+        assert engine.num_shards == 4
+        engine.insert("orders", [(1000, "cX", 3.0)])
+        expected_rows = sorted(engine.scan("orders").rows)
+        expected_scoped = _engine_fingerprint(engine)["scoped"]
+        system.close()
+
+        reborn = PolystorePlusPlus(data_dir=str(tmp_path))
+        engine2 = reborn.register_sharded_engine("ordersdb", RelationalEngine, 2)
+        assert engine2.num_shards == 4
+        assert sorted(engine2.scan("orders").rows) == expected_rows
+        assert _engine_fingerprint(engine2)["scoped"] == expected_scoped
+
+    def test_mid_cutover_kill_recovers_on_old_topology(self, tmp_path):
+        system, engine = self._deploy(tmp_path, num_shards=2)
+        rows = [(i, f"c{i % 5}", float(i)) for i in range(40)]
+        engine.load_table("orders", Table(SCHEMA, rows))
+        faults.arm("rebalance.cutover")
+        with pytest.raises(InjectedFault):
+            system.rebalance_sharded_engine("ordersdb", 4)
+
+        reborn = PolystorePlusPlus(data_dir=str(tmp_path))
+        engine2 = reborn.register_sharded_engine("ordersdb", RelationalEngine, 2)
+        # The manifest swap never happened: the old generation serves.
+        assert engine2.num_shards == 2
+        assert sorted(engine2.scan("orders").rows) == sorted(rows)
+        # And the next rebalance works from the recovered state.
+        reborn.rebalance_sharded_engine("ordersdb", 4)
+        assert engine2.num_shards == 4
+        assert sorted(engine2.scan("orders").rows) == sorted(rows)
+
+    def test_kill_during_routed_write_matches_twin(self, tmp_path):
+        system, engine = self._deploy(tmp_path, num_shards=2)
+        twin = PolystorePlusPlus().register_sharded_engine(
+            "ordersdb", RelationalEngine, 2)
+        for target in (engine, twin):
+            target.load_table("orders", Table(SCHEMA, [
+                (i, f"c{i % 5}", float(i)) for i in range(30)
+            ]))
+        # Kill inside the *shard* WAL append of the doomed row's write.
+        faults.arm("wal.append")
+        with pytest.raises(InjectedFault):
+            engine.insert("orders", [(999, "doomed", 1.0)])
+
+        reborn = PolystorePlusPlus(data_dir=str(tmp_path))
+        engine2 = reborn.register_sharded_engine("ordersdb", RelationalEngine, 2)
+        assert sorted(engine2.scan("orders").rows) == sorted(
+            twin.scan("orders").rows)
+        assert _engine_fingerprint(engine2)["scoped"] == \
+            _engine_fingerprint(twin)["scoped"]
+
+
+def _spend_expr(system):
+    return (system.dataset("salesdb").table("orders")
+            .filter(col("amount") > 1.0)
+            .aggregate(["customer"], total=("sum", "amount")))
+
+
+def _recompute(system):
+    program = DataflowProgram("recompute-baseline")
+    program.output("res", Dataset(_spend_expr(system).node))
+    result = system.execute(program, options=CompilerOptions(use_views=False))
+    return sorted(tuple(sorted(r.items()))
+                  for r in result.output("res").to_dicts())
+
+
+def _view_rows(view):
+    return sorted(tuple(sorted(r.items())) for r in view.read()[0].to_dicts())
+
+
+class TestViewRecovery:
+    def _populate(self, system):
+        db = system.register_engine(RelationalEngine("salesdb"))
+        db.create_table("orders", SCHEMA)
+        db.insert("orders", [(i, f"c{i % 4}", float(i % 7)) for i in range(50)])
+        return db
+
+    def test_view_definition_survives_restart_and_refresh_matches(self, tmp_path):
+        system = PolystorePlusPlus(_config(tmp_path))
+        self._populate(system)
+        system.create_view("spend", _spend_expr(system), policy="manual")
+        system.close()
+
+        reborn = PolystorePlusPlus(data_dir=str(tmp_path))
+        db2 = reborn.register_engine(RelationalEngine("salesdb"))
+        # The view re-registered (resync-from-snapshot) as soon as its
+        # source engine came back.
+        assert "spend" in reborn.views.names()
+        view = reborn.view("spend")
+        assert _view_rows(view) == _recompute(reborn)
+        db2.insert("orders", [(1000, "c1", 40.0)])
+        view.refresh()
+        assert _view_rows(view) == _recompute(reborn)
+
+    def test_view_refresh_equals_recompute_after_hard_kill(self, tmp_path):
+        system = PolystorePlusPlus(_config(tmp_path))
+        db = self._populate(system)
+        system.create_view("spend", _spend_expr(system), policy="manual")
+        db.insert("orders", [(2000, "c2", 30.0)])
+        faults.arm("wal.append")
+        with pytest.raises(InjectedFault):
+            db.insert("orders", [(2001, "c3", 31.0)])
+
+        reborn = PolystorePlusPlus(data_dir=str(tmp_path))
+        db2 = reborn.register_engine(RelationalEngine("salesdb"))
+        view = reborn.view("spend")
+        assert _view_rows(view) == _recompute(reborn)
+        db2.delete_rows("orders", col("customer") == "c2")
+        view.refresh()
+        assert _view_rows(view) == _recompute(reborn)
+
+    def test_dropped_view_stays_dropped_after_restart(self, tmp_path):
+        system = PolystorePlusPlus(_config(tmp_path))
+        self._populate(system)
+        system.create_view("spend", _spend_expr(system), policy="manual")
+        system.drop_view("spend")
+        system.close()
+
+        reborn = PolystorePlusPlus(data_dir=str(tmp_path))
+        reborn.register_engine(RelationalEngine("salesdb"))
+        assert "spend" not in reborn.views.names()
+
+    def test_view_waits_for_its_source_engine(self, tmp_path):
+        system = PolystorePlusPlus(_config(tmp_path))
+        self._populate(system)
+        system.register_engine(KeyValueEngine("other"))
+        system.create_view("spend", _spend_expr(system), policy="manual")
+        system.close()
+
+        reborn = PolystorePlusPlus(data_dir=str(tmp_path))
+        reborn.register_engine(KeyValueEngine("other"))
+        assert "spend" not in reborn.views.names()  # salesdb not back yet
+        reborn.register_engine(RelationalEngine("salesdb"))
+        assert "spend" in reborn.views.names()
+
+
+class TestDescribe:
+    def test_describe_reports_durability(self, tmp_path):
+        system = PolystorePlusPlus(_config(tmp_path))
+        system.register_engine(KeyValueEngine("profiles"))
+        info = system.describe()["durability"]
+        assert info["path"] == str(tmp_path)
+        assert info["sync"] == "always"
+        assert info["engines"] == ["profiles"]
+        system.close()
+        assert system.describe()["durability"] is None

@@ -1,0 +1,239 @@
+"""WAL framing, snapshot atomicity and SSTable compaction mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability import faults
+from repro.durability.snapshot import (
+    load_manifest,
+    load_snapshot,
+    snapshot_id,
+    snapshot_name,
+    write_manifest,
+    write_snapshot,
+)
+from repro.durability.wal import (
+    Liveness,
+    WalWriter,
+    decode_stream,
+    encode_record,
+    read_records,
+    segment_index,
+    segment_name,
+)
+from repro.exceptions import StorageError
+from repro.stores.keyvalue import KeyValueEngine, SSTable, merge_sstables
+from repro.stores.keyvalue.memtable import TOMBSTONE
+
+
+@pytest.fixture(autouse=True)
+def _clear_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestFraming:
+    def test_roundtrip_many_records(self):
+        records = [{"i": i, "payload": "x" * i} for i in range(20)]
+        data = b"".join(encode_record(r) for r in records)
+        decoded, torn = decode_stream(data)
+        assert decoded == records
+        assert torn == 0
+
+    def test_torn_tail_is_truncated(self):
+        good = encode_record({"k": 1})
+        torn = encode_record({"k": 2})[:-3]
+        decoded, torn_bytes = decode_stream(good + torn)
+        assert decoded == [{"k": 1}]
+        assert torn_bytes == len(torn)
+
+    def test_corrupt_checksum_stops_decoding(self):
+        frames = [encode_record(i) for i in range(3)]
+        corrupted = bytearray(b"".join(frames))
+        corrupted[len(frames[0]) + 10] ^= 0xFF  # flip a payload byte of #2
+        decoded, torn_bytes = decode_stream(bytes(corrupted))
+        assert decoded == [0]
+        assert torn_bytes > 0
+
+    def test_segment_name_roundtrip(self):
+        assert segment_index(segment_name(42)) == 42
+        assert segment_index("not-a-wal.log") is None
+        assert segment_index("snap-00000001.pkl") is None
+
+
+class TestWalWriter:
+    @pytest.mark.parametrize("sync", ["always", "interval", "off"])
+    def test_append_and_read_back(self, tmp_path, sync):
+        writer = WalWriter(tmp_path, Liveness(), sync=sync)
+        for i in range(10):
+            writer.append({"i": i})
+        writer.close()
+        records, truncated = read_records(tmp_path, 0)
+        assert [r["i"] for r in records] == list(range(10))
+        assert truncated == 0
+
+    def test_unknown_sync_policy_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            WalWriter(tmp_path, Liveness(), sync="sometimes")
+
+    def test_rotation_splits_segments_and_replay_starts_midway(self, tmp_path):
+        writer = WalWriter(tmp_path, Liveness())
+        writer.append({"seg": 0})
+        segment = writer.rotate()
+        writer.append({"seg": 1})
+        writer.close()
+        assert segment == 1
+        tail, _ = read_records(tmp_path, segment)
+        assert tail == [{"seg": 1}]
+        everything, _ = read_records(tmp_path, 0)
+        assert everything == [{"seg": 0}, {"seg": 1}]
+
+    def test_dead_writer_is_a_noop(self, tmp_path):
+        liveness = Liveness()
+        writer = WalWriter(tmp_path, liveness)
+        writer.append({"i": 1})
+        liveness.kill()
+        writer.append({"i": 2})
+        assert writer.rotate() == 0
+        writer.close()
+        records, _ = read_records(tmp_path, 0)
+        assert records == [{"i": 1}]
+
+    def test_wal_append_fault_leaves_torn_record(self, tmp_path):
+        liveness = Liveness()
+        writer = WalWriter(tmp_path, liveness)
+        writer.append({"i": 1})
+        faults.arm("wal.append")
+        with pytest.raises(faults.InjectedFault):
+            writer.append({"i": 2})
+        assert not liveness.alive
+        records, truncated = read_records(tmp_path, 0)
+        assert records == [{"i": 1}]
+        assert truncated == 1
+
+
+class TestSnapshots:
+    def test_write_load_roundtrip(self, tmp_path):
+        payload = {"state": list(range(100))}
+        name = write_snapshot(tmp_path, 3, payload, Liveness())
+        assert snapshot_id(name) == 3
+        assert load_snapshot(tmp_path, name) == payload
+
+    def test_snapshot_fault_never_exposes_partial_file(self, tmp_path):
+        faults.arm("snapshot.write")
+        liveness = Liveness()
+        with pytest.raises(faults.InjectedFault):
+            write_snapshot(tmp_path, 1, {"x": 1}, liveness)
+        assert not liveness.alive
+        assert not (tmp_path / snapshot_name(1)).exists()
+
+    def test_manifest_roundtrip_and_missing(self, tmp_path):
+        assert load_manifest(tmp_path) is None
+        manifest = {"snapshot_id": 7, "snapshot": snapshot_name(7),
+                    "wal_segment": 2, "scoped_versions": {"kv": 9}}
+        write_manifest(tmp_path, manifest)
+        assert load_manifest(tmp_path) == manifest
+
+
+class TestFaultRegistry:
+    def test_arm_is_one_shot(self):
+        faults.arm("wal.append")
+        assert faults.trip("wal.append")
+        assert not faults.trip("wal.append")
+
+    def test_skip_counts_passes(self):
+        faults.arm("wal.append", skip=2)
+        assert not faults.trip("wal.append")
+        assert not faults.trip("wal.append")
+        assert faults.trip("wal.append")
+
+    def test_disarm(self):
+        faults.arm("snapshot.write")
+        faults.disarm("snapshot.write")
+        assert not faults.trip("snapshot.write")
+
+
+class TestMergeSSTables:
+    def test_full_merge_drops_all_tombstones(self):
+        old = SSTable([("a", 1), ("b", 2)])
+        new = SSTable([("a", 10), ("b", TOMBSTONE)])
+        merged = merge_sstables([old, new])
+        assert merged.get("a") == (True, 10)
+        assert merged.get("b") == (False, None)
+
+    def test_partial_merge_keeps_tombstone_shadowing_older_level(self):
+        oldest = SSTable([("b", 2)])
+        mid = SSTable([("a", 1)])
+        newest = SSTable([("b", TOMBSTONE)])
+        merged = merge_sstables([mid, newest], older=[oldest])
+        # "b" still exists at the older level: dropping the tombstone would
+        # resurrect it.
+        assert merged.get("b") == (True, TOMBSTONE)
+
+    def test_partial_merge_drops_annihilated_tombstone(self):
+        oldest = SSTable([("z", 9)])
+        mid = SSTable([("b", 2)])
+        newest = SSTable([("b", TOMBSTONE)])
+        merged = merge_sstables([mid, newest], older=[oldest])
+        # The tombstone cancelled the only "b" in the merge inputs and no
+        # older level holds the key: Z-set annihilation leaves nothing.
+        assert merged.get("b") == (False, None)
+        assert len(merged) == 0
+
+
+class TestIncrementalCompaction:
+    def test_small_flush_does_not_rewrite_large_run(self):
+        engine = KeyValueEngine(memtable_capacity=1000)
+        for i in range(500):
+            engine.put(f"base/{i:04d}", i)
+        engine.flush()
+        engine.put("tiny", 1)
+        engine.compact()
+        sizes = [len(t) for t in engine._sstables]
+        assert len(sizes) == 2 and max(sizes) == 500
+
+    def test_similar_sized_runs_merge(self):
+        engine = KeyValueEngine(memtable_capacity=2)
+        for i in range(10):
+            engine.put(f"k{i}", i)
+        engine.compact()
+        assert engine.statistics()["sstables"] == 1
+        assert len(engine) == 10
+
+    def test_full_compaction_still_available(self):
+        engine = KeyValueEngine(memtable_capacity=1000)
+        for i in range(500):
+            engine.put(f"base/{i:04d}", i)
+        engine.flush()
+        engine.put("tiny", 1)
+        engine.compact(full=True)
+        assert engine.statistics()["sstables"] == 1
+
+    def test_reads_stay_correct_across_partial_compactions(self):
+        engine = KeyValueEngine(memtable_capacity=4)
+        model = {}
+        for i in range(40):
+            engine.put(f"k{i % 13}", i)
+            model[f"k{i % 13}"] = i
+            if i % 11 == 0:
+                engine.delete(f"k{(i + 1) % 13}")
+                model.pop(f"k{(i + 1) % 13}", None)
+            if i % 7 == 0:
+                engine.compact()
+        engine.compact()
+        assert dict(engine.scan()) == model
+
+    def test_partial_compaction_does_not_resurrect_deletes(self):
+        engine = KeyValueEngine(memtable_capacity=2)
+        engine.put("a", 1)
+        engine.put("b", 2)
+        engine.flush()          # run 1: a, b
+        engine.delete("a")
+        engine.flush()          # run 2: tombstone(a)
+        engine.put("c", 3)
+        engine.flush()          # run 3: c
+        engine.compact()
+        assert engine.get("a") is None
+        assert dict(engine.scan()) == {"b": 2, "c": 3}
