@@ -1,0 +1,71 @@
+"""Shared JSON result emitter for the benchmark scripts.
+
+Benchmarks funnel their headline numbers through :func:`emit`, which builds
+one ``{bench, metrics, config, timestamp}`` document and writes it when a
+destination is configured:
+
+* ``--json PATH`` on the script's argv writes exactly to ``PATH``,
+* a ``BENCH_JSON`` environment variable names a *directory* into which
+  ``<bench>.json`` is written — the hands-off path CI uses to collect
+  artifacts from benchmarks driven through pytest,
+* with neither, the document is only returned (tests stay silent).
+
+Keeping the schema in one place means every benchmark's output can be
+diffed, plotted or archived by the same tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+
+def report_info(result: Any) -> dict[str, Any]:
+    """Common ``extra_info`` fields derived from a run's execution report.
+
+    Benchmarks used to hand-roll these from ``Result`` attributes; they now
+    all come from the one stable ``ExecutionReport.summary()`` schema.
+    """
+    summary = result.report.summary()
+    return {
+        "mode": summary["mode"],
+        "charged_total_s": summary["total_time_s"],
+        "pipelined_s": summary["pipelined_time_s"],
+        "migration_bytes": summary["migration_bytes"],
+    }
+
+
+def json_destination(bench: str, argv: list[str] | None = None) -> Path | None:
+    """Resolve where ``bench`` should write its JSON document, if anywhere."""
+    argv = sys.argv[1:] if argv is None else argv
+    for index, arg in enumerate(argv):
+        if arg == "--json" and index + 1 < len(argv):
+            return Path(argv[index + 1])
+        if arg.startswith("--json="):
+            return Path(arg.split("=", 1)[1])
+    directory = os.environ.get("BENCH_JSON")
+    if directory:
+        return Path(directory) / f"{bench}.json"
+    return None
+
+
+def emit(bench: str, metrics: dict[str, Any],
+         config: dict[str, Any] | None = None, *,
+         argv: list[str] | None = None) -> dict[str, Any]:
+    """Build (and, when configured, write) one benchmark result document."""
+    document = {
+        "bench": bench,
+        "metrics": metrics,
+        "config": dict(config or {}),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    destination = json_destination(bench, argv)
+    if destination is not None:
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        destination.write_text(json.dumps(document, indent=2, sort_keys=True,
+                                          default=str) + "\n")
+    return document

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks._emit import report_info
 from repro.accelerators import FPGAAccelerator, MigrationASIC
 from repro.core import PolystorePlusPlus
 from repro.datamodel import DataType, Table, make_schema
@@ -72,7 +73,5 @@ def test_cross_db_sort_merge_query(benchmark, rows, mode):
     assert dates == sorted(dates)
     benchmark.extra_info["experiment"] = "E12"
     benchmark.extra_info["rows"] = rows
-    benchmark.extra_info["mode"] = mode
-    benchmark.extra_info["charged_total_s"] = result.total_time_s
-    benchmark.extra_info["migration_bytes"] = result.report.migration_bytes
+    benchmark.extra_info.update(report_info(result))
     benchmark.extra_info["result_rows"] = len(history)

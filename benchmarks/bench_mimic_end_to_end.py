@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks._emit import report_info
 from repro.workloads import build_mimic_program
 
 MODES = ["one_size_fits_all", "cpu_polystore", "polystore++"]
@@ -24,10 +25,7 @@ def test_mimic_program_by_mode(benchmark, mimic_system, mode):
                                 iterations=1, rounds=3)
     model = result.output("stay_model")
     benchmark.extra_info["experiment"] = "E7"
-    benchmark.extra_info["mode"] = mode
-    benchmark.extra_info["charged_total_s"] = result.total_time_s
-    benchmark.extra_info["pipelined_s"] = result.pipelined_time_s
-    benchmark.extra_info["migration_bytes"] = result.report.migration_bytes
+    benchmark.extra_info.update(report_info(result))
     benchmark.extra_info["accuracy"] = model["metrics"]["accuracy"]
     assert model["rows"] == mimic_system["dataset"].num_patients
     assert model["metrics"]["accuracy"] > 0.6

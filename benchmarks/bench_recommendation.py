@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks._emit import report_info
 from repro.workloads import build_recommendation_program, build_top_spenders_program
 
 MODES = ["one_size_fits_all", "cpu_polystore", "polystore++"]
@@ -19,9 +20,7 @@ def test_recommendation_by_mode(benchmark, recommendation_system, mode):
                                 iterations=1, rounds=3)
     model = result.output("offer_model")
     benchmark.extra_info["experiment"] = "E8"
-    benchmark.extra_info["mode"] = mode
-    benchmark.extra_info["charged_total_s"] = result.total_time_s
-    benchmark.extra_info["migration_bytes"] = result.report.migration_bytes
+    benchmark.extra_info.update(report_info(result))
     benchmark.extra_info["accuracy"] = model["metrics"]["accuracy"]
     assert model["rows"] == recommendation_system["dataset"].num_customers
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks._emit import report_info
 from repro.core import build_accelerated_polystore
 from repro.stores import MLEngine, RelationalEngine
 from repro.workloads import (
@@ -59,6 +60,6 @@ def test_declarative_polystore_pipeline(benchmark, corpora, size):
     model = result.output("label_model")
     benchmark.extra_info["experiment"] = "E9"
     benchmark.extra_info["documents"] = size
-    benchmark.extra_info["charged_total_s"] = result.total_time_s
+    benchmark.extra_info.update(report_info(result))
     benchmark.extra_info["accuracy"] = model["metrics"]["accuracy"]
     assert model["rows"] == size

@@ -1,0 +1,151 @@
+"""Observability end to end: trace a durable sharded deployment.
+
+A three-shard relational engine is opened on durable storage with
+``durability_sync="always"`` so every ingest batch pays a real WAL fsync,
+then a scatter-gathered aggregation is prepared and re-run — all with
+observability on at ``obs_trace_sample_rate=1.0``.  The example then
+checks the claims the instrumentation makes:
+
+* the Prometheus export parses and contains the core metric families,
+* per-shard subtask spans nest (transitively) under their request span,
+* WAL fsync spans nest under the ingest request that caused them,
+* the span buffer converts to a Chrome ``trace_event`` document —
+  pass ``--trace PATH`` to write it, then load it in
+  https://ui.perfetto.dev or ``about:tracing``.
+
+Run with:  PYTHONPATH=src python examples/observability_trace.py --trace trace.json
+Fast mode: EXAMPLES_FAST=1 ... (CI smoke settings)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+
+from repro import DataflowProgram, SystemConfig
+from repro.cluster import ShardedEngine
+from repro.core import build_accelerated_polystore
+from repro.datamodel import DataType, make_schema
+from repro.obs import ancestors, parse_prometheus_text
+from repro.stores import RelationalEngine
+
+FAST = bool(os.environ.get("EXAMPLES_FAST"))
+N_ORDERS = 200 if FAST else 2_000
+N_SHARDS = 3
+RUNS = 3 if FAST else 10
+
+#: Families the CI smoke step (and this example) require in the scrape.
+CORE_FAMILIES = (
+    "polystore_requests_total",
+    "polystore_request_seconds",
+    "polystore_plan_cache_total",
+    "polystore_operators_total",
+    "polystore_scatter_subtasks_total",
+    "polystore_wal_appends_total",
+    "polystore_wal_fsync_seconds",
+)
+
+
+def build_observed_deployment(data_dir: str):
+    """A durable sharded deployment with tracing fully on."""
+    config = SystemConfig(obs_enabled=True, obs_trace_sample_rate=1.0,
+                          durability_sync="always")
+    sales = ShardedEngine("sales", RelationalEngine, N_SHARDS)
+    system = build_accelerated_polystore([sales], config=config)
+    system.open(data_dir)
+    return system, sales
+
+
+def traced_ingest(system, sales) -> None:
+    """Load orders inside a user-opened request span (WAL fsyncs nest here)."""
+    schema = make_schema(("order_id", DataType.INT),
+                        ("customer", DataType.STRING),
+                        ("amount", DataType.FLOAT))
+    with system.obs.tracer.request("ingest", rows=N_ORDERS):
+        sales.create_table("orders", schema, shard_key="order_id")
+        for start in range(0, N_ORDERS, 100):
+            sales.insert("orders", [
+                (i, f"c{i % 20}", float(i % 37) * 2.5)
+                for i in range(start, min(start + 100, N_ORDERS))
+            ])
+
+
+def build_scan_program(system) -> DataflowProgram:
+    """One scatter-gathered aggregation over every shard."""
+    totals = (system.dataset("sales").table("orders")
+              .aggregate(["customer"], total=("sum", "amount"),
+                         n_orders=("count", None))
+              .named("totals"))
+    program = DataflowProgram("sharded_scan")
+    program.output("totals", totals)
+    return program
+
+
+def check_span_nesting(system) -> tuple[int, int]:
+    """Shard subtask and WAL fsync spans must sit under request spans."""
+    spans = system.obs.tracer.spans()
+    by_kind = {"shard": [], "wal_fsync": []}
+    for span in spans:
+        if span.name.startswith("shard:"):
+            by_kind["shard"].append(span)
+        elif span.name == "wal_fsync":
+            by_kind["wal_fsync"].append(span)
+    assert len(by_kind["shard"]) >= N_SHARDS, by_kind
+    assert by_kind["wal_fsync"], "sync=always ingest produced no fsync spans"
+    for kind, group in by_kind.items():
+        for span in group:
+            chain = [parent.name for parent in ancestors(span, spans)]
+            assert any(name.startswith("request:") or name == "ingest"
+                       for name in chain), (kind, span.name, chain)
+    return len(by_kind["shard"]), len(by_kind["wal_fsync"])
+
+
+def main() -> None:
+    trace_path = None
+    if "--trace" in sys.argv:
+        trace_path = sys.argv[sys.argv.index("--trace") + 1]
+
+    with tempfile.TemporaryDirectory(prefix="obs-trace-") as data_dir:
+        system, sales = build_observed_deployment(data_dir)
+        traced_ingest(system, sales)
+
+        program = build_scan_program(system)
+        with system.session(name="obs-demo") as session:
+            prepared = session.prepare(program, mode="polystore++")
+            for _ in range(RUNS):
+                result = prepared.run()
+        print(f"aggregated {len(result.output('totals'))} customer groups "
+              f"over {N_SHARDS} shards, {RUNS} prepared runs")
+
+        # -- Prometheus: the scrape parses and carries the core families --
+        scrape = system.export_prometheus()
+        families = parse_prometheus_text(scrape)
+        missing = [name for name in CORE_FAMILIES if name not in families]
+        assert not missing, f"scrape is missing families: {missing}"
+        print(f"prometheus scrape: {len(families)} families, "
+              f"{sum(len(samples) for samples in families.values())} samples")
+        print("  " + "\n  ".join(
+            line for line in scrape.splitlines()
+            if line.startswith("polystore_requests_total")
+            or line.startswith("polystore_scatter_subtasks_total")))
+
+        # -- span tree: subtasks and fsyncs nest under their requests --
+        shards, fsyncs = check_span_nesting(system)
+        print(f"span nesting ok: {shards} shard subtask spans, "
+              f"{fsyncs} WAL fsync spans, all under request spans")
+
+        # -- Chrome trace: write it for Perfetto / about:tracing --
+        document = system.export_chrome_trace()
+        print(f"chrome trace: {len(document['traceEvents'])} events")
+        if trace_path:
+            with open(trace_path, "w") as handle:
+                json.dump(document, handle, default=repr)
+            print(f"wrote {trace_path} — open it at https://ui.perfetto.dev")
+
+        system.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -30,7 +30,7 @@ N_CUSTOMERS = 50 if FAST else 200
 REPEATS = 3 if FAST else 10
 
 
-def build_deployment():
+def build_deployment(config=None):
     """Create and load the engines, then wrap them in a Polystore++ system."""
     relational = RelationalEngine("ordersdb")
     timeseries = TimeseriesEngine("telemetry")
@@ -50,7 +50,8 @@ def build_deployment():
             f"sessions/{customer}",
             [(float(day), float((customer + day) % 10)) for day in range(30)])
 
-    return build_accelerated_polystore([relational, timeseries, ml])
+    return build_accelerated_polystore([relational, timeseries, ml],
+                                       config=config)
 
 
 def build_program(system) -> DataflowProgram:

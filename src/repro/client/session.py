@@ -22,6 +22,7 @@ an engine:
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Iterable
 
@@ -154,6 +155,29 @@ class PreparedProgram:
         ``reuse_scans=False`` executes everything fresh without touching the
         pins.
         """
+        obs = self._session.system.obs
+        if not obs.enabled:
+            return self._run_once(refresh=refresh, reuse_scans=reuse_scans,
+                                  params=params)
+        start = time.perf_counter()
+        with obs.tracer.request(f"request:{self._program.name}",
+                                program=self._program.name,
+                                mode=self.mode) as span:
+            result = self._run_once(refresh=refresh, reuse_scans=reuse_scans,
+                                    params=params)
+            if span is not None:
+                span.set(operators=len(result.report.records),
+                         reoptimized=result.report.reoptimized)
+        elapsed = time.perf_counter() - start
+        obs.requests_total.inc(mode=self.mode)
+        obs.request_seconds.observe(elapsed, mode=self.mode)
+        obs.consider_slow(program=str(self._program.name), mode=self.mode,
+                          fingerprint=self._entry.fingerprint,
+                          report=result.report, elapsed_wall_s=elapsed)
+        return result
+
+    def _run_once(self, *, refresh: bool, reuse_scans: bool,
+                  params: dict[str, Any]) -> "ExecutionResult":
         with self._lock:  # revalidate plan + entry atomically across threads
             plan, entry, reoptimized = self._session._fresh_entry(
                 self._program, self._plan, self._entry, self._options)
@@ -270,15 +294,21 @@ class Session:
 
     def _lookup_or_compile(self, program: "Program",
                            plan: "ModePlan") -> CachedPlan:
+        obs = self.system.obs
         fingerprint = program.fingerprint()
         key = self._plan_key(fingerprint, plan)
         with self._prepare_lock:
             entry = self.plan_cache.get(key)
             if entry is not None:
                 entry.hits += 1
+                obs.plan_cache_total.inc(outcome="hit")
                 return entry
-            compilation = self.system.compile(program, accelerated=plan.accelerated,
-                                              options=plan.compile_options)
+            obs.plan_cache_total.inc(outcome="miss")
+            with obs.tracer.span("compile", "compile", mode=plan.mode,
+                                 fingerprint=fingerprint[:12]):
+                compilation = self.system.compile(
+                    program, accelerated=plan.accelerated,
+                    options=plan.compile_options)
             compilation.source_fingerprint = fingerprint
             entry = CachedPlan(
                 compilation=compilation,
@@ -366,8 +396,13 @@ class Session:
                 return entry.superseded_by
             if not self._drifted(entry):  # sibling re-baked the estimates
                 return entry
-            compilation = self.system.compile(program, accelerated=plan.accelerated,
-                                              options=plan.compile_options)
+            obs = self.system.obs
+            with obs.tracer.span("compile", "compile", mode=plan.mode,
+                                 fingerprint=entry.fingerprint[:12],
+                                 reoptimize=True):
+                compilation = self.system.compile(
+                    program, accelerated=plan.accelerated,
+                    options=plan.compile_options)
             compilation.source_fingerprint = entry.fingerprint
             if compilation.plan_fingerprint == entry.compilation.plan_fingerprint:
                 entry.baked_estimates = self._baked_estimates(compilation)
@@ -385,6 +420,7 @@ class Session:
             )
             entry.superseded_by = replacement
             self.plan_cache.put(self._plan_key(entry.fingerprint, plan), replacement)
+            obs.plan_cache_total.inc(outcome="reoptimized")
             return replacement
 
     # -- one-shot execution --------------------------------------------------------------
@@ -396,8 +432,15 @@ class Session:
         This is the one-shot path :meth:`PolystorePlusPlus.execute` delegates
         to: it benefits from the plan cache but never replays pinned scans.
         """
-        prepared = self.prepare(program, mode=mode, options=options, freeze=False)
-        return prepared.run(reuse_scans=False)
+        # One request scope over prepare+run so a one-shot's compile span
+        # lands in the same trace as its execution (the nested scope opened
+        # by run() joins this tree instead of re-sampling).
+        with self.system.obs.tracer.request(f"request:{program.name}",
+                                            program=str(program.name),
+                                            mode=mode, oneshot=True):
+            prepared = self.prepare(program, mode=mode, options=options,
+                                    freeze=False)
+            return prepared.run(reuse_scans=False)
 
     # -- concurrent execution ------------------------------------------------------------
 
@@ -448,7 +491,8 @@ class Session:
                             migration_strategy=plan.migration_strategy,
                             max_workers=self.max_workers,
                             runtime_stats=system.feedback_stats,
-                            views=system.views)
+                            views=system.views,
+                            obs=system.obs)
         outputs, report = executor.execute(graph, mode=plan.mode,
                                            result_cache=snapshot)
         report.migration_time_s = migrator.total_time_s()

@@ -40,6 +40,7 @@ from repro.datamodel.schema import Column, DataType, Schema
 from repro.datamodel.table import Table
 from repro.middleware.adapters import Adapter, adapter_for
 from repro.middleware.feedback.stats import RuntimeStats
+from repro.obs import Observability
 from repro.ir.nodes import Operator
 from repro.stores.base import Engine
 from repro.stores.relational.operators import AggregateSpec
@@ -136,9 +137,13 @@ class _ShardTask:
 class ScatterGather:
     """Plans and runs scatter-gather dispatch for one executor instance."""
 
-    def __init__(self, stats: RuntimeStats | None = None) -> None:
+    def __init__(self, stats: RuntimeStats | None = None, *,
+                 obs: Observability | None = None) -> None:
         self._adapters: dict[int, Adapter] = {}
         self._adapters_lock = threading.Lock()
+        #: Observability hub: one span + one counter/histogram sample per
+        #: shard subtask (inert shared hub when obs is off).
+        self._obs = obs if obs is not None else Observability.disabled()
         #: Runtime feedback store: per-shard subtask times are recorded after
         #: every fan-out, and reads whose observed subtasks are smaller than
         #: the thread-dispatch overhead are re-dispatched serially (the
@@ -374,15 +379,50 @@ class ScatterGather:
         """
         serial = (key is not None and self._stats is not None
                   and self._stats.prefer_serial_fan_out(*key))
-        if pool is not None and len(tasks) > 1 and not serial:
-            futures = [pool.submit(task.run) for task in tasks]
-            results, fan_out = [future.result() for future in futures], "concurrent"
+        obs = self._obs
+        if not obs.enabled:
+            if pool is not None and len(tasks) > 1 and not serial:
+                futures = [pool.submit(task.run) for task in tasks]
+                results = [future.result() for future in futures]
+                fan_out = "concurrent"
+            else:
+                results, fan_out = [task.run() for task in tasks], "serial"
         else:
-            results, fan_out = [task.run() for task in tasks], "serial"
+            engine_label = key[0] if key is not None else "unknown"
+            kind = key[1] if key is not None else "op"
+            # Pool workers re-attach the dispatching thread's span so each
+            # subtask span parents under the scattered operator.
+            parent = obs.tracer.current()
+            if pool is not None and len(tasks) > 1 and not serial:
+                futures = [pool.submit(self._run_subtask, task, index,
+                                       engine_label, kind, parent)
+                           for index, task in enumerate(tasks)]
+                results = [future.result() for future in futures]
+                fan_out = "concurrent"
+            else:
+                results = [self._run_subtask(task, index, engine_label, kind,
+                                             parent)
+                           for index, task in enumerate(tasks)]
+                fan_out = "serial"
         if key is not None and self._stats is not None:
             self._stats.record_shard_times(key[0], key[1],
                                            [cpu for _, cpu in results])
         return results, fan_out
+
+    def _run_subtask(self, task: _ShardTask, index: int, engine_label: str,
+                     kind: str, parent: Any) -> tuple[Any, float]:
+        """One instrumented shard subtask (possibly on a pool worker)."""
+        obs = self._obs
+        with obs.tracer.attach(parent):
+            with obs.tracer.span(f"shard:{index}", "scatter",
+                                 engine=engine_label, kind=kind,
+                                 shard=index) as span:
+                value, cpu = task.run()
+                if span is not None:
+                    span.set(cpu_s=cpu)
+        obs.scatter_subtasks_total.inc(engine=engine_label)
+        obs.scatter_subtask_seconds.observe(cpu, engine=engine_label)
+        return value, cpu
 
     def _adapter(self, shard: Engine) -> Adapter:
         key = id(shard)

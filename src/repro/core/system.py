@@ -27,6 +27,7 @@ from repro.middleware.executor import ExecutionReport
 from repro.middleware.feedback import RuntimeStats
 from repro.middleware.migration import SimulatedNetwork
 from repro.middleware.optimizer import CostModel
+from repro.obs import Observability, chrome_trace, prometheus_text
 from repro.stores.base import Engine
 from repro.views.registry import ViewRegistry
 from repro.views.view import MaintenancePolicy, MaterializedView
@@ -117,6 +118,20 @@ class SystemConfig:
     durability_sync_interval_s: float = 0.05
     #: WAL records between automatic checkpoints (snapshot + rotation).
     durability_snapshot_every: int = 512
+    #: Observability master switch: metrics registry, trace spans and the
+    #: slow-query log (see :mod:`repro.obs`).  Off by default — every
+    #: instrumented seam then costs a single attribute check.
+    obs_enabled: bool = False
+    #: Fraction of session requests that open trace spans; sampled-out
+    #: requests still count in every metric.  Keep small in production so
+    #: tracing stays off the hot path; set to 1.0 to trace every request.
+    obs_trace_sample_rate: float = 0.05
+    #: Requests slower than this (measured wall ms) are captured in the
+    #: ring-buffer slow-query log with their plan fingerprint and
+    #: per-stage breakdown.
+    obs_slow_query_ms: float = 250.0
+    #: Finished spans retained for export (ring buffer).
+    obs_span_buffer: int = 8192
 
 
 class PolystorePlusPlus:
@@ -129,6 +144,13 @@ class PolystorePlusPlus:
             self.config.data_dir = data_dir
         self.catalog = Catalog()
         self.cost_model = CostModel()
+        #: The observability hub (metrics, traces, slow-query log); inert
+        #: unless ``config.obs_enabled`` is set.
+        self.obs = (Observability(
+            sample_rate=self.config.obs_trace_sample_rate,
+            slow_query_ms=self.config.obs_slow_query_ms,
+            span_buffer=self.config.obs_span_buffer,
+        ) if self.config.obs_enabled else Observability.disabled())
         #: Observed per-operator runtime statistics (populated by executors).
         self.runtime_stats = RuntimeStats(
             smoothing=self.config.feedback_smoothing,
@@ -345,7 +367,52 @@ class PolystorePlusPlus:
         description["views"] = self.views.describe()
         description["durability"] = (self._durability.describe()
                                      if self._durability is not None else None)
+        # Changelog retention per engine: how deep the delta log sits right
+        # now (what incremental views and replicas would have to catch up).
+        description["changelog"] = {
+            engine.name: engine.changelog.retention_stats()
+            for engine in self.catalog.engines()
+        }
+        description["observability"] = self.obs.describe()
+        if self.obs.enabled:
+            self.refresh_gauges()
+            description["metrics"] = self.obs.registry.snapshot()
         return description
+
+    # -- observability exports -------------------------------------------------------------
+
+    def refresh_gauges(self) -> None:
+        """Update collection-time gauges from live state (pre-export hook).
+
+        Counters and histograms accumulate at the instrumented seams;
+        gauges describing *current* state (changelog depth, materialized
+        view sizes) are sampled here so a scrape always sees fresh values
+        without taxing the write path.
+        """
+        if not self.obs.enabled:
+            return
+        for engine in self.catalog.engines():
+            stats = engine.changelog.retention_stats()
+            self.obs.changelog_retained_batches.set(
+                stats["retained_batches"], engine=engine.name)
+            self.obs.changelog_retained_rows.set(
+                stats["retained_rows"], engine=engine.name)
+        for view in self.views.describe():
+            self.obs.view_rows.set(view["rows"], view=view["name"])
+
+    def export_prometheus(self) -> str:
+        """The metrics registry in Prometheus text exposition format."""
+        self.refresh_gauges()
+        return prometheus_text(self.obs.registry)
+
+    def export_chrome_trace(self) -> dict[str, Any]:
+        """Buffered trace spans as a Chrome ``trace_event`` document.
+
+        Write it to a ``.json`` file and open it in ``about:tracing`` or
+        https://ui.perfetto.dev to see requests, stages, operators,
+        per-shard subtasks and WAL fsyncs on a timeline.
+        """
+        return chrome_trace(self.obs.tracer.spans())
 
     # -- compilation -----------------------------------------------------------------------
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 import pickle
 import shutil
 import threading
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
@@ -60,6 +61,7 @@ from repro.durability.wal import (
     segment_index,
 )
 from repro.exceptions import ConfigurationError, StorageError
+from repro.obs import Observability
 from repro.stores.base import Engine
 from repro.stores.changelog import DeltaBatch
 from repro.stores.keyvalue.engine import KeyValueEngine
@@ -104,11 +106,17 @@ class EngineStore:
         if manifest is None:
             self._wal = WalWriter(self.directory, self.liveness,
                                   sync=self.manager.sync,
-                                  sync_interval_s=self.manager.sync_interval_s)
+                                  sync_interval_s=self.manager.sync_interval_s,
+                                  obs=self.manager.obs,
+                                  label=self.engine.name)
             self.recovery = {"restored": False, "replayed_batches": 0,
                             "replayed_meta": 0, "truncated_records": 0}
         else:
             self._restore(manifest)
+        replayed = int(self.recovery.get("replayed_batches", 0))
+        if replayed:
+            self.manager.obs.recovery_replayed_total.inc(
+                replayed, engine=self.engine.name)
         self._hook()
         # Checkpoint immediately: a fresh attach snapshots whatever state
         # the engine already carries, and a recovered attach re-anchors the
@@ -144,7 +152,8 @@ class EngineStore:
         self._wal = WalWriter(self.directory, self.liveness,
                               sync=self.manager.sync,
                               sync_interval_s=self.manager.sync_interval_s,
-                              start_segment=last_segment + 1)
+                              start_segment=last_segment + 1,
+                              obs=self.manager.obs, label=self.engine.name)
         self.recovery = {"restored": True,
                          "snapshot_id": manifest["snapshot_id"],
                          "replayed_batches": batches,
@@ -231,11 +240,15 @@ class EngineStore:
         if not self.liveness.alive or self._wal is None:
             return
         engine = self.engine
+        obs = self.manager.obs
+        checkpoint_start = time.perf_counter()
         self._snap_id += 1
         payload = {"state": dump_state(engine, self),
                    "counters": dump_counters(engine)}
-        name = write_snapshot(self.directory, self._snap_id, payload,
-                              self.liveness)
+        with obs.tracer.span(f"snapshot:{engine.name}", "durability",
+                             engine=engine.name, snapshot_id=self._snap_id):
+            name = write_snapshot(self.directory, self._snap_id, payload,
+                                  self.liveness)
         segment = self._wal.rotate()
         write_manifest(self.directory, {
             "engine": engine.name,
@@ -249,6 +262,18 @@ class EngineStore:
         })
         self._since_checkpoint = 0
         self._gc()
+        if obs.enabled:
+            obs.snapshot_seconds.observe(
+                time.perf_counter() - checkpoint_start, engine=engine.name)
+            obs.checkpoints_total.inc(engine=engine.name)
+
+    def checkpoint_state(self) -> dict[str, Any]:
+        """Current manifest anchor, for ``DurabilityManager.describe()``."""
+        return {
+            "snapshot_id": self._snap_id,
+            "wal_segment": self._wal.segment if self._wal is not None else None,
+            "since_checkpoint": self._since_checkpoint,
+        }
 
     def _gc(self) -> None:
         keep = {snapshot_name(self._snap_id)}
@@ -321,12 +346,18 @@ class ShardedStore:
         if manifest is None:
             self._wal = WalWriter(self.directory, self.liveness,
                                   sync=self.manager.sync,
-                                  sync_interval_s=self.manager.sync_interval_s)
+                                  sync_interval_s=self.manager.sync_interval_s,
+                                  obs=self.manager.obs,
+                                  label=self.engine.name)
             self._shard_stores = self._build_shard_stores(self.engine.shards)
             self.recovery = {"restored": False, "replayed_batches": 0,
                             "truncated_records": 0, "shards": []}
         else:
             self._restore(manifest)
+        replayed = int(self.recovery.get("replayed_batches", 0))
+        if replayed:
+            self.manager.obs.recovery_replayed_total.inc(
+                replayed, engine=self.engine.name)
         engine = self.engine
         engine.changelog.attach_wal(self._on_batch)
         engine._durability_meta = self._on_meta
@@ -379,7 +410,9 @@ class ShardedStore:
             self._wal = WalWriter(self.directory, self.liveness,
                                   sync=self.manager.sync,
                                   sync_interval_s=self.manager.sync_interval_s,
-                                  start_segment=last_segment + 1)
+                                  start_segment=last_segment + 1,
+                                  obs=self.manager.obs,
+                                  label=self.engine.name)
         self.recovery = {"restored": True, "generation": self.generation,
                          "snapshot_id": manifest["snapshot_id"],
                          "replayed_batches": replayed,
@@ -484,6 +517,8 @@ class ShardedStore:
         if not self.liveness.alive or self._wal is None:
             return
         engine = self.engine
+        obs = self.manager.obs
+        checkpoint_start = time.perf_counter()
         with engine._lock:
             for store in self._shard_stores:
                 store.checkpoint()
@@ -516,6 +551,21 @@ class ShardedStore:
             })
             self._since_checkpoint = 0
             self._gc_facade()
+        if obs.enabled:
+            obs.snapshot_seconds.observe(
+                time.perf_counter() - checkpoint_start, engine=engine.name)
+            obs.checkpoints_total.inc(engine=engine.name)
+
+    def checkpoint_state(self) -> dict[str, Any]:
+        """Facade manifest anchor plus each shard store's, for describe()."""
+        return {
+            "snapshot_id": self._snap_id,
+            "wal_segment": self._wal.segment if self._wal is not None else None,
+            "since_checkpoint": self._since_checkpoint,
+            "generation": self.generation,
+            "shards": [store.checkpoint_state()
+                       for store in self._shard_stores],
+        }
 
     def _gc_facade(self) -> None:
         keep_snapshot = snapshot_name(self._snap_id)
@@ -577,6 +627,11 @@ class DurabilityManager:
         self._skipped: list[str] = []
         self._view_specs: dict[str, dict[str, Any]] = self._load_view_specs()
         self._unpersisted_views: set[str] = set()
+
+    @property
+    def obs(self) -> Observability:
+        """The system's observability hub (inert when constructed before it)."""
+        return getattr(self.system, "obs", None) or Observability.disabled()
 
     # -- engines ------------------------------------------------------------------------
 
@@ -707,4 +762,6 @@ class DurabilityManager:
                 "skipped_engines": list(self._skipped),
                 "views": sorted(self._view_specs),
                 "unpersisted_views": sorted(self._unpersisted_views),
+                "checkpoints": {name: store.checkpoint_state()
+                                for name, store in sorted(self._stores.items())},
             }

@@ -29,6 +29,7 @@ from typing import Any
 
 from repro.durability import faults
 from repro.exceptions import StorageError
+from repro.obs import Observability
 
 #: Valid values for the ``sync`` policy knob.
 SYNC_POLICIES = ("always", "interval", "off")
@@ -118,7 +119,8 @@ class WalWriter:
 
     def __init__(self, directory: Path, liveness: "Liveness", *,
                  sync: str = "interval", sync_interval_s: float = 0.05,
-                 start_segment: int = 0) -> None:
+                 start_segment: int = 0,
+                 obs: Observability | None = None, label: str = "") -> None:
         if sync not in SYNC_POLICIES:
             raise StorageError(
                 f"unknown WAL sync policy {sync!r}; choose one of {SYNC_POLICIES}"
@@ -128,6 +130,9 @@ class WalWriter:
         self.sync_interval_s = sync_interval_s
         self._liveness = liveness
         self._segment = start_segment
+        #: Observability hub + the engine label appends/fsyncs report under.
+        self._obs = obs if obs is not None else Observability.disabled()
+        self._label = label or directory.name
         self._file = open(directory / segment_name(start_segment), "ab")
         self._last_fsync = time.monotonic()
 
@@ -154,16 +159,31 @@ class WalWriter:
                 f"fault point 'wal.append' fired in {self.directory}"
             )
         self._file.write(frame)
+        if self._obs.enabled:
+            self._obs.wal_appends_total.inc(engine=self._label)
         if self.sync == "off":
             return
         self._file.flush()
         if self.sync == "always":
-            os.fsync(self._file.fileno())
+            self._fsync()
         else:
             now = time.monotonic()
             if now - self._last_fsync >= self.sync_interval_s:
-                os.fsync(self._file.fileno())
+                self._fsync()
                 self._last_fsync = now
+
+    def _fsync(self) -> None:
+        """``fsync`` the current segment, timed and traced when obs is on."""
+        obs = self._obs
+        if not obs.enabled:
+            os.fsync(self._file.fileno())
+            return
+        with obs.tracer.span("wal_fsync", "durability", engine=self._label,
+                             segment=self._segment):
+            start = time.perf_counter()
+            os.fsync(self._file.fileno())
+        obs.wal_fsync_seconds.observe(time.perf_counter() - start,
+                                      engine=self._label)
 
     def rotate(self) -> int:
         """Start a fresh segment (called at every checkpoint)."""

@@ -35,6 +35,7 @@ from repro.middleware.adapters import Adapter, adapter_for
 from repro.middleware.executor.report import ExecutionReport, TaskRecord
 from repro.middleware.feedback.stats import RuntimeStats
 from repro.middleware.migration import DataMigrator
+from repro.obs import Observability
 from repro.stores.base import Concurrency
 from repro.stores.relational.expressions import Expression
 
@@ -59,8 +60,12 @@ class Executor:
                  migration_strategy: str | None = None,
                  max_workers: int | None = 4,
                  runtime_stats: RuntimeStats | None = None,
-                 views: Any | None = None) -> None:
+                 views: Any | None = None,
+                 obs: Observability | None = None) -> None:
         self.catalog = catalog
+        #: Observability hub spans and operator metrics report into; the
+        #: shared inert hub when the deployment runs with obs disabled.
+        self.obs = obs if obs is not None else Observability.disabled()
         self.migrator = migrator if migrator is not None else DataMigrator()
         self.migration_strategy = migration_strategy
         #: The deployment's view registry; ``view_read`` operators are served
@@ -73,7 +78,7 @@ class Executor:
         #: every run (``None`` disables recording entirely).
         self.runtime_stats = runtime_stats
         self._adapters: dict[str, Adapter] = {}
-        self._scatter = ScatterGather(stats=runtime_stats)
+        self._scatter = ScatterGather(stats=runtime_stats, obs=self.obs)
         #: Engine-name -> ShardedEngine (or None) resolution cache; checked
         #: for every node, so the catalog lookup must not repeat per node.
         self._sharded_engines: dict[str, ShardedEngine | None] = {}
@@ -101,10 +106,15 @@ class Executor:
             result_cache.begin_run(self.catalog)
         results: dict[str, Any] = {}
         pool: ThreadPoolExecutor | None = None
+        tracer = self.obs.tracer
         try:
-            for stage_index, stage in enumerate(graph.stages()):
-                pool = self._execute_stage(stage, stage_index, results, report,
-                                           result_cache, pool)
+            with tracer.span("execute", "executor", program=graph.name,
+                             mode=mode):
+                for stage_index, stage in enumerate(graph.stages()):
+                    with tracer.span(f"stage:{stage_index}", "executor",
+                                     stage=stage_index, operators=len(stage)):
+                        pool = self._execute_stage(stage, stage_index, results,
+                                                   report, result_cache, pool)
         finally:
             if pool is not None:
                 pool.shutdown(wait=True)
@@ -119,6 +129,16 @@ class Executor:
         report.elapsed_wall_s = time.perf_counter() - run_start
         if self.runtime_stats is not None:
             self._record_feedback(graph, report)
+        if self.obs.enabled:
+            # Batched per kind: one lock acquisition per distinct operator
+            # kind instead of two per record (this loop runs per request).
+            by_kind: dict[str, list[float]] = {}
+            for record in report.records:
+                by_kind.setdefault(record.kind, []).append(
+                    record.charged_time_s)
+            for kind, charged in by_kind.items():
+                self.obs.operators_total.inc(len(charged), kind=kind)
+                self.obs.operator_seconds.observe_many(charged, kind=kind)
         return outputs, report
 
     def _record_feedback(self, graph: IRGraph, report: ExecutionReport) -> None:
@@ -174,9 +194,12 @@ class Executor:
                 self._sharded_engine(str(node.engine))
             if pool is None:  # one pool per run, reused across stages
                 pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            # Capture the dispatching thread's current span so operator
+            # spans opened on pool workers parent under this stage.
+            parent_span = self.obs.tracer.current()
             futures = {
                 node.op_id: pool.submit(
-                    self._execute_node, node,
+                    self._execute_node_attached, parent_span, node,
                     [results[i] for i in node.inputs], stage_index)
                 for node in concurrent
             }
@@ -211,8 +234,28 @@ class Executor:
 
     # -- per-node execution --------------------------------------------------------------
 
+    def _execute_node_attached(self, parent_span: Any, node: Operator,
+                               inputs: list[Any], stage: int
+                               ) -> tuple[Any, TaskRecord]:
+        """Pool-worker entry: re-attach the dispatcher's span, then execute."""
+        with self.obs.tracer.attach(parent_span):
+            return self._execute_node(node, inputs, stage)
+
     def _execute_node(self, node: Operator, inputs: list[Any],
                       stage: int) -> tuple[Any, TaskRecord]:
+        tracer = self.obs.tracer
+        if tracer.current() is None:  # untraced (or obs off): skip the scope
+            return self._run_node(node, inputs, stage)
+        with tracer.span(f"op:{node.op_id}", "operator", kind=node.kind,
+                         engine=node.engine, stage=stage) as span:
+            value, record = self._run_node(node, inputs, stage)
+            span.set(rows_out=record.rows_out, rows_in=record.rows_in,
+                     charged_time_s=record.charged_time_s,
+                     offloaded=record.offloaded)
+        return value, record
+
+    def _run_node(self, node: Operator, inputs: list[Any],
+                  stage: int) -> tuple[Any, TaskRecord]:
         start = time.perf_counter()
         rows_in = sum(self._rows_of(value) for value in inputs) if inputs else 0
         if node.kind == "view_read":

@@ -1,0 +1,196 @@
+"""Observability: metrics registry, trace spans, exporters, slow-query log.
+
+One :class:`Observability` instance rides on each
+:class:`~repro.core.system.PolystorePlusPlus` deployment (``system.obs``)
+and is the single place every layer reports into:
+
+* sessions count requests and plan-cache outcomes and open the root
+  *request* span (sampled at ``SystemConfig.obs_trace_sample_rate``),
+* the executor opens stage and operator spans and feeds per-operator
+  latency histograms from the run's :class:`TaskRecord` stream,
+* scatter-gather opens one span per shard subtask,
+* materialized views report refresh kind/latency/delta sizes,
+* the durability layer reports WAL append/fsync latency, snapshot
+  durations and recovery replay counts.
+
+Everything is a no-op (one attribute check) when ``obs_enabled`` is off,
+and span creation additionally requires a *sampled* request to be active on
+the current thread — counters always count, spans only exist inside
+sampled traces.  Export via :meth:`PolystorePlusPlus.export_prometheus`
+and :meth:`PolystorePlusPlus.export_chrome_trace`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    parse_prometheus_text,
+    prometheus_text,
+)
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.slowlog import SlowQueryLog, stage_breakdown
+from repro.obs.trace import Span, Tracer, ancestors, span_tree
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "Span",
+    "SlowQueryLog",
+    "prometheus_text",
+    "parse_prometheus_text",
+    "chrome_trace",
+    "chrome_trace_json",
+    "span_tree",
+    "ancestors",
+    "stage_breakdown",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+]
+
+
+class Observability:
+    """The per-deployment observability hub (registry + tracer + slow log).
+
+    Core metric families are pre-registered as attributes so instrumented
+    hot paths pay one attribute access, not a name lookup, per event.
+    """
+
+    def __init__(self, *, enabled: bool = True, sample_rate: float = 1.0,
+                 slow_query_ms: float = 250.0, span_buffer: int = 8192,
+                 rng: random.Random | None = None) -> None:
+        self.enabled = enabled
+        self.registry = MetricsRegistry(enabled=enabled)
+        self.tracer = Tracer(enabled=enabled, sample_rate=sample_rate,
+                             buffer_size=span_buffer, rng=rng)
+        self.slow_log = SlowQueryLog(threshold_ms=slow_query_ms)
+        reg = self.registry
+        # -- session layer ---------------------------------------------------------------
+        self.requests_total = reg.counter(
+            "polystore_requests_total",
+            "Session requests (prepared runs and one-shot executes).",
+            ("mode",))
+        self.request_seconds = reg.histogram(
+            "polystore_request_seconds",
+            "End-to-end request wall latency.", ("mode",))
+        self.plan_cache_total = reg.counter(
+            "polystore_plan_cache_total",
+            "Plan-cache lookups by outcome (hit, miss, reoptimized).",
+            ("outcome",))
+        self.slow_queries_total = reg.counter(
+            "polystore_slow_queries_total",
+            "Requests captured by the slow-query log.")
+        # -- executor --------------------------------------------------------------------
+        self.operators_total = reg.counter(
+            "polystore_operators_total",
+            "Operators executed, by kind.", ("kind",))
+        self.operator_seconds = reg.histogram(
+            "polystore_operator_seconds",
+            "Per-operator charged latency, by kind.", ("kind",))
+        # -- scatter-gather --------------------------------------------------------------
+        self.scatter_subtasks_total = reg.counter(
+            "polystore_scatter_subtasks_total",
+            "Per-shard subtasks dispatched by scatter-gather.", ("engine",))
+        self.scatter_subtask_seconds = reg.histogram(
+            "polystore_scatter_subtask_seconds",
+            "Per-shard subtask CPU latency.", ("engine",))
+        # -- materialized views ----------------------------------------------------------
+        self.view_refreshes_total = reg.counter(
+            "polystore_view_refreshes_total",
+            "View refreshes by outcome kind (incremental, full, noop).",
+            ("view", "kind"))
+        self.view_refresh_seconds = reg.histogram(
+            "polystore_view_refresh_seconds",
+            "View refresh charged latency.", ("view",))
+        self.view_delta_rows = reg.histogram(
+            "polystore_view_delta_rows",
+            "Input delta rows absorbed per refresh.", ("view",),
+            buckets=SIZE_BUCKETS)
+        # -- durability ------------------------------------------------------------------
+        self.wal_appends_total = reg.counter(
+            "polystore_wal_appends_total",
+            "WAL records appended, per store.", ("engine",))
+        self.wal_fsync_seconds = reg.histogram(
+            "polystore_wal_fsync_seconds",
+            "WAL fsync latency, per store.", ("engine",))
+        self.snapshot_seconds = reg.histogram(
+            "polystore_snapshot_seconds",
+            "Checkpoint snapshot write duration, per store.", ("engine",))
+        self.checkpoints_total = reg.counter(
+            "polystore_checkpoints_total",
+            "Checkpoints completed, per store.", ("engine",))
+        self.recovery_replayed_total = reg.counter(
+            "polystore_recovery_replayed_total",
+            "WAL-tail records replayed during recovery, per store.",
+            ("engine",))
+        # -- gauges (refreshed at collection time) ---------------------------------------
+        self.changelog_retained_batches = reg.gauge(
+            "polystore_changelog_retained_batches",
+            "Delta batches currently retained in an engine's changelog.",
+            ("engine",))
+        self.changelog_retained_rows = reg.gauge(
+            "polystore_changelog_retained_rows",
+            "Entry rows currently retained in an engine's changelog.",
+            ("engine",))
+        self.view_rows = reg.gauge(
+            "polystore_view_rows",
+            "Rows currently materialized per view.", ("view",))
+
+    # -- constructors --------------------------------------------------------------------
+
+    _disabled_singleton: "Observability | None" = None
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """The shared inert hub: every record/span call is a cheap no-op.
+
+        A process-wide singleton — executors are constructed per run, and an
+        un-instrumented deployment must not re-register every metric family
+        each time.
+        """
+        if cls._disabled_singleton is None:
+            cls._disabled_singleton = cls(enabled=False, sample_rate=0.0,
+                                          span_buffer=1)
+        return cls._disabled_singleton
+
+    # -- slow-query capture --------------------------------------------------------------
+
+    def consider_slow(self, *, program: str, mode: str,
+                      fingerprint: str | None, report: Any,
+                      elapsed_wall_s: float) -> None:
+        """Offer one finished request to the slow-query log."""
+        if not self.enabled:
+            return
+        entry = self.slow_log.consider(program=program, mode=mode,
+                                       fingerprint=fingerprint, report=report,
+                                       elapsed_wall_s=elapsed_wall_s)
+        if entry is not None:
+            self.slow_queries_total.inc()
+
+    # -- introspection -------------------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """Configuration and buffer occupancy for ``system.describe()``."""
+        return {
+            "enabled": self.enabled,
+            "trace_sample_rate": self.tracer.sample_rate,
+            "requests_seen": self.tracer.requests_seen,
+            "requests_sampled": self.tracer.requests_sampled,
+            "spans_buffered": len(self.tracer),
+            "slow_query_threshold_ms": self.slow_log.threshold_ms,
+            "slow_queries_captured": self.slow_log.total_captured,
+        }

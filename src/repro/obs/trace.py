@@ -1,0 +1,253 @@
+"""Hierarchical trace spans threaded through one per-thread context.
+
+A :class:`Span` is one timed region of work — a session request, a compile,
+an executor stage, one operator, a per-shard scatter subtask, a view
+refresh, a WAL fsync.  Spans form a tree: the :class:`Tracer` keeps the
+*current* span in thread-local storage, and every span opened while another
+is current becomes its child.  Work handed to a pool thread re-attaches the
+parent explicitly (:meth:`Tracer.attach`), so scatter subtasks and
+concurrent stage operators nest under their dispatching operator even
+though they run elsewhere.
+
+Sampling happens once per request (:meth:`Tracer.request`): a sampled-out
+request opens *no* spans at all — every child site checks "is a trace
+active on this thread?" and returns a no-op, so the instrumented hot path
+costs one thread-local read.  Metrics are recorded independently of
+sampling (a sampled-out request still counts in every counter).
+
+Finished spans land in a bounded ring buffer; the Chrome ``trace_event``
+exporter (:mod:`repro.obs.export`) turns its contents into a file Perfetto
+or ``about:tracing`` can open.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import time
+from collections import deque
+from typing import Any, Iterator
+
+#: Monotonic span/trace id source, shared process-wide (ids only need to be
+#: unique, not secret).
+_ids = itertools.count(1)
+
+
+class Span:
+    """One timed region; finished spans are immutable in practice."""
+
+    __slots__ = ("span_id", "trace_id", "parent_id", "name", "category",
+                 "start_s", "end_s", "thread_id", "thread_name", "attrs")
+
+    def __init__(self, name: str, category: str, trace_id: int,
+                 parent_id: int | None, attrs: dict[str, Any]) -> None:
+        self.span_id = next(_ids)
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.start_s = time.perf_counter()
+        self.end_s: float | None = None
+        thread = threading.current_thread()
+        self.thread_id = thread.ident or 0
+        self.thread_name = thread.name
+        self.attrs = attrs
+
+    @property
+    def duration_s(self) -> float:
+        """Span duration (0.0 while still open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes (rows, cache outcome, resync cause, ...)."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Stable dictionary form (tests and the JSON exporters)."""
+        return {
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "thread_id": self.thread_id,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, cat={self.category!r}, "
+                f"id={self.span_id}, parent={self.parent_id})")
+
+
+class _SpanScope:
+    """Context manager closing one span (and restoring the previous current)."""
+
+    __slots__ = ("_tracer", "span", "_previous")
+
+    def __init__(self, tracer: "Tracer", span: Span | None,
+                 previous: Span | None) -> None:
+        self._tracer = tracer
+        self.span = span
+        self._previous = previous
+
+    def __enter__(self) -> Span | None:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.span is None:
+            return
+        self.span.end_s = time.perf_counter()
+        if exc is not None:
+            self.span.attrs.setdefault("error", repr(exc))
+        self._tracer._finish(self.span, self._previous)
+
+
+class _AttachScope:
+    """Context manager installing an existing span as a thread's current."""
+
+    __slots__ = ("_tracer", "_previous", "_installed")
+
+    def __init__(self, tracer: "Tracer", span: Span | None) -> None:
+        self._tracer = tracer
+        self._installed = span is not None
+        if self._installed:
+            self._previous = tracer._current_span()
+            tracer._local.span = span
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._installed:
+            self._tracer._local.span = self._previous
+
+
+class Tracer:
+    """Per-deployment span factory, sampler and ring buffer."""
+
+    def __init__(self, *, enabled: bool = True, sample_rate: float = 1.0,
+                 buffer_size: int = 8192, rng: random.Random | None = None) -> None:
+        if not (0.0 <= sample_rate <= 1.0):
+            raise ValueError("sample_rate must be within [0, 1]")
+        self.enabled = enabled
+        self.sample_rate = sample_rate
+        self._rng = rng if rng is not None else random.Random()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._finished: deque[Span] = deque(maxlen=buffer_size)
+        #: Requests that arrived while tracing (sampled or not) / sampled.
+        self.requests_seen = 0
+        self.requests_sampled = 0
+
+    # -- span creation -------------------------------------------------------------------
+
+    def request(self, name: str, **attrs: Any) -> _SpanScope:
+        """Open a root (request) span, subject to the sampling decision.
+
+        A sampled-out request returns a no-op scope: nothing is recorded
+        and no thread-local state is installed, so every downstream
+        :meth:`span` call short-circuits on "no current span".  When called
+        while a trace is already active on this thread, the new span simply
+        nests (no second sampling decision) — a one-shot ``execute`` whose
+        prepare and run both open request scopes produces one tree.
+        """
+        if not self.enabled:
+            return _SpanScope(self, None, None)
+        current = self._current_span()
+        if current is not None:
+            return self.span(name, "session", **attrs)
+        with self._lock:
+            self.requests_seen += 1
+            sampled = (self.sample_rate >= 1.0
+                       or self._rng.random() < self.sample_rate)
+            if sampled:
+                self.requests_sampled += 1
+        if not sampled:
+            return _SpanScope(self, None, None)
+        span = Span(name, "session", trace_id=next(_ids), parent_id=None,
+                    attrs=attrs)
+        self._local.span = span
+        return _SpanScope(self, span, None)
+
+    def span(self, name: str, category: str, **attrs: Any) -> _SpanScope:
+        """Open a child of the current span; no-op when no trace is active."""
+        if not self.enabled:
+            return _SpanScope(self, None, None)
+        parent = self._current_span()
+        if parent is None:
+            return _SpanScope(self, None, None)
+        span = Span(name, category, trace_id=parent.trace_id,
+                    parent_id=parent.span_id, attrs=attrs)
+        self._local.span = span
+        return _SpanScope(self, span, parent)
+
+    def attach(self, span: Span | None) -> _AttachScope:
+        """Install ``span`` as this thread's current span (pool workers).
+
+        The dispatching thread captures ``tracer.current()`` and the worker
+        wraps its body in ``with tracer.attach(captured):`` so spans opened
+        there parent correctly.  ``attach(None)`` is a no-op scope.
+        """
+        return _AttachScope(self, span if self.enabled else None)
+
+    def current(self) -> Span | None:
+        """The span currently open on this thread, if any."""
+        if not self.enabled:
+            return None
+        return self._current_span()
+
+    @property
+    def active(self) -> bool:
+        """Whether a sampled trace is open on this thread."""
+        return self.current() is not None
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _current_span(self) -> Span | None:
+        return getattr(self._local, "span", None)
+
+    def _finish(self, span: Span, previous: Span | None) -> None:
+        self._local.span = previous
+        with self._lock:
+            self._finished.append(span)
+
+    # -- reading -------------------------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """Finished spans currently retained, oldest first."""
+        with self._lock:
+            return list(self._finished)
+
+    def clear(self) -> None:
+        """Drop the retained spans (e.g. after an export)."""
+        with self._lock:
+            self._finished.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+
+def span_tree(spans: list[Span]) -> dict[int | None, list[Span]]:
+    """Index ``spans`` by parent id (test helper for nesting assertions)."""
+    children: dict[int | None, list[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    return children
+
+
+def ancestors(span: Span, spans: list[Span]) -> Iterator[Span]:
+    """Walk from ``span``'s parent to the root of its trace."""
+    by_id = {s.span_id: s for s in spans}
+    current = span
+    while current.parent_id is not None:
+        parent = by_id.get(current.parent_id)
+        if parent is None:
+            return
+        yield parent
+        current = parent

@@ -245,6 +245,26 @@ class ChangeLog:
             out.append(batch)
         return out, True, head
 
+    # -- introspection ------------------------------------------------------------------
+
+    def retention_stats(self) -> dict[str, int]:
+        """Current log depth, for ``system.describe()`` and gauge scrapes.
+
+        ``lag_window`` is how many sequence numbers a consumer may fall
+        behind before it must resync — the retained batch count, which is
+        also what a freshly attached replica would have to replay.
+        """
+        with self._lock:
+            return {
+                "retained_batches": len(self._batches),
+                "retained_rows": self._retained_rows,
+                "latest_seq": self._next_seq - 1,
+                "oldest_retained_seq": self._oldest_retained,
+                "lag_window": len(self._batches),
+                "capacity": self.capacity,
+                "max_rows": self.max_rows,
+            }
+
     # -- durability ---------------------------------------------------------------------
 
     def attach_wal(self, sink: Listener) -> None:

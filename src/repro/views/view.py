@@ -232,6 +232,26 @@ class MaterializedView:
 
     def refresh(self, *, force_full: bool = False) -> RefreshOutcome:
         """Bring the materialized state up to date; returns what was done."""
+        obs = self.system.obs
+        if not obs.enabled:
+            return self._refresh_locked(force_full=force_full)
+        with obs.tracer.span(f"view_refresh:{self.name}", "view",
+                             view=self.name) as span:
+            outcome = self._refresh_locked(force_full=force_full)
+            if span is not None:
+                span.set(kind=outcome.kind, delta_rows=outcome.delta_rows,
+                         input_rows=outcome.input_rows)
+                reason = outcome.details.get("resync_reason")
+                if reason is not None:
+                    span.set(resync_reason=reason)
+        obs.view_refreshes_total.inc(view=self.name, kind=outcome.kind)
+        if outcome.kind != "noop":
+            obs.view_refresh_seconds.observe(outcome.charged_time_s,
+                                             view=self.name)
+            obs.view_delta_rows.observe(outcome.delta_rows, view=self.name)
+        return outcome
+
+    def _refresh_locked(self, *, force_full: bool) -> RefreshOutcome:
         with self._lock:
             if self._delta is not None and not force_full:
                 if not self._delta.any_source_changed(self.system.catalog):
@@ -290,7 +310,8 @@ class MaterializedView:
         """
         assert self._delta is not None
         executor = Executor(self.system.catalog, max_workers=1,
-                            runtime_stats=self.system.feedback_stats)
+                            runtime_stats=self.system.feedback_stats,
+                            obs=self.system.obs)
         self._delta.set_seed(seed)
         try:
             outputs, report = executor.execute(self._delta.graph,

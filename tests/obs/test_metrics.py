@@ -1,0 +1,115 @@
+"""Metrics registry: families, labels, thread safety, disabled no-ops."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import MetricsRegistry, Observability, parse_prometheus_text, prometheus_text
+
+
+class TestFamilies:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        hits = reg.counter("hits_total", "Hits.", ("mode",))
+        hits.inc(mode="a")
+        hits.inc(3, mode="a")
+        hits.inc(mode="b")
+        assert reg.value("hits_total", mode="a") == 4
+        assert reg.value("hits_total", mode="b") == 1
+
+    def test_gauge_sets_and_increments(self):
+        reg = MetricsRegistry()
+        depth = reg.gauge("depth", "Depth.")
+        depth.set(7)
+        depth.inc(2)
+        assert reg.value("depth") == 9
+
+    def test_histogram_buckets_sum_and_count(self):
+        reg = MetricsRegistry()
+        lat = reg.histogram("lat_seconds", "Latency.",
+                            buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            lat.observe(value)
+        snap = reg.snapshot()["lat_seconds"]["series"][0]
+        assert snap["count"] == 4
+        assert abs(snap["sum"] - 5.555) < 1e-9
+        # Snapshot buckets are already cumulative (Prometheus semantics).
+        assert snap["buckets"]["1.0"] == 3
+        assert snap["buckets"]["+Inf"] == 4
+
+    def test_same_name_returns_same_family(self):
+        reg = MetricsRegistry()
+        first = reg.counter("x_total", "X.")
+        second = reg.counter("x_total", "X.")
+        assert first is second
+
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("c_total", "C.")
+        h = reg.histogram("h_seconds", "H.")
+        c.inc()
+        h.observe(1.0)
+        # A disabled registry never materializes label children at all:
+        # families exist (registration is unconditional) but stay empty.
+        assert reg.value("c_total") is None
+        snapshot = reg.snapshot()
+        assert all(family["series"] == [] for family in snapshot.values())
+
+
+class TestConcurrency:
+    def test_counter_monotonic_under_concurrent_writers(self):
+        reg = MetricsRegistry()
+        total = reg.counter("ops_total", "Ops.", ("worker",))
+        lat = reg.histogram("ops_seconds", "Ops latency.")
+        per_thread, threads = 2_000, 8
+
+        def writer(worker: int) -> None:
+            for _ in range(per_thread):
+                total.inc(worker=str(worker % 2))
+                lat.observe(0.001)
+
+        pool = [threading.Thread(target=writer, args=(i,)) for i in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        grand = (reg.value("ops_total", worker="0")
+                 + reg.value("ops_total", worker="1"))
+        assert grand == per_thread * threads
+        series = reg.snapshot()["ops_seconds"]["series"][0]
+        assert series["count"] == per_thread * threads
+
+
+class TestPrometheusRoundTrip:
+    def test_export_parses_and_preserves_values(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", "Requests.", ("mode",)).inc(5, mode="fast")
+        reg.histogram("req_seconds", "Latency.", buckets=(0.1, 1.0)).observe(0.5)
+        families = parse_prometheus_text(prometheus_text(reg))
+        [sample] = families["req_total"]["samples"]
+        assert sample["labels"] == {"mode": "fast"}
+        assert sample["value"] == 5.0
+        histogram = families["req_seconds"]
+        assert histogram["type"] == "histogram"
+        counts = [s for s in histogram["samples"]
+                  if s["name"] == "req_seconds_count"]
+        assert counts and counts[0]["value"] == 1.0
+
+    def test_parser_rejects_garbage(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is { not prometheus\n")
+
+
+class TestObservabilityHub:
+    def test_disabled_singleton_is_shared(self):
+        assert Observability.disabled() is Observability.disabled()
+        assert not Observability.disabled().enabled
+
+    def test_hub_preregisters_core_families(self):
+        obs = Observability(sample_rate=1.0)
+        obs.requests_total.inc(mode="polystore++")
+        obs.wal_fsync_seconds.observe(0.001, engine="db")
+        names = set(obs.registry.snapshot())
+        assert {"polystore_requests_total", "polystore_wal_fsync_seconds"} <= names

@@ -1,0 +1,77 @@
+"""Slow-query log: threshold capture, ring-buffer bounds, describe()."""
+
+from __future__ import annotations
+
+import time
+
+from repro import DataflowProgram, SystemConfig
+from repro.core import build_accelerated_polystore
+from repro.datamodel import DataType, Table, make_schema
+from repro.stores import RelationalEngine
+
+
+def _system(slow_ms: float):
+    engine = RelationalEngine("ordersdb")
+    schema = make_schema(("order_id", DataType.INT),
+                         ("amount", DataType.FLOAT))
+    engine.load_table("orders", Table(
+        schema, [(i, float(i % 7)) for i in range(50)]))
+    config = SystemConfig(obs_enabled=True, obs_slow_query_ms=slow_ms)
+    return build_accelerated_polystore([engine], config=config)
+
+
+def _program(system, udf=None) -> DataflowProgram:
+    orders = system.dataset("ordersdb").table("orders").named("orders")
+    if udf is not None:
+        orders = orders.apply(udf).named("slow_step")
+    program = DataflowProgram("orders_scan")
+    program.output("out", orders)
+    return program
+
+
+class TestSlowQueryCapture:
+    def test_deliberately_slow_udf_is_captured_with_breakdown(self):
+        system = _system(slow_ms=20.0)
+
+        def crawl(table):
+            time.sleep(0.05)
+            return table
+
+        prepared = system.session(name="t").prepare(
+            _program(system, udf=crawl), mode="polystore++")
+        prepared.run()
+
+        [entry] = system.obs.slow_log.entries()
+        assert entry["program"] == "orders_scan"
+        assert entry["elapsed_wall_s"] >= 0.05
+        assert entry["plan_fingerprint"]
+        # The per-stage breakdown and slowest-op ranking finger the UDF.
+        assert entry["stages"]
+        slow_kinds = [op["kind"] for op in entry["slowest_ops"]]
+        assert "python_udf" in slow_kinds
+        assert system.obs.registry.value("polystore_slow_queries_total") == 1
+
+    def test_fast_requests_are_not_captured(self):
+        system = _system(slow_ms=10_000.0)
+        prepared = system.session(name="t").prepare(
+            _program(system), mode="polystore++")
+        for _ in range(3):
+            prepared.run()
+        assert len(system.obs.slow_log.entries()) == 0
+        assert not system.obs.registry.value("polystore_slow_queries_total")
+
+    def test_ring_buffer_is_bounded(self):
+        from repro.obs import SlowQueryLog
+
+        log = SlowQueryLog(threshold_ms=0.0, capacity=4)
+
+        class _Report:
+            total_time_s = 0.0
+            records = ()
+
+        for i in range(10):
+            log.consider(program=f"p{i}", mode="m", fingerprint=None,
+                         report=_Report(), elapsed_wall_s=0.001)
+        assert len(log) == 4
+        assert log.total_captured == 10
+        assert [e["program"] for e in log.entries()] == ["p9", "p8", "p7", "p6"]
