@@ -1,0 +1,268 @@
+"""Serving-tier throughput under heavy in-process client concurrency.
+
+Two measurements:
+
+* **mixed read/write fleet** — ``SERVING_BENCH_CLIENTS`` concurrent
+  in-process clients (default 256; the acceptance floor) hammer one server:
+  each client alternates validated point reads over a static table with
+  aggregate counts over an events table that writer threads grow
+  concurrently.  Every response is checked — point reads must return
+  exactly the expected row, counts must be monotone per client and bounded
+  by the rows actually written — so the benchmark fails on *any* incorrect
+  result, not just on crashes.  Retryable rejects (``OVERLOADED`` /
+  ``QUOTA_EXCEEDED``) are retried with the server's hint; a sampler thread
+  asserts the admission queue never exceeds its configured bound.  Reports
+  QPS and p50/p99 client latency through :mod:`benchmarks._emit`.
+* **cooperative cancellation** — a sharded deployment whose first shard
+  scan cancels the request's token; with a serial fan-out the remaining
+  shard subtasks must never dispatch, asserted via the recorded
+  ``shard:*`` trace spans (strictly fewer than the shard count).
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q
+Smoke mode (CI):  SERVING_BENCH_REQUESTS=2 PYTHONPATH=src python -m pytest ...
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro import CancellationToken, DataflowProgram, SystemConfig, col
+from repro.core import PolystorePlusPlus, build_cpu_polystore
+from repro.datamodel import DataType, Table, make_schema
+from repro.eide import Param
+from repro.exceptions import CancelledError
+from repro.serve.client import ServeError
+from repro.stores import RelationalEngine
+
+from benchmarks._emit import emit
+
+#: Concurrent in-process clients; the acceptance criterion floor is 256.
+N_CLIENTS = int(os.environ.get("SERVING_BENCH_CLIENTS", "256"))
+#: Requests each client issues (half point reads, half counts).
+N_REQUESTS = int(os.environ.get("SERVING_BENCH_REQUESTS", "4"))
+#: Server worker sessions (= admission slots).
+POOL_SIZE = int(os.environ.get("SERVING_BENCH_POOL", "8"))
+#: Global admission-queue bound; the sampler asserts it is never exceeded.
+MAX_QUEUE = int(os.environ.get("SERVING_BENCH_QUEUE", "128"))
+#: Writer threads growing the events table during the read storm.
+N_WRITERS = 4
+
+_PATIENTS = [(pid, 20 + (pid * 7) % 60, float(pid % 10) / 10.0)
+             for pid in range(200)]
+
+
+def _build_system():
+    engine = RelationalEngine("servedb")
+    engine.load_table("patients", Table(
+        make_schema(("pid", DataType.INT), ("age", DataType.INT),
+                    ("score", DataType.FLOAT)),
+        _PATIENTS))
+    engine.create_table("events", make_schema(
+        ("event_id", DataType.INT), ("payload", DataType.FLOAT)))
+    config = SystemConfig(obs_enabled=True, obs_trace_sample_rate=0.0,
+                          session_workers=2)
+    return build_cpu_polystore([engine], config=config), engine
+
+
+def _point_read_program(system):
+    expr = (system.dataset("servedb").table("patients")
+            .filter(col("pid") == Param("pid", default=0)))
+    program = DataflowProgram("point_read")
+    program.output("row", expr)
+    return program
+
+
+def _count_events_program(system):
+    expr = (system.dataset("servedb").table("events")
+            .aggregate([], n=("count", None)))
+    program = DataflowProgram("count_events")
+    program.output("count", expr)
+    return program
+
+
+def _call_with_retries(client, program, params, tenant):
+    """One client request with bounded backoff on retryable rejects."""
+    for _ in range(60):
+        try:
+            return client.execute(program, params, tenant=tenant, timeout=120)
+        except ServeError as exc:
+            if not exc.retryable:
+                raise
+            time.sleep(min(exc.retry_after_s or 0.005, 0.1))
+    raise AssertionError(f"{program} never admitted after 60 retries")
+
+
+def test_mixed_fleet_sustains_concurrent_clients():
+    system, engine = _build_system()
+    errors: list[str] = []
+    latencies: list[float] = []
+    latency_lock = threading.Lock()
+    stop_writers = threading.Event()
+    written = [0]
+    written_lock = threading.Lock()
+
+    with system.serve(pool_size=POOL_SIZE, max_queue=MAX_QUEUE,
+                      max_queue_per_tenant=MAX_QUEUE) as server:
+        server.register("point_read", _point_read_program(system))
+        # Counts must see live writes and stay monotone per client, so they
+        # are registered non-coalescable: a follower attached to an older
+        # in-flight count could legitimately observe a smaller value.
+        server.register("count_events", _count_events_program(system),
+                        coalesce=False)
+
+        def writer(writer_id: int) -> None:
+            batch = 0
+            while not stop_writers.is_set():
+                base = writer_id * 1_000_000 + batch * 100
+                rows = [(base + i, float(i)) for i in range(10)]
+                with written_lock:
+                    engine.insert("events", rows)
+                    written[0] += len(rows)
+                batch += 1
+                time.sleep(0.002)
+
+        def client_loop(client_id: int) -> None:
+            client = server.connect()
+            last_count = -1
+            for step in range(N_REQUESTS):
+                pid = (client_id * 31 + step) % len(_PATIENTS)
+                start = time.perf_counter()
+                try:
+                    if step % 2 == 0:
+                        response = _call_with_retries(
+                            client, "point_read", {"pid": pid},
+                            f"tenant-{client_id % 8}")
+                        rows = response["outputs"]["row"]["rows"]
+                        expected = [list(_PATIENTS[pid])]
+                        if rows != expected:
+                            errors.append(
+                                f"client {client_id}: point read {pid} "
+                                f"returned {rows!r}, wanted {expected!r}")
+                    else:
+                        response = _call_with_retries(
+                            client, "count_events", {},
+                            f"tenant-{client_id % 8}")
+                        [[count]] = response["outputs"]["count"]["rows"]
+                        with written_lock:
+                            ceiling = written[0]
+                        if not (last_count <= count <= ceiling):
+                            errors.append(
+                                f"client {client_id}: count {count} outside "
+                                f"[{last_count}, {ceiling}]")
+                        last_count = count
+                except Exception as exc:  # any unexpected failure is a result error
+                    errors.append(f"client {client_id}: {type(exc).__name__}: {exc}")
+                    return
+                with latency_lock:
+                    latencies.append(time.perf_counter() - start)
+
+        max_queued = [0]
+
+        def sampler() -> None:
+            while not stop_writers.is_set():
+                snapshot = server.stats()["admission"]
+                max_queued[0] = max(max_queued[0], snapshot["queued"])
+                assert snapshot["queued"] <= MAX_QUEUE, (
+                    f"queue depth {snapshot['queued']} exceeds bound")
+                time.sleep(0.01)
+
+        writers = [threading.Thread(target=writer, args=(i,))
+                   for i in range(N_WRITERS)]
+        watcher = threading.Thread(target=sampler)
+        clients = [threading.Thread(target=client_loop, args=(i,))
+                   for i in range(N_CLIENTS)]
+        for thread in writers + [watcher]:
+            thread.start()
+        wall_start = time.perf_counter()
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join(timeout=300)
+        wall = time.perf_counter() - wall_start
+        stop_writers.set()
+        for thread in writers + [watcher]:
+            thread.join(timeout=30)
+
+        scrape = system.export_prometheus()
+
+    assert not errors, "incorrect results:\n" + "\n".join(errors[:10])
+    completed = len(latencies)
+    assert completed == N_CLIENTS * N_REQUESTS
+    assert "polystore_serve_requests_total" in scrape
+
+    latencies.sort()
+    p50 = latencies[completed // 2]
+    p99 = latencies[min(completed - 1, int(0.99 * completed))]
+    qps = completed / wall
+    print(f"\nclients             : {N_CLIENTS} x {N_REQUESTS} requests")
+    print(f"completed           : {completed} ok, 0 incorrect")
+    print(f"wall                : {wall:.2f}s  ({qps:.0f} QPS)")
+    print(f"latency p50 / p99   : {p50 * 1000:.1f} ms / {p99 * 1000:.1f} ms")
+    print(f"rows written        : {written[0]}")
+    print(f"max queue observed  : {max_queued[0]} (bound {MAX_QUEUE})")
+    emit("serving", {
+        "qps": qps,
+        "p50_ms": p50 * 1000,
+        "p99_ms": p99 * 1000,
+        "completed": completed,
+        "incorrect": 0,
+        "rows_written": written[0],
+        "max_queue_observed": max_queued[0],
+    }, {
+        "clients": N_CLIENTS,
+        "requests_per_client": N_REQUESTS,
+        "pool_size": POOL_SIZE,
+        "max_queue": MAX_QUEUE,
+        "writers": N_WRITERS,
+    })
+
+
+def test_cancelled_request_stops_before_all_shards():
+    """Deterministic end-to-end cancellation: the first shard's scan trips
+    the token; the serial fan-out must not dispatch the remaining shards,
+    observed via the recorded shard subtask spans."""
+    token = CancellationToken()
+    scans: list[str] = []
+
+    class HookedEngine(RelationalEngine):
+        def scan(self, table, columns=None):
+            scans.append(self.name)
+            if len(scans) == 1:
+                token.cancel("benchmark cancel after first shard")
+            return super().scan(table, columns)
+
+    num_shards = 4
+    system = PolystorePlusPlus(SystemConfig(
+        obs_enabled=True, obs_trace_sample_rate=1.0))
+    engine = system.register_sharded_engine("sharddb", HookedEngine,
+                                            num_shards)
+    engine.load_table("events", Table(
+        make_schema(("row_id", DataType.INT), ("value", DataType.FLOAT)),
+        [(i, float(i)) for i in range(64)]), shard_key="row_id")
+
+    expr = system.dataset("sharddb").table("events").filter(
+        col("value") >= 0.0)
+    program = DataflowProgram("cancelled_scan")
+    program.output("out", expr)
+
+    session = system.session(name="serial", max_workers=1)
+    prepared = session.prepare(program)
+    with pytest.raises(CancelledError):
+        prepared.run(cancellation=token)
+
+    shard_spans = [s for s in system.obs.tracer.spans()
+                   if s.name.startswith("shard:")]
+    print(f"\nshards              : {num_shards}")
+    print(f"shard scans run     : {len(scans)}")
+    print(f"shard spans recorded: {len(shard_spans)}")
+    assert len(scans) == 1
+    assert len(shard_spans) < num_shards
+
+
+if __name__ == "__main__":
+    test_mixed_fleet_sustains_concurrent_clients()
+    test_cancelled_request_stops_before_all_shards()

@@ -10,6 +10,7 @@ The public API is intentionally small; most users need only:
   :mod:`repro.accelerators` for lower-level use.
 """
 
+from repro.cancellation import CancellationToken
 from repro.catalog import Catalog
 from repro.client import PreparedProgram, Session
 from repro.cluster import (
@@ -48,6 +49,7 @@ __all__ = [
     "EXECUTION_MODES",
     "Session",
     "PreparedProgram",
+    "CancellationToken",
     "HeterogeneousProgram",
     "Param",
     "DataflowProgram",

@@ -26,6 +26,7 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Iterable
 
+from repro.cancellation import CancellationToken
 from repro.compiler.pipeline import CompilerOptions
 from repro.eide.dataflow import DataflowProgram
 from repro.eide.expressions import bind_params
@@ -42,6 +43,22 @@ if TYPE_CHECKING:  # avoid a circular import; the system creates sessions
 
 #: Programs sessions accept: the legacy fragment builder or a dataflow program.
 Program = HeterogeneousProgram | DataflowProgram
+
+
+def _resolve_token(deadline_s: float | None,
+                   cancellation: CancellationToken | None
+                   ) -> CancellationToken | None:
+    """Combine the two cancellation inputs into one token (or ``None``).
+
+    A caller-supplied token is reused (so a server-side cancel reaches the
+    run); a plain deadline gets a private token.  When both are given the
+    deadline tightens the shared token — it can only become more urgent.
+    """
+    if deadline_s is None:
+        return cancellation
+    if cancellation is None:
+        return CancellationToken(deadline_s=deadline_s)
+    return cancellation.add_deadline(deadline_s)
 
 
 def _resolve_param(param: Param, bindings: dict[str, Any]) -> Any:
@@ -145,6 +162,8 @@ class PreparedProgram:
     # -- execution -----------------------------------------------------------------------
 
     def run(self, *, refresh: bool = False, reuse_scans: bool = True,
+            deadline_s: float | None = None,
+            cancellation: CancellationToken | None = None,
             **params: Any) -> "ExecutionResult":
         """Execute the prepared plan and return an :class:`ExecutionResult`.
 
@@ -154,17 +173,27 @@ class PreparedProgram:
         explicitly bound runs never consult or populate the pins).
         ``reuse_scans=False`` executes everything fresh without touching the
         pins.
+
+        ``deadline_s`` bounds this run's wall time and ``cancellation``
+        attaches a shared :class:`~repro.cancellation.CancellationToken`
+        (both may be given; the deadline tightens the token).  The executor
+        checks the token between stages, at operator starts and before each
+        shard subtask, raising
+        :class:`~repro.exceptions.DeadlineExceededError` /
+        :class:`~repro.exceptions.CancelledError` — work genuinely stops
+        instead of running to completion.
         """
+        token = _resolve_token(deadline_s, cancellation)
         obs = self._session.system.obs
         if not obs.enabled:
             return self._run_once(refresh=refresh, reuse_scans=reuse_scans,
-                                  params=params)
+                                  params=params, cancellation=token)
         start = time.perf_counter()
         with obs.tracer.request(f"request:{self._program.name}",
                                 program=self._program.name,
                                 mode=self.mode) as span:
             result = self._run_once(refresh=refresh, reuse_scans=reuse_scans,
-                                    params=params)
+                                    params=params, cancellation=token)
             if span is not None:
                 span.set(operators=len(result.report.records),
                          reoptimized=result.report.reoptimized)
@@ -177,7 +206,11 @@ class PreparedProgram:
         return result
 
     def _run_once(self, *, refresh: bool, reuse_scans: bool,
-                  params: dict[str, Any]) -> "ExecutionResult":
+                  params: dict[str, Any],
+                  cancellation: CancellationToken | None = None
+                  ) -> "ExecutionResult":
+        if cancellation is not None:
+            cancellation.check()  # fail fast before touching the plan
         with self._lock:  # revalidate plan + entry atomically across threads
             plan, entry, reoptimized = self._session._fresh_entry(
                 self._program, self._plan, self._entry, self._options)
@@ -203,7 +236,7 @@ class PreparedProgram:
             if not reuse_scans:
                 snapshot = None
         result = self._session._run_graph(entry.compilation, graph, plan,
-                                          snapshot)
+                                          snapshot, cancellation=cancellation)
         if reoptimized:
             result.report.reoptimized = True
         with self._lock:
@@ -426,11 +459,17 @@ class Session:
     # -- one-shot execution --------------------------------------------------------------
 
     def execute(self, program: "Program", *, mode: str = "polystore++",
-                options: CompilerOptions | None = None) -> "ExecutionResult":
+                options: CompilerOptions | None = None,
+                deadline_s: float | None = None,
+                cancellation: CancellationToken | None = None
+                ) -> "ExecutionResult":
         """Compile-or-reuse and run once, always re-reading every engine.
 
         This is the one-shot path :meth:`PolystorePlusPlus.execute` delegates
         to: it benefits from the plan cache but never replays pinned scans.
+        ``deadline_s``/``cancellation`` bound the run cooperatively, exactly
+        as on :meth:`PreparedProgram.run` (the deadline covers compilation
+        too — an expired token stops the run at the next checkpoint).
         """
         # One request scope over prepare+run so a one-shot's compile span
         # lands in the same trace as its execution (the nested scope opened
@@ -440,7 +479,8 @@ class Session:
                                             mode=mode, oneshot=True):
             prepared = self.prepare(program, mode=mode, options=options,
                                     freeze=False)
-            return prepared.run(reuse_scans=False)
+            return prepared.run(reuse_scans=False, deadline_s=deadline_s,
+                                cancellation=cancellation)
 
     # -- concurrent execution ------------------------------------------------------------
 
@@ -477,7 +517,9 @@ class Session:
     # -- internals -----------------------------------------------------------------------
 
     def _run_graph(self, compilation, graph: IRGraph, plan: "ModePlan",
-                   snapshot: ScanSnapshot | None) -> "ExecutionResult":
+                   snapshot: ScanSnapshot | None,
+                   cancellation: CancellationToken | None = None
+                   ) -> "ExecutionResult":
         from repro.core.system import ExecutionResult
 
         system = self.system
@@ -492,7 +534,8 @@ class Session:
                             max_workers=self.max_workers,
                             runtime_stats=system.feedback_stats,
                             views=system.views,
-                            obs=system.obs)
+                            obs=system.obs,
+                            cancellation=cancellation)
         outputs, report = executor.execute(graph, mode=plan.mode,
                                            result_cache=snapshot)
         report.migration_time_s = migrator.total_time_s()

@@ -32,6 +32,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro.cancellation import CancellationToken
 from repro.cluster.partition import Partitioner
 from repro.cluster.sharded import ShardedEngine, concat_tables
 from repro.compiler.passes.pushdown import predicate_key_values
@@ -120,12 +121,18 @@ class ScatterExecution:
 class _ShardTask:
     """One shard-local subtask: timed execution of a node on one shard."""
 
-    def __init__(self, adapter: Adapter, node: Operator, inputs: list[Any]) -> None:
+    def __init__(self, adapter: Adapter, node: Operator, inputs: list[Any],
+                 cancellation: CancellationToken | None = None) -> None:
         self.adapter = adapter
         self.node = node
         self.inputs = inputs
+        self.cancellation = cancellation
 
     def run(self) -> tuple[Any, float]:
+        # A concurrent fan-out submits every subtask up front; pool-queued
+        # subtasks re-check here so a cancel stops them before they start.
+        if self.cancellation is not None:
+            self.cancellation.check()
         # Thread CPU time models the shard as its own machine: under
         # concurrent dispatch the GIL serializes the Python work, but each
         # subtask's CPU time still reflects only its own share.
@@ -138,9 +145,15 @@ class ScatterGather:
     """Plans and runs scatter-gather dispatch for one executor instance."""
 
     def __init__(self, stats: RuntimeStats | None = None, *,
-                 obs: Observability | None = None) -> None:
+                 obs: Observability | None = None,
+                 cancellation: CancellationToken | None = None) -> None:
         self._adapters: dict[int, Adapter] = {}
         self._adapters_lock = threading.Lock()
+        #: Cooperative cancellation token for the run this instance serves;
+        #: checked before each shard subtask is dispatched (and again at
+        #: subtask start on pool workers), so a cancelled fan-out stops
+        #: dispatching its remaining subtasks.
+        self._cancellation = cancellation
         #: Observability hub: one span + one counter/histogram sample per
         #: shard subtask (inert shared hub when obs is off).
         self._obs = obs if obs is not None else Observability.disabled()
@@ -188,7 +201,7 @@ class ScatterGather:
         routed = self._route(engine, node, partitioner)
         if routed is not None:
             return self._execute_routed(engine, node, pool, shards, routed)
-        tasks = [_ShardTask(self._adapter(shard), node, []) for shard in shards]
+        tasks = [self._task(self._adapter(shard), node, []) for shard in shards]
         results, fan_out = self._fan_out(tasks, pool, (engine.name, node.kind))
         parts = tuple(value for value, _ in results)
         times = [cpu for _, cpu in results]
@@ -263,7 +276,7 @@ class ScatterGather:
                         pool: ThreadPoolExecutor | None, shards: list[Engine],
                         routed: dict[int, Operator]) -> ScatterExecution:
         indexes = sorted(routed)
-        tasks = [_ShardTask(self._adapter(shards[index]), routed[index], [])
+        tasks = [self._task(self._adapter(shards[index]), routed[index], [])
                  for index in indexes]
         # Routed subtasks are key-addressed lookups, orders of magnitude
         # smaller than a full fan-out of the same kind — keep their observed
@@ -292,7 +305,7 @@ class ScatterGather:
                           pool: ThreadPoolExecutor | None) -> ScatterExecution:
         shards = engine.shards
         tasks = [
-            _ShardTask(self._adapter_for_index(shards, index), node, [part])
+            self._task(self._adapter_for_index(shards, index), node, [part])
             for part, index in zip(sharded.parts, sharded.shard_indexes)
         ]
         results, fan_out = self._fan_out(tasks, pool, (engine.name, node.kind))
@@ -315,7 +328,7 @@ class ScatterGather:
         if node.kind == "aggregate":
             return self._execute_partial_aggregate(engine, node, sharded, pool)
         tasks = [
-            _ShardTask(self._adapter_for_index(shards, index), node, [part])
+            self._task(self._adapter_for_index(shards, index), node, [part])
             for part, index in zip(sharded.parts, sharded.shard_indexes)
         ]
         results, fan_out = self._fan_out(tasks, pool, (engine.name, node.kind))
@@ -351,7 +364,7 @@ class ScatterGather:
                                    aggregates=partial_specs)
         shards = engine.shards
         tasks = [
-            _ShardTask(self._adapter_for_index(shards, index), partial_node, [part])
+            self._task(self._adapter_for_index(shards, index), partial_node, [part])
             for part, index in zip(sharded.parts, sharded.shard_indexes)
         ]
         results, fan_out = self._fan_out(tasks, pool, (engine.name, node.kind))
@@ -379,14 +392,17 @@ class ScatterGather:
         """
         serial = (key is not None and self._stats is not None
                   and self._stats.prefer_serial_fan_out(*key))
+        token = self._cancellation
         obs = self._obs
         if not obs.enabled:
             if pool is not None and len(tasks) > 1 and not serial:
+                if token is not None:
+                    token.check()
                 futures = [pool.submit(task.run) for task in tasks]
                 results = [future.result() for future in futures]
                 fan_out = "concurrent"
             else:
-                results, fan_out = [task.run() for task in tasks], "serial"
+                results, fan_out = self._run_serial(tasks, token), "serial"
         else:
             engine_label = key[0] if key is not None else "unknown"
             kind = key[1] if key is not None else "op"
@@ -394,15 +410,20 @@ class ScatterGather:
             # subtask span parents under the scattered operator.
             parent = obs.tracer.current()
             if pool is not None and len(tasks) > 1 and not serial:
+                if token is not None:
+                    token.check()
                 futures = [pool.submit(self._run_subtask, task, index,
                                        engine_label, kind, parent)
                            for index, task in enumerate(tasks)]
                 results = [future.result() for future in futures]
                 fan_out = "concurrent"
             else:
-                results = [self._run_subtask(task, index, engine_label, kind,
-                                             parent)
-                           for index, task in enumerate(tasks)]
+                results = []
+                for index, task in enumerate(tasks):
+                    if token is not None:  # stop dispatching on cancel
+                        token.check()
+                    results.append(self._run_subtask(task, index, engine_label,
+                                                     kind, parent))
                 fan_out = "serial"
         if key is not None and self._stats is not None:
             self._stats.record_shard_times(key[0], key[1],
@@ -423,6 +444,20 @@ class ScatterGather:
         obs.scatter_subtasks_total.inc(engine=engine_label)
         obs.scatter_subtask_seconds.observe(cpu, engine=engine_label)
         return value, cpu
+
+    def _task(self, adapter: Adapter, node: Operator,
+              inputs: list[Any]) -> _ShardTask:
+        return _ShardTask(adapter, node, inputs, self._cancellation)
+
+    @staticmethod
+    def _run_serial(tasks: list[_ShardTask],
+                    token: CancellationToken | None) -> list[tuple[Any, float]]:
+        results: list[tuple[Any, float]] = []
+        for task in tasks:
+            if token is not None:  # stop dispatching remaining subtasks
+                token.check()
+            results.append(task.run())
+        return results
 
     def _adapter(self, shard: Engine) -> Adapter:
         key = id(shard)

@@ -132,6 +132,17 @@ class SystemConfig:
     obs_slow_query_ms: float = 250.0
     #: Finished spans retained for export (ring buffer).
     obs_span_buffer: int = 8192
+    #: Serving tier (:meth:`PolystorePlusPlus.serve`): worker sessions in a
+    #: server's bounded pool — also its admission-control slot count.
+    serve_pool_size: int = 4
+    #: Total admission-queue bound across tenants; beyond it requests are
+    #: rejected with a retryable ``OVERLOADED`` error.
+    serve_max_queue: int = 64
+    #: Admission-queue bound for any single tenant.
+    serve_queue_per_tenant: int = 32
+    #: Deadline applied to served requests that do not send their own;
+    #: ``None`` leaves them unbounded.
+    serve_default_deadline_s: float | None = None
 
 
 class PolystorePlusPlus:
@@ -166,6 +177,7 @@ class PolystorePlusPlus:
         #: key, so stale compiled plans are unreachable.
         self._plan_generation = 0
         self._sessions: "weakref.WeakSet" = weakref.WeakSet()
+        self._servers: "weakref.WeakSet" = weakref.WeakSet()
         self._default_session = None
         self._default_session_lock = threading.Lock()
         #: Materialized views registered on this deployment (see repro.views).
@@ -399,6 +411,8 @@ class PolystorePlusPlus:
                 stats["retained_rows"], engine=engine.name)
         for view in self.views.describe():
             self.obs.view_rows.set(view["rows"], view=view["name"])
+        for server in list(self._servers):
+            server.refresh_gauges()
 
     def export_prometheus(self) -> str:
         """The metrics registry in Prometheus text exposition format."""
@@ -495,6 +509,45 @@ class PolystorePlusPlus:
         )
         self._sessions.add(session)
         return session
+
+    def serve(self, *, host: str = "127.0.0.1", port: int = 0,
+              pool_size: int | None = None, max_queue: int | None = None,
+              max_queue_per_tenant: int | None = None,
+              default_deadline_s: float | None = None,
+              default_tenant: str = "default", start: bool = True):
+        """Start a serving front-end over this deployment.
+
+        Builds a :class:`~repro.serve.PolystoreServer`: an asyncio server
+        multiplexing many clients onto a bounded pool of sessions, with
+        per-tenant quotas, admission control (explicit ``OVERLOADED``
+        rejections, never unbounded queues), request coalescing and
+        cooperative cancellation.  Register programs with
+        :meth:`~repro.serve.PolystoreServer.register`, connect in-process
+        via :meth:`~repro.serve.PolystoreServer.connect` or over TCP at
+        ``server.address``.  Pass ``start=False`` to configure tenants and
+        programs before :meth:`~repro.serve.PolystoreServer.start`.
+        """
+        from repro.serve import PolystoreServer, ServeConfig
+
+        config = ServeConfig(
+            host=host, port=port,
+            pool_size=(self.config.serve_pool_size
+                       if pool_size is None else pool_size),
+            max_queue=(self.config.serve_max_queue
+                       if max_queue is None else max_queue),
+            max_queue_per_tenant=(self.config.serve_queue_per_tenant
+                                  if max_queue_per_tenant is None
+                                  else max_queue_per_tenant),
+            default_deadline_s=(self.config.serve_default_deadline_s
+                                if default_deadline_s is None
+                                else default_deadline_s),
+            default_tenant=default_tenant,
+        )
+        server = PolystoreServer(self, config)
+        self._servers.add(server)
+        if start:
+            server.start()
+        return server
 
     def default_session(self):
         """The session backing :meth:`execute` and :meth:`compare_modes`."""

@@ -48,6 +48,25 @@ class ExecutionError(PolystoreError):
     """The executor failed while running a physical plan."""
 
 
+class CancelledError(ExecutionError):
+    """A request was cancelled cooperatively before it completed.
+
+    Raised by :meth:`repro.cancellation.CancellationToken.check` at the
+    executor's cancellation checkpoints (stage boundaries, operator starts,
+    shard-subtask dispatch), so in-flight work stops instead of running to
+    completion after the caller has given up.
+    """
+
+
+class DeadlineExceededError(CancelledError):
+    """A request's deadline passed before it completed.
+
+    A deadline is a cancellation with a cause, so ``except CancelledError``
+    catches both; callers that care about the distinction (the serving tier
+    maps them to different wire error codes) catch this subclass first.
+    """
+
+
 class MigrationError(PolystoreError):
     """Moving data between engines failed."""
 

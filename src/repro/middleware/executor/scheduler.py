@@ -24,6 +24,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Protocol
 
+from repro.cancellation import CancellationToken
 from repro.catalog import Catalog
 from repro.cluster.scatter import ScatterGather, ShardedValue, gather
 from repro.cluster.sharded import ShardedEngine
@@ -61,8 +62,12 @@ class Executor:
                  max_workers: int | None = 4,
                  runtime_stats: RuntimeStats | None = None,
                  views: Any | None = None,
-                 obs: Observability | None = None) -> None:
+                 obs: Observability | None = None,
+                 cancellation: CancellationToken | None = None) -> None:
         self.catalog = catalog
+        #: Cooperative cancellation token checked between stages, at operator
+        #: starts and before shard-subtask dispatch (``None`` = never stop).
+        self.cancellation = cancellation
         #: Observability hub spans and operator metrics report into; the
         #: shared inert hub when the deployment runs with obs disabled.
         self.obs = obs if obs is not None else Observability.disabled()
@@ -78,7 +83,8 @@ class Executor:
         #: every run (``None`` disables recording entirely).
         self.runtime_stats = runtime_stats
         self._adapters: dict[str, Adapter] = {}
-        self._scatter = ScatterGather(stats=runtime_stats, obs=self.obs)
+        self._scatter = ScatterGather(stats=runtime_stats, obs=self.obs,
+                                      cancellation=cancellation)
         #: Engine-name -> ShardedEngine (or None) resolution cache; checked
         #: for every node, so the catalog lookup must not repeat per node.
         self._sharded_engines: dict[str, ShardedEngine | None] = {}
@@ -111,6 +117,8 @@ class Executor:
             with tracer.span("execute", "executor", program=graph.name,
                              mode=mode):
                 for stage_index, stage in enumerate(graph.stages()):
+                    if self.cancellation is not None:
+                        self.cancellation.check()
                     with tracer.span(f"stage:{stage_index}", "executor",
                                      stage=stage_index, operators=len(stage)):
                         pool = self._execute_stage(stage, stage_index, results,
@@ -256,6 +264,8 @@ class Executor:
 
     def _run_node(self, node: Operator, inputs: list[Any],
                   stage: int) -> tuple[Any, TaskRecord]:
+        if self.cancellation is not None:
+            self.cancellation.check()
         start = time.perf_counter()
         rows_in = sum(self._rows_of(value) for value in inputs) if inputs else 0
         if node.kind == "view_read":

@@ -94,6 +94,35 @@ class Observability:
         self.slow_queries_total = reg.counter(
             "polystore_slow_queries_total",
             "Requests captured by the slow-query log.")
+        # -- serving tier ----------------------------------------------------------------
+        self.serve_requests_total = reg.counter(
+            "polystore_serve_requests_total",
+            "Server requests finished, by tenant and outcome "
+            "(ok, coalesced, error, cancelled, deadline).",
+            ("tenant", "outcome"))
+        self.serve_rejects_total = reg.counter(
+            "polystore_serve_rejects_total",
+            "Server requests rejected before execution, by tenant and "
+            "reason (overloaded, quota, deadline, shutdown).",
+            ("tenant", "reason"))
+        self.serve_request_seconds = reg.histogram(
+            "polystore_serve_request_seconds",
+            "Server request wall latency including admission queueing.",
+            ("tenant",))
+        self.serve_queue_wait_seconds = reg.histogram(
+            "polystore_serve_queue_wait_seconds",
+            "Time requests spent queued in admission control.", ("tenant",))
+        self.serve_coalesced_total = reg.counter(
+            "polystore_serve_coalesced_total",
+            "Requests served by attaching to an identical in-flight "
+            "execution.", ("tenant",))
+        self.serve_queue_depth = reg.gauge(
+            "polystore_serve_queue_depth",
+            "Admission queue depth per tenant (sampled at scrape).",
+            ("tenant",))
+        self.serve_sessions_busy = reg.gauge(
+            "polystore_serve_sessions_busy",
+            "Busy sessions in a server's bounded session pool.")
         # -- executor --------------------------------------------------------------------
         self.operators_total = reg.counter(
             "polystore_operators_total",

@@ -1,0 +1,31 @@
+"""Serving tier: async front-end, admission control, quotas, coalescing.
+
+Entry point: :meth:`PolystorePlusPlus.serve` builds and starts a
+:class:`PolystoreServer` over the deployment.  See ``DESIGN.md`` ("Serving
+tier") for the protocol, admission state machine and cancellation
+checkpoints.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.client import InProcessClient, ServeError, TcpClient
+from repro.serve.coalesce import Coalescer, coalesce_key
+from repro.serve.protocol import RETRYABLE_CODES, ProtocolError
+from repro.serve.quotas import QuotaManager, TenantPolicy, TokenBucket
+from repro.serve.server import PolystoreServer, RegisteredProgram, ServeConfig
+
+__all__ = [
+    "PolystoreServer",
+    "ServeConfig",
+    "RegisteredProgram",
+    "InProcessClient",
+    "TcpClient",
+    "ServeError",
+    "ProtocolError",
+    "RETRYABLE_CODES",
+    "AdmissionController",
+    "QuotaManager",
+    "TenantPolicy",
+    "TokenBucket",
+    "Coalescer",
+    "coalesce_key",
+]

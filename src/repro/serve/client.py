@@ -1,0 +1,205 @@
+"""Client transports for the serving tier.
+
+Two clients speak the same message protocol:
+
+* :class:`InProcessClient` — obtained from
+  :meth:`~repro.serve.server.PolystoreServer.connect`; enqueues message
+  dictionaries straight onto the server's event loop and waits on a
+  per-request future.  No sockets, no serialization — the transport the
+  tests and benchmarks use to drive hundreds of concurrent clients cheaply.
+* :class:`TcpClient` — a blocking socket client speaking the
+  length-prefixed JSON frames of :mod:`repro.serve.protocol`, demonstrating
+  that the wire protocol round-trips for real.
+
+Both are thread-compatible for the send/await pattern used here: sends are
+serialized by a lock and responses are parked in a pending map, so one
+thread may wait on a slow ``execute`` while another issues the ``cancel``
+that unblocks it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from concurrent.futures import Future
+from typing import Any
+
+from repro.serve import protocol
+from repro.serve.protocol import encode_frame, read_frame_sync
+
+
+class ServeError(Exception):
+    """An error response surfaced to a client call.
+
+    Carries the protocol ``code``, whether the request is ``retryable``,
+    and the server's ``retry_after_s`` hint when one was given.
+    """
+
+    def __init__(self, error: dict[str, Any]) -> None:
+        super().__init__(f"{error.get('code')}: {error.get('message')}")
+        self.code = error.get("code")
+        self.retryable = bool(error.get("retryable"))
+        self.retry_after_s = error.get("retry_after_s")
+
+
+def _unwrap(response: dict[str, Any]) -> dict[str, Any]:
+    if not response.get("ok"):
+        raise ServeError(response.get("error") or {})
+    return response
+
+
+class _ClientOps:
+    """The op vocabulary shared by both transports."""
+
+    _ids = itertools.count(1)
+    _prefix = "c"
+
+    def _next_id(self) -> str:
+        return f"{self._prefix}-{next(self._ids)}"
+
+    def request(self, message: dict[str, Any],
+                timeout: float | None = None) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def execute(self, program: str, params: dict[str, Any] | None = None, *,
+                tenant: str | None = None, deadline_s: float | None = None,
+                request_id: Any = None,
+                timeout: float | None = None) -> dict[str, Any]:
+        """Run a registered program; returns the ok-response dictionary.
+
+        Raises :class:`ServeError` on any error response (inspect
+        ``.code``/``.retryable``/``.retry_after_s`` for backoff decisions).
+        """
+        message: dict[str, Any] = {
+            "op": "execute",
+            "id": request_id if request_id is not None else self._next_id(),
+            "program": program,
+            "params": params or {},
+        }
+        if tenant is not None:
+            message["tenant"] = tenant
+        if deadline_s is not None:
+            message["deadline_s"] = deadline_s
+        return _unwrap(self.request(message, timeout))
+
+    def cancel(self, target: Any, *, tenant: str | None = None,
+               timeout: float | None = None) -> bool:
+        """Cancel an in-flight request by its id; True if it was found."""
+        message: dict[str, Any] = {"op": "cancel", "id": self._next_id(),
+                                   "target": target}
+        if tenant is not None:
+            message["tenant"] = tenant
+        return bool(_unwrap(self.request(message, timeout)).get("found"))
+
+    def metrics(self, timeout: float | None = None) -> str:
+        """The server's Prometheus scrape text."""
+        message = {"op": "metrics", "id": self._next_id()}
+        return _unwrap(self.request(message, timeout))["metrics"]
+
+    def programs(self, timeout: float | None = None) -> list[str]:
+        message = {"op": "programs", "id": self._next_id()}
+        return list(_unwrap(self.request(message, timeout))["programs"])
+
+    def stats(self, timeout: float | None = None) -> dict[str, Any]:
+        message = {"op": "stats", "id": self._next_id()}
+        return _unwrap(self.request(message, timeout))["stats"]
+
+    def ping(self, timeout: float | None = None) -> bool:
+        message = {"op": "ping", "id": self._next_id()}
+        return bool(_unwrap(self.request(message, timeout)).get("pong"))
+
+
+class InProcessClient(_ClientOps):
+    """Drives a server on this process's event loop, no bytes involved."""
+
+    def __init__(self, server: Any) -> None:
+        self._server = server
+
+    def submit(self, message: dict[str, Any]) -> "Future[dict[str, Any]]":
+        """Fire one message; the future resolves to the raw response."""
+        future: "Future[dict[str, Any]]" = Future()
+        self._server._submit(message, future.set_result)
+        return future
+
+    def submit_execute(self, program: str,
+                       params: dict[str, Any] | None = None, *,
+                       tenant: str | None = None,
+                       deadline_s: float | None = None,
+                       request_id: Any = None) -> "Future[dict[str, Any]]":
+        """Non-blocking execute; the future resolves to the raw response."""
+        message: dict[str, Any] = {
+            "op": "execute",
+            "id": request_id if request_id is not None else self._next_id(),
+            "program": program,
+            "params": params or {},
+        }
+        if tenant is not None:
+            message["tenant"] = tenant
+        if deadline_s is not None:
+            message["deadline_s"] = deadline_s
+        return self.submit(message)
+
+    def request(self, message: dict[str, Any],
+                timeout: float | None = None) -> dict[str, Any]:
+        return self.submit(message).result(timeout)
+
+    def close(self) -> None:
+        """Nothing to release; present for transport symmetry."""
+
+
+class TcpClient(_ClientOps):
+    """Blocking TCP client for the length-prefixed JSON wire protocol."""
+
+    _prefix = "t"
+
+    def __init__(self, host: str, port: int, *,
+                 connect_timeout: float = 5.0) -> None:
+        self._sock = socket.create_connection((host, port),
+                                              timeout=connect_timeout)
+        self._sock.settimeout(None)
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._pending: dict[Any, dict[str, Any]] = {}
+
+    def request(self, message: dict[str, Any],
+                timeout: float | None = None) -> dict[str, Any]:
+        request_id = message.get("id")
+        with self._send_lock:
+            self._sock.sendall(encode_frame(message))
+        return self._await(request_id, timeout)
+
+    def _await(self, request_id: Any,
+               timeout: float | None) -> dict[str, Any]:
+        while True:
+            response = self._pending.pop(request_id, None)
+            if response is not None:
+                return response
+            with self._recv_lock:
+                # Re-check: another waiter may have parked ours meanwhile.
+                response = self._pending.pop(request_id, None)
+                if response is not None:
+                    return response
+                self._sock.settimeout(timeout)
+                try:
+                    frame = read_frame_sync(self._sock)
+                finally:
+                    self._sock.settimeout(None)
+            if frame is None:
+                raise protocol.ProtocolError(
+                    "server closed the connection mid-request")
+            if frame.get("id") == request_id:
+                return frame
+            self._pending[frame.get("id")] = frame
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "TcpClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

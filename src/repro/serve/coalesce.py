@@ -1,0 +1,81 @@
+"""Request coalescing: identical concurrent reads share one execution.
+
+Two clients asking for the same registered read program with the same
+parameters at the same moment do not need two executions — the first
+becomes the *leader* and runs; later arrivals become *followers* that
+attach to the leader's in-flight group and receive a copy of its response.
+
+The coalescing key is the canonical JSON of ``(program, mode, params)``
+(sorted keys, so parameter dict ordering does not defeat sharing).  Only
+programs registered as coalescable — reads — participate; writes and
+non-JSON-serializable parameters opt out by returning ``None`` from
+:func:`coalesce_key`.
+
+Cancellation interacts per-waiter: a follower that cancels simply detaches
+(the leader keeps running for the others).  Cancelling the *leader* ends
+the whole group — the shared execution stops at its next checkpoint and
+every remaining waiter receives the cancellation (and can simply retry,
+becoming a fresh leader).  All state is event-loop-thread only.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+
+def coalesce_key(program: str, mode: str, params: dict[str, Any]) -> str | None:
+    """Canonical identity of one read request, or ``None`` to opt out."""
+    try:
+        encoded = json.dumps(params, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError):
+        return None
+    return f"{program}\x1f{mode}\x1f{encoded}"
+
+
+class InflightGroup:
+    """One running execution plus every request waiting on its result."""
+
+    __slots__ = ("key", "leader_id", "waiters")
+
+    def __init__(self, key: str, leader_id: Any) -> None:
+        self.key = key
+        self.leader_id = leader_id
+        # request_id -> per-waiter completion callback (set by the server).
+        self.waiters: dict[Any, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self.waiters)
+
+
+class Coalescer:
+    """Registry of in-flight groups keyed by request identity."""
+
+    def __init__(self) -> None:
+        self._groups: dict[str, InflightGroup] = {}
+        self.attached_total = 0
+
+    def lookup(self, key: str) -> InflightGroup | None:
+        return self._groups.get(key)
+
+    def create(self, key: str, leader_id: Any) -> InflightGroup:
+        group = InflightGroup(key, leader_id)
+        self._groups[key] = group
+        return group
+
+    def attach(self, group: InflightGroup, request_id: Any,
+               deliver: Any) -> None:
+        """Register one follower's completion callback on the group."""
+        group.waiters[request_id] = deliver
+        self.attached_total += 1
+
+    def detach(self, group: InflightGroup, request_id: Any) -> bool:
+        """Drop one waiter (follower cancel); False if it was not waiting."""
+        return group.waiters.pop(request_id, None) is not None
+
+    def pop(self, key: str) -> InflightGroup | None:
+        """Remove and return the group once its execution finished."""
+        return self._groups.pop(key, None)
+
+    def depth(self) -> int:
+        return len(self._groups)

@@ -1,0 +1,157 @@
+"""Per-tenant quotas: token buckets for rate, weights for priority.
+
+Each tenant gets a :class:`TenantPolicy` — a token-bucket *rate* (requests
+per second, ``None`` = unlimited), a *burst* allowance, and a scheduling
+*weight* consumed by the admission controller's stride scheduler.  Tenants
+never configured explicitly inherit the manager's default policy, so an
+open deployment works with zero setup and a multi-tenant one tightens
+per-tenant limits with :meth:`QuotaManager.set_policy`.
+
+Quota rejection is a *pre-admission* decision: a tenant over its rate is
+refused with ``QUOTA_EXCEEDED`` and a ``retry_after_s`` hint before it can
+occupy a queue slot, so one chatty tenant cannot displace queued work from
+the others even while the server is otherwise idle.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's limits: bucket rate/burst plus scheduling weight."""
+
+    #: Sustained requests per second; ``None`` disables rate limiting.
+    rate: float | None = None
+    #: Bucket capacity: how many requests may arrive back-to-back.
+    burst: float = 8.0
+    #: Stride-scheduling weight; a weight-4 tenant drains its admission
+    #: queue four times as often as a weight-1 tenant under contention.
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate is not None and self.rate <= 0:
+            raise ConfigurationError("quota rate must be positive (or None)")
+        if self.burst < 1:
+            raise ConfigurationError("quota burst must be at least 1")
+        if self.weight <= 0:
+            raise ConfigurationError("quota weight must be positive")
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/s up to ``burst`` capacity."""
+
+    def __init__(self, rate: float, burst: float, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._refilled_at
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._refilled_at = now
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` if available; else the wait until they would be.
+
+        Returns ``0.0`` on success, otherwise the (positive) number of
+        seconds after which a retry would succeed.  Never blocks.
+        """
+        now = self._clock()
+        self._refill(now)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (after a refill to now)."""
+        self._refill(self._clock())
+        return self._tokens
+
+
+class QuotaManager:
+    """Per-tenant policies and buckets behind one thread-safe facade."""
+
+    def __init__(self, default: TenantPolicy | None = None, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._default = default if default is not None else TenantPolicy()
+        self._clock = clock
+        self._policies: dict[str, TenantPolicy] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def set_policy(self, tenant: str, *, rate: float | None = None,
+                   burst: float | None = None,
+                   weight: float | None = None) -> TenantPolicy:
+        """Set (or amend) one tenant's policy; omitted fields keep defaults.
+
+        Resetting replaces the tenant's bucket, so a tightened rate takes
+        effect immediately rather than after the old bucket drains.
+        """
+        with self._lock:
+            base = self._policies.get(tenant, self._default)
+            policy = TenantPolicy(
+                rate=rate if rate is not None else base.rate,
+                burst=burst if burst is not None else base.burst,
+                weight=weight if weight is not None else base.weight,
+            )
+            self._policies[tenant] = policy
+            self._buckets.pop(tenant, None)
+            return policy
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        """The effective policy for ``tenant`` (default when unset)."""
+        with self._lock:
+            return self._policies.get(tenant, self._default)
+
+    def weight(self, tenant: str) -> float:
+        """The tenant's scheduling weight (for the admission controller)."""
+        return self.policy(tenant).weight
+
+    def try_acquire(self, tenant: str, tokens: float = 1.0) -> float:
+        """Charge one request against the tenant's bucket.
+
+        Returns ``0.0`` when admitted, else the ``retry_after_s`` hint.
+        Unlimited tenants (``rate=None``) always pass.
+        """
+        with self._lock:
+            policy = self._policies.get(tenant, self._default)
+            if policy.rate is None:
+                return 0.0
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(policy.rate, policy.burst,
+                                     clock=self._clock)
+                self._buckets[tenant] = bucket
+            return bucket.try_acquire(tokens)
+
+    def describe(self) -> dict[str, Any]:
+        """Configured policies plus live bucket balances."""
+        with self._lock:
+            return {
+                "default": {"rate": self._default.rate,
+                            "burst": self._default.burst,
+                            "weight": self._default.weight},
+                "tenants": {
+                    tenant: {
+                        "rate": policy.rate,
+                        "burst": policy.burst,
+                        "weight": policy.weight,
+                        "tokens": (self._buckets[tenant].tokens
+                                   if tenant in self._buckets else policy.burst),
+                    }
+                    for tenant, policy in sorted(self._policies.items())
+                },
+            }

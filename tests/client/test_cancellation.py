@@ -1,0 +1,180 @@
+"""Deadlines and cooperative cancellation on the session API."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import CancellationToken, DataflowProgram, SystemConfig, col
+from repro.cancellation import CancellationToken as _DirectToken
+from repro.core import PolystorePlusPlus, build_cpu_polystore
+from repro.datamodel import DataType, Table, make_schema
+from repro.exceptions import CancelledError, DeadlineExceededError
+from repro.stores import RelationalEngine
+
+
+class TestCancellationToken:
+    def test_reexported_from_package_root(self):
+        assert CancellationToken is _DirectToken
+
+    def test_explicit_cancel_wins_over_deadline(self):
+        token = CancellationToken(deadline_s=0.0)
+        token.cancel("user said stop")
+        with pytest.raises(CancelledError) as excinfo:
+            token.check()
+        assert not isinstance(excinfo.value, DeadlineExceededError)
+        assert "user said stop" in str(excinfo.value)
+
+    def test_cancel_is_idempotent_first_reason_wins(self):
+        token = CancellationToken()
+        token.cancel("first")
+        token.cancel("second")
+        assert token.reason == "first"
+
+    def test_deadline_expiry_raises_deadline_exceeded(self):
+        clock = [0.0]
+        token = CancellationToken(deadline_s=1.0, clock=lambda: clock[0])
+        token.check()
+        assert token.remaining_s() == pytest.approx(1.0)
+        clock[0] = 2.0
+        assert token.expired()
+        with pytest.raises(DeadlineExceededError):
+            token.check()
+
+    def test_add_deadline_only_tightens(self):
+        clock = [0.0]
+        token = CancellationToken(deadline_s=5.0, clock=lambda: clock[0])
+        token.add_deadline(1.0)
+        assert token.remaining_s() == pytest.approx(1.0)
+        token.add_deadline(10.0)  # looser: ignored
+        assert token.remaining_s() == pytest.approx(1.0)
+
+    def test_deadline_exceeded_is_a_cancelled_error(self):
+        # Callers that catch CancelledError handle both shapes.
+        assert issubclass(DeadlineExceededError, CancelledError)
+
+
+def _build_system(*, sharded: bool = False, shard_factory=None,
+                  num_shards: int = 4):
+    schema = make_schema(("row_id", DataType.INT), ("value", DataType.FLOAT))
+    rows = [(i, float(i % 5)) for i in range(40)]
+    if sharded:
+        system = PolystorePlusPlus(SystemConfig(
+            obs_enabled=True, obs_trace_sample_rate=1.0))
+        engine = system.register_sharded_engine(
+            "shardeddb", shard_factory or RelationalEngine, num_shards)
+        engine.load_table("events", Table(schema, rows), shard_key="row_id")
+        return system
+    engine = RelationalEngine("plaindb")
+    engine.load_table("events", Table(schema, rows))
+    return build_cpu_polystore([engine], config=SystemConfig(
+        obs_enabled=True, obs_trace_sample_rate=1.0))
+
+
+def _program(system, source, udf=None, name="cancel-prog"):
+    expr = system.dataset(source).table("events")
+    if udf is not None:
+        expr = expr.apply(udf)
+    expr = expr.filter(col("value") >= 0.0)
+    program = DataflowProgram(name)
+    program.output("out", expr)
+    return program
+
+
+class TestSessionDeadlines:
+    def test_execute_deadline_stops_a_slow_run(self):
+        system = _build_system()
+
+        def slow(table):
+            time.sleep(0.2)
+            return table
+
+        with pytest.raises(DeadlineExceededError):
+            system.default_session().execute(
+                _program(system, "plaindb", udf=slow), deadline_s=0.05)
+
+    def test_prepared_run_honors_deadline(self):
+        system = _build_system()
+
+        def slow(table):
+            time.sleep(0.2)
+            return table
+
+        prepared = system.session(name="t").prepare(
+            _program(system, "plaindb", udf=slow))
+        with pytest.raises(DeadlineExceededError):
+            prepared.run(deadline_s=0.05)
+        # The handle stays usable: a run without a deadline completes.
+        assert prepared.run().output("out").num_rows == 40
+
+    def test_precancelled_token_fails_fast_without_running(self):
+        system = _build_system()
+        calls = []
+
+        def udf(table):
+            calls.append(1)
+            return table
+
+        prepared = system.session(name="t").prepare(
+            _program(system, "plaindb", udf=udf))
+        token = CancellationToken()
+        token.cancel("never mind")
+        with pytest.raises(CancelledError):
+            prepared.run(cancellation=token)
+        assert calls == []
+
+    def test_deadline_and_token_compose(self):
+        system = _build_system()
+        token = CancellationToken()
+        prepared = system.session(name="t").prepare(
+            _program(system, "plaindb"))
+        # A generous deadline with a live token: runs fine.
+        result = prepared.run(deadline_s=30.0, cancellation=token)
+        assert result.output("out").num_rows == 40
+
+
+class TestScatterCancellation:
+    def test_cancelled_fanout_stops_dispatching_remaining_shards(self):
+        """Cancel fired by the first shard's scan: with a serial fan-out the
+        remaining shard subtasks must never dispatch, observable both from
+        the engine hook and from the recorded trace spans."""
+        token = CancellationToken()
+        scans = []
+
+        class HookedEngine(RelationalEngine):
+            def scan(self, table, columns=None):
+                scans.append(self.name)
+                if len(scans) == 1:
+                    token.cancel("stop after first shard")
+                return super().scan(table, columns)
+
+        num_shards = 4
+        system = _build_system(sharded=True, shard_factory=HookedEngine,
+                               num_shards=num_shards)
+        # max_workers=1 keeps the fan-out serial, so "stops dispatching" is
+        # deterministic: shard 0 runs, the loop checks the token, stops.
+        session = system.session(name="serial", max_workers=1)
+        prepared = session.prepare(_program(system, "shardeddb"))
+        with pytest.raises(CancelledError):
+            prepared.run(cancellation=token)
+
+        assert len(scans) == 1, f"extra shard scans dispatched: {scans}"
+        shard_spans = [s for s in system.obs.tracer.spans()
+                       if s.name.startswith("shard:")]
+        assert 1 <= len(shard_spans) < num_shards
+
+    def test_uncancelled_fanout_touches_every_shard(self):
+        scans = []
+
+        class CountingEngine(RelationalEngine):
+            def scan(self, table, columns=None):
+                scans.append(self.name)
+                return super().scan(table, columns)
+
+        system = _build_system(sharded=True, shard_factory=CountingEngine,
+                               num_shards=4)
+        session = system.session(name="serial", max_workers=1)
+        result = session.prepare(_program(system, "shardeddb")).run()
+        assert result.output("out").num_rows == 40
+        assert len(scans) == 4

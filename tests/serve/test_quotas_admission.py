@@ -1,0 +1,210 @@
+"""Unit tests for token-bucket quotas and stride-scheduled admission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serve.admission import AdmissionController
+from repro.serve.coalesce import Coalescer, coalesce_key
+from repro.serve.quotas import QuotaManager, TenantPolicy, TokenBucket
+
+
+class _Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = _Clock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        retry = bucket.try_acquire()
+        assert retry == pytest.approx(0.5)  # 1 token at 2/s
+        clock.advance(0.5)
+        assert bucket.try_acquire() == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        clock = _Clock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+
+class TestQuotaManager:
+    def test_default_is_unlimited(self):
+        quotas = QuotaManager()
+        assert all(quotas.try_acquire("anyone") == 0.0 for _ in range(100))
+
+    def test_rate_limited_tenant_gets_retry_hint(self):
+        clock = _Clock()
+        quotas = QuotaManager(clock=clock)
+        quotas.set_policy("free", rate=1.0, burst=2.0)
+        assert quotas.try_acquire("free") == 0.0
+        assert quotas.try_acquire("free") == 0.0
+        retry = quotas.try_acquire("free")
+        assert retry == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert quotas.try_acquire("free") == 0.0
+        # Other tenants stay on the unlimited default.
+        assert quotas.try_acquire("pro") == 0.0
+
+    def test_policy_amendment_keeps_unset_fields(self):
+        quotas = QuotaManager()
+        quotas.set_policy("t", rate=5.0, burst=10.0)
+        policy = quotas.set_policy("t", weight=4.0)
+        assert policy == TenantPolicy(rate=5.0, burst=10.0, weight=4.0)
+        assert quotas.weight("t") == 4.0
+
+    def test_invalid_policies_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TenantPolicy(rate=0.0)
+        with pytest.raises(ConfigurationError):
+            TenantPolicy(burst=0.5)
+        with pytest.raises(ConfigurationError):
+            TenantPolicy(weight=-1.0)
+
+    def test_describe_reports_policies(self):
+        quotas = QuotaManager()
+        quotas.set_policy("free", rate=2.0, burst=4.0, weight=0.5)
+        description = quotas.describe()
+        assert description["tenants"]["free"]["rate"] == 2.0
+        assert description["default"]["rate"] is None
+
+
+class TestAdmissionController:
+    def _controller(self, slots=2, max_queue=4, per_tenant=2):
+        return AdmissionController(slots=slots, max_queue=max_queue,
+                                   max_queue_per_tenant=per_tenant)
+
+    def test_slots_then_queue_then_reject(self):
+        admission = self._controller(slots=1, max_queue=2, per_tenant=2)
+        assert admission.try_admit("a", "r1")[0] == "run"
+        assert admission.try_admit("a", "r2")[0] == "queued"
+        assert admission.try_admit("a", "r3")[0] == "queued"
+        decision, retry_after = admission.try_admit("a", "r4")
+        assert decision == "reject"
+        assert retry_after > 0
+        assert admission.rejected_total == 1
+
+    def test_per_tenant_bound_rejects_before_global(self):
+        admission = self._controller(slots=1, max_queue=10, per_tenant=1)
+        admission.try_admit("a", "r1")
+        assert admission.try_admit("a", "r2")[0] == "queued"
+        assert admission.try_admit("a", "r3")[0] == "reject"
+        # Another tenant still has queue room.
+        assert admission.try_admit("b", "r4")[0] == "queued"
+
+    def test_release_dispatches_fifo_within_tenant(self):
+        admission = self._controller(slots=1, max_queue=4, per_tenant=4)
+        admission.try_admit("a", "r1")
+        admission.try_admit("a", "r2")
+        admission.try_admit("a", "r3")
+        assert admission.on_release() == "r2"
+        assert admission.on_release() == "r3"
+        assert admission.on_release() is None
+        assert admission.busy == 0
+
+    def test_stride_weights_interleave_proportionally(self):
+        admission = self._controller(slots=1, max_queue=20, per_tenant=10)
+        admission.try_admit("heavy", "h0", weight=2.0)
+        for i in range(6):
+            admission.try_admit("heavy", f"h{i + 1}", weight=2.0)
+        for i in range(3):
+            admission.try_admit("light", f"l{i}", weight=1.0)
+        weights = {"heavy": 2.0, "light": 1.0}
+        order = [admission.on_release(weights) for _ in range(9)]
+        # Over any window the 2:1 weights show as ~2 heavy per light.
+        first_six = order[:6]
+        assert first_six.count("heavy"[0] + str(0)) == 0  # h0 already ran
+        heavy_in_first_six = sum(1 for r in first_six if r.startswith("h"))
+        assert heavy_in_first_six == 4
+        assert sorted(order) == sorted(
+            [f"h{i}" for i in range(1, 7)] + [f"l{i}" for i in range(3)])
+
+    def test_idle_tenant_cannot_bank_credit(self):
+        admission = self._controller(slots=1, max_queue=20, per_tenant=10)
+        admission.try_admit("a", "a0")
+        # Tenant a runs many requests; b was idle the whole time.
+        for i in range(5):
+            admission.try_admit("a", f"a{i + 1}")
+        for _ in range(5):
+            admission.on_release()
+        admission.try_admit("b", "b0")
+        admission.try_admit("a", "a-late")
+        # b's pass was re-synced to the global pass on arrival: it gets the
+        # next slot but not five back-to-back turns of "owed" credit.
+        assert admission.on_release() == "b0"
+
+    def test_remove_unlinks_a_queued_item(self):
+        admission = self._controller(slots=1, max_queue=4, per_tenant=4)
+        admission.try_admit("a", "r1")
+        admission.try_admit("a", "r2")
+        assert admission.remove("a", "r2") is True
+        assert admission.remove("a", "r2") is False
+        assert admission.on_release() is None
+
+    def test_drain_returns_everything_queued(self):
+        admission = self._controller(slots=1, max_queue=6, per_tenant=6)
+        admission.try_admit("a", "r1")
+        for i in range(3):
+            admission.try_admit("a", f"q{i}")
+        drained = admission.drain()
+        assert sorted(drained) == ["q0", "q1", "q2"]
+        assert admission.queued == 0
+
+    def test_retry_hint_tracks_service_time(self):
+        admission = self._controller(slots=2, max_queue=10, per_tenant=10)
+        for _ in range(20):
+            admission.observe_service_time(0.1)
+        admission.try_admit("a", "r1")
+        admission.try_admit("a", "r2")
+        admission.try_admit("a", "r3")
+        # Backlog of 3 over 2 slots at ~0.1s each.
+        assert admission.retry_after_hint() == pytest.approx(0.15, rel=0.3)
+
+    def test_snapshot_shape(self):
+        admission = self._controller()
+        admission.try_admit("a", "r1")
+        snapshot = admission.snapshot()
+        assert snapshot["busy"] == 1
+        assert snapshot["slots"] == 2
+        assert snapshot["queues"] == {}
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(slots=0, max_queue=1, max_queue_per_tenant=1)
+
+
+class TestCoalesceKey:
+    def test_param_order_does_not_matter(self):
+        a = coalesce_key("p", "m", {"x": 1, "y": 2})
+        b = coalesce_key("p", "m", {"y": 2, "x": 1})
+        assert a == b
+
+    def test_distinct_programs_and_params_differ(self):
+        base = coalesce_key("p", "m", {"x": 1})
+        assert coalesce_key("q", "m", {"x": 1}) != base
+        assert coalesce_key("p", "m", {"x": 2}) != base
+        assert coalesce_key("p", "other", {"x": 1}) != base
+
+    def test_unserializable_params_opt_out(self):
+        assert coalesce_key("p", "m", {"x": object()}) is None
+
+    def test_group_lifecycle(self):
+        coalescer = Coalescer()
+        group = coalescer.create("k", "leader")
+        coalescer.attach(group, "f1", "deliver-1")
+        assert coalescer.lookup("k") is group
+        assert len(group) == 1
+        assert coalescer.detach(group, "f1") is True
+        assert coalescer.detach(group, "f1") is False
+        assert coalescer.pop("k") is group
+        assert coalescer.lookup("k") is None

@@ -1,0 +1,382 @@
+"""Serving tier end-to-end: execution parity, coalescing, quotas, cancel."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import DataflowProgram, SystemConfig, col
+from repro.core import build_cpu_polystore
+from repro.datamodel import DataType, Table, make_schema
+from repro.eide import Param
+from repro.obs import ancestors, parse_prometheus_text
+from repro.serve import protocol
+from repro.serve.client import ServeError, TcpClient
+from repro.stores import RelationalEngine
+
+ROWS = [(1, 72, 0.9), (2, 35, 0.4), (3, 85, 0.7), (4, 51, 0.2), (5, 64, 0.6)]
+
+
+def _system(**config_overrides):
+    engine = RelationalEngine("servedb")
+    schema = make_schema(("pid", DataType.INT), ("age", DataType.INT),
+                         ("score", DataType.FLOAT))
+    engine.load_table("patients", Table(schema, ROWS))
+    config = SystemConfig(obs_enabled=True, obs_trace_sample_rate=1.0,
+                          **config_overrides)
+    return build_cpu_polystore([engine], config=config)
+
+
+def _scan_program(system, name="patients_over"):
+    expr = (system.dataset("servedb").table("patients")
+            .filter(col("age") > Param("min_age", default=0)))
+    program = DataflowProgram(name)
+    program.output("result", expr)
+    return program
+
+
+def _gated_program(system, udf, name="gated"):
+    """A program whose UDF the test controls; the trailing filter gives the
+    executor a post-UDF cancellation checkpoint."""
+    expr = (system.dataset("servedb").table("patients")
+            .apply(udf).filter(col("age") >= 0))
+    program = DataflowProgram(name)
+    program.output("result", expr)
+    return program
+
+
+def _rows(response, output="result"):
+    return sorted(response["outputs"][output]["rows"])
+
+
+class TestExecuteBasics:
+    def test_execute_matches_direct_session(self):
+        system = _system()
+        with system.serve(pool_size=2) as server:
+            server.register("patients_over", _scan_program(system))
+            client = server.connect()
+            served = client.execute("patients_over", {"min_age": 50},
+                                    timeout=30)
+        direct = system.session(name="direct").prepare(
+            _scan_program(system, name="direct")).run(min_age=50)
+        expected = sorted([pid, age, score] for pid, age, score in ROWS
+                          if age > 50)
+        assert _rows(served) == expected
+        assert sorted(
+            list(r.values()) for r in direct.output("result").to_dicts()
+        ) == expected
+        assert served["coalesced"] is False
+        assert served["mode"] == "polystore++"
+
+    def test_default_params_apply(self):
+        system = _system()
+        with system.serve() as server:
+            server.register("patients_over", _scan_program(system))
+            response = server.connect().execute("patients_over", timeout=30)
+        assert len(response["outputs"]["result"]["rows"]) == len(ROWS)
+
+    def test_unknown_program_is_terminal(self):
+        system = _system()
+        with system.serve() as server:
+            with pytest.raises(ServeError) as excinfo:
+                server.connect().execute("nope", timeout=30)
+        assert excinfo.value.code == protocol.UNKNOWN_PROGRAM
+        assert excinfo.value.retryable is False
+
+    def test_malformed_messages_get_bad_request(self):
+        system = _system()
+        with system.serve() as server:
+            server.register("patients_over", _scan_program(system))
+            client = server.connect()
+            bad_op = client.request({"op": "frobnicate", "id": 1}, timeout=30)
+            assert bad_op["error"]["code"] == protocol.BAD_REQUEST
+            bad_params = client.request(
+                {"op": "execute", "id": 2, "program": "patients_over",
+                 "params": [1, 2]}, timeout=30)
+            assert bad_params["error"]["code"] == protocol.BAD_REQUEST
+
+    def test_programs_and_ping_and_stats(self):
+        system = _system()
+        with system.serve() as server:
+            server.register("patients_over", _scan_program(system))
+            client = server.connect()
+            assert client.ping(timeout=30) is True
+            assert client.programs(timeout=30) == ["patients_over"]
+            stats = client.stats(timeout=30)
+            assert stats["admission"]["slots"] == system.config.serve_pool_size
+
+
+class TestCoalescing:
+    def test_identical_concurrent_reads_share_one_execution(self):
+        system = _system()
+        gate = threading.Event()
+        started = threading.Event()
+        calls = []
+
+        def udf(table):
+            calls.append(1)
+            started.set()
+            assert gate.wait(timeout=30)
+            return table
+
+        with system.serve(pool_size=1) as server:
+            server.register("gated", _gated_program(system, udf))
+            client = server.connect()
+            leader = client.submit_execute("gated")
+            assert started.wait(timeout=30)
+            follower = client.submit_execute("gated")
+            # The follower attaches to the in-flight group without needing a
+            # second slot (the pool has exactly one, and the leader holds it).
+            deadline = time.monotonic() + 30
+            while server.stats()["coalesced_attached_total"] < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            gate.set()
+            leader_response = leader.result(timeout=30)
+            follower_response = follower.result(timeout=30)
+        assert len(calls) == 1
+        assert leader_response["ok"] and follower_response["ok"]
+        assert leader_response["coalesced"] is False
+        assert follower_response["coalesced"] is True
+        assert _rows(leader_response) == _rows(follower_response)
+        assert system.obs.registry.value(
+            "polystore_serve_coalesced_total", tenant="default") == 1
+
+    def test_different_params_do_not_coalesce(self):
+        system = _system()
+        with system.serve(pool_size=2) as server:
+            server.register("patients_over", _scan_program(system))
+            client = server.connect()
+            a = client.execute("patients_over", {"min_age": 50}, timeout=30)
+            b = client.execute("patients_over", {"min_age": 80}, timeout=30)
+        assert len(_rows(a)) == 4
+        assert len(_rows(b)) == 1
+
+
+class TestQuotas:
+    def test_over_rate_tenant_is_rejected_with_retry_hint(self):
+        system = _system()
+        with system.serve() as server:
+            server.register("patients_over", _scan_program(system))
+            server.set_tenant("free", rate=0.5, burst=1.0)
+            client = server.connect()
+            client.execute("patients_over", tenant="free", timeout=30)
+            with pytest.raises(ServeError) as excinfo:
+                client.execute("patients_over", tenant="free", timeout=30)
+            # Unlimited tenants are unaffected.
+            client.execute("patients_over", tenant="pro", timeout=30)
+        assert excinfo.value.code == protocol.QUOTA_EXCEEDED
+        assert excinfo.value.retryable is True
+        assert excinfo.value.retry_after_s > 0
+        assert system.obs.registry.value(
+            "polystore_serve_rejects_total", tenant="free",
+            reason="quota") == 1
+
+
+class TestCancellation:
+    def test_cancel_queued_request_never_runs(self):
+        system = _system()
+        gate = threading.Event()
+        started = threading.Event()
+        calls = []
+
+        def udf(table):
+            calls.append(1)
+            started.set()
+            assert gate.wait(timeout=30)
+            return table
+
+        with system.serve(pool_size=1) as server:
+            server.register("gated", _gated_program(system, udf),
+                            coalesce=False)
+            client = server.connect()
+            leader = client.submit_execute("gated")
+            assert started.wait(timeout=30)
+            queued = client.submit_execute("gated", request_id="victim")
+            deadline = time.monotonic() + 30
+            while server.stats()["admission"]["queued"] < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            assert client.cancel("victim", timeout=30) is True
+            cancelled = queued.result(timeout=30)
+            gate.set()
+            assert leader.result(timeout=30)["ok"]
+        assert cancelled["ok"] is False
+        assert cancelled["error"]["code"] == protocol.CANCELLED
+        assert len(calls) == 1  # the victim never reached a worker
+
+    def test_cancel_running_request_stops_at_next_checkpoint(self):
+        system = _system()
+        gate = threading.Event()
+        started = threading.Event()
+
+        def udf(table):
+            started.set()
+            assert gate.wait(timeout=30)
+            return table
+
+        with system.serve(pool_size=1) as server:
+            server.register("gated", _gated_program(system, udf),
+                            coalesce=False)
+            client = server.connect()
+            running = client.submit_execute("gated", request_id="target")
+            assert started.wait(timeout=30)
+            assert client.cancel("target", timeout=30) is True
+            gate.set()  # the UDF returns; the next checkpoint observes cancel
+            response = running.result(timeout=30)
+        assert response["ok"] is False
+        assert response["error"]["code"] == protocol.CANCELLED
+        assert system.obs.registry.value(
+            "polystore_serve_requests_total", tenant="default",
+            outcome="cancelled") == 1
+
+    def test_cancel_unknown_request_reports_not_found(self):
+        system = _system()
+        with system.serve() as server:
+            assert server.connect().cancel("ghost", timeout=30) is False
+
+    def test_deadline_expires_while_queued(self):
+        system = _system()
+        gate = threading.Event()
+        started = threading.Event()
+
+        def udf(table):
+            started.set()
+            assert gate.wait(timeout=30)
+            return table
+
+        with system.serve(pool_size=1) as server:
+            server.register("gated", _gated_program(system, udf),
+                            coalesce=False)
+            client = server.connect()
+            leader = client.submit_execute("gated")
+            assert started.wait(timeout=30)
+            doomed = client.submit_execute("gated", deadline_s=0.05)
+            response = doomed.result(timeout=30)
+            gate.set()
+            assert leader.result(timeout=30)["ok"]
+        assert response["error"]["code"] == protocol.DEADLINE_EXCEEDED
+        assert system.obs.registry.value(
+            "polystore_serve_rejects_total", tenant="default",
+            reason="deadline") == 1
+
+    def test_deadline_expires_while_running(self):
+        system = _system()
+
+        def udf(table):
+            time.sleep(0.2)
+            return table
+
+        with system.serve() as server:
+            server.register("slow", _gated_program(system, udf, name="slow"),
+                            coalesce=False)
+            with pytest.raises(ServeError) as excinfo:
+                server.connect().execute("slow", deadline_s=0.05, timeout=30)
+        assert excinfo.value.code == protocol.DEADLINE_EXCEEDED
+        assert excinfo.value.retryable is False
+
+
+class TestObservability:
+    def test_metrics_scrape_has_serve_families(self):
+        system = _system()
+        with system.serve() as server:
+            server.register("patients_over", _scan_program(system))
+            client = server.connect()
+            client.execute("patients_over", {"min_age": 50}, timeout=30)
+            scrape = client.metrics(timeout=30)
+        parsed = parse_prometheus_text(scrape)
+        requests = parsed["polystore_serve_requests_total"]["samples"]
+        [ok_sample] = [s for s in requests
+                       if s["labels"] == {"tenant": "default",
+                                          "outcome": "ok"}]
+        assert ok_sample["value"] == 1
+        assert parsed["polystore_serve_sessions_busy"]["type"] == "gauge"
+        assert "polystore_serve_queue_depth" in parsed
+
+    def test_request_spans_join_the_trace_taxonomy(self):
+        system = _system()
+        with system.serve() as server:
+            server.register("patients_over", _scan_program(system))
+            server.connect().execute("patients_over", timeout=30)
+        spans = system.obs.tracer.spans()
+        serve_spans = [s for s in spans if s.name == "serve:patients_over"]
+        assert len(serve_spans) == 1
+        inner = [s for s in spans if s.name == "request:patients_over"]
+        assert inner, "session request span missing under the serve span"
+        lineage = [a.name for a in ancestors(inner[0], spans)]
+        assert "serve:patients_over" in lineage
+        assert serve_spans[0].attrs["tenant"] == "default"
+
+
+class TestTcpTransport:
+    def test_tcp_round_trip_and_parity(self):
+        system = _system()
+        with system.serve(pool_size=2) as server:
+            server.register("patients_over", _scan_program(system))
+            host, port = server.address
+            with TcpClient(host, port) as tcp:
+                assert tcp.ping(timeout=30)
+                over_tcp = tcp.execute("patients_over", {"min_age": 50},
+                                       timeout=30)
+                in_process = server.connect().execute(
+                    "patients_over", {"min_age": 50}, timeout=30)
+                assert _rows(over_tcp) == _rows(in_process)
+                scrape = tcp.metrics(timeout=30)
+        assert "polystore_serve_requests_total" in scrape
+
+    def test_disconnect_cancels_outstanding_work(self):
+        system = _system()
+        gate = threading.Event()
+        started = threading.Event()
+
+        def udf(table):
+            started.set()
+            assert gate.wait(timeout=30)
+            return table
+
+        with system.serve(pool_size=1) as server:
+            server.register("gated", _gated_program(system, udf),
+                            coalesce=False)
+            host, port = server.address
+            tcp = TcpClient(host, port)
+            tcp._sock.sendall(protocol.encode_frame(
+                {"op": "execute", "id": "orphan", "program": "gated"}))
+            assert started.wait(timeout=30)
+            tcp.close()  # drop the connection with the request running
+            gate.set()
+            deadline = time.monotonic() + 30
+            while server.stats()["inflight"] > 0:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+        # The tracked request was cancelled (or completed into the void)
+        # rather than leaking in the in-flight registry; which of the two
+        # depends on whether the disconnect or the gate release lands first.
+        assert system.obs.registry.value(
+            "polystore_serve_requests_total", tenant="default",
+            outcome="cancelled") in (None, 1)
+
+
+class TestShutdown:
+    def test_stop_is_idempotent_and_sessions_close(self):
+        system = _system()
+        server = system.serve()
+        server.register("patients_over", _scan_program(system))
+        server.connect().execute("patients_over", timeout=30)
+        server.stop()
+        server.stop()  # second stop is a no-op
+
+    def test_execute_after_stop_rejects_cleanly(self):
+        # A client that kept its handle across stop() gets the same
+        # retryable SHUTTING_DOWN contract as a drained queue entry,
+        # not a raw event-loop RuntimeError.
+        system = _system()
+        server = system.serve()
+        server.register("patients_over", _scan_program(system))
+        client = server.connect()
+        server.stop()
+        with pytest.raises(ServeError) as exc_info:
+            client.execute("patients_over", timeout=30)
+        assert exc_info.value.code == "SHUTTING_DOWN"
+        assert exc_info.value.retryable
