@@ -146,6 +146,21 @@ class Family:
                                                   self._make_child(values))
         return child
 
+    def remove(self, **labels: Any) -> None:
+        """Drop one child series, if present.
+
+        Lets samplers retire label values that will not recur (e.g. a
+        departed tenant) so label cardinality stays bounded.
+        """
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        values = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            self._children.pop(values, None)
+
     def children(self) -> list[Any]:
         """All materialized children (stable snapshot)."""
         with self._lock:

@@ -110,6 +110,7 @@ class AdmissionController:
         item = queue.popleft()
         if not queue:
             del self._queues[tenant]
+            self._pass.pop(tenant, None)
         self._queued -= 1
         weight = 1.0
         if callable(weights):
@@ -122,8 +123,13 @@ class AdmissionController:
 
     def _charge(self, tenant: str, weight: float) -> None:
         advanced = self._pass.get(tenant, self._global_pass) + STRIDE / weight
-        self._pass[tenant] = advanced
         self._global_pass = max(self._global_pass, advanced)
+        # A pass entry only matters while the tenant has queued work (it is
+        # what on_release's min-pass pick reads); storing it for queue-less
+        # tenants would grow without bound with tenant-id cardinality, and
+        # the arrival re-sync to >= _global_pass supersedes it anyway.
+        if tenant in self._queues:
+            self._pass[tenant] = advanced
 
     # -- cancellation / shutdown ---------------------------------------------------------
 
@@ -139,6 +145,7 @@ class AdmissionController:
         self._queued -= 1
         if not queue:
             del self._queues[tenant]
+            self._pass.pop(tenant, None)
         return True
 
     def drain(self) -> list[Any]:
@@ -147,6 +154,7 @@ class AdmissionController:
         for queue in self._queues.values():
             items.extend(queue)
         self._queues.clear()
+        self._pass.clear()
         self._queued = 0
         return items
 

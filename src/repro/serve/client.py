@@ -22,11 +22,12 @@ from __future__ import annotations
 import itertools
 import socket
 import threading
+import time
 from concurrent.futures import Future
 from typing import Any
 
 from repro.serve import protocol
-from repro.serve.protocol import encode_frame, read_frame_sync
+from repro.serve.protocol import encode_frame
 
 
 class ServeError(Exception):
@@ -149,7 +150,14 @@ class InProcessClient(_ClientOps):
 
 
 class TcpClient(_ClientOps):
-    """Blocking TCP client for the length-prefixed JSON wire protocol."""
+    """Blocking TCP client for the length-prefixed JSON wire protocol.
+
+    Timeouts never desynchronize the stream: frame bytes are accumulated in
+    a buffer owned by the receive lock, so a read that times out mid-frame
+    leaves the partial frame buffered and the next reader resumes it — the
+    late response is then parked for its waiter (or dropped with its
+    request), never misparsed as a fresh length prefix.
+    """
 
     _prefix = "t"
 
@@ -160,6 +168,7 @@ class TcpClient(_ClientOps):
         self._sock.settimeout(None)
         self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
+        self._recv_buf = bytearray()  # partial frame; _recv_lock guards it
         self._pending: dict[Any, dict[str, Any]] = {}
 
     def request(self, message: dict[str, Any],
@@ -171,26 +180,77 @@ class TcpClient(_ClientOps):
 
     def _await(self, request_id: Any,
                timeout: float | None) -> dict[str, Any]:
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
         while True:
             response = self._pending.pop(request_id, None)
             if response is not None:
                 return response
-            with self._recv_lock:
+            if not self._acquire_recv(deadline):
+                raise TimeoutError(
+                    f"timed out waiting for response {request_id!r}")
+            try:
                 # Re-check: another waiter may have parked ours meanwhile.
                 response = self._pending.pop(request_id, None)
                 if response is not None:
                     return response
-                self._sock.settimeout(timeout)
-                try:
-                    frame = read_frame_sync(self._sock)
-                finally:
-                    self._sock.settimeout(None)
+                frame = self._read_frame(deadline)
+            finally:
+                self._recv_lock.release()
             if frame is None:
                 raise protocol.ProtocolError(
                     "server closed the connection mid-request")
             if frame.get("id") == request_id:
                 return frame
             self._pending[frame.get("id")] = frame
+
+    def _acquire_recv(self, deadline: float | None) -> bool:
+        if deadline is None:
+            self._recv_lock.acquire()
+            return True
+        remaining = deadline - time.monotonic()
+        return self._recv_lock.acquire(timeout=max(0.0, remaining))
+
+    def _read_frame(self, deadline: float | None) -> dict[str, Any] | None:
+        """One frame via the resumable buffer; ``None`` on a clean EOF.
+
+        Caller holds ``_recv_lock``.  Raises :class:`TimeoutError` past the
+        deadline, leaving any partially received frame in ``_recv_buf``.
+        """
+        prefix_size = protocol.FRAME_PREFIX_BYTES
+        try:
+            if not self._fill_buf(prefix_size, deadline):
+                if self._recv_buf:
+                    raise protocol.ProtocolError(
+                        "connection closed mid-frame")
+                return None
+            length = protocol.frame_length(bytes(self._recv_buf[:prefix_size]))
+            if not self._fill_buf(prefix_size + length, deadline):
+                raise protocol.ProtocolError("connection closed mid-frame")
+        finally:
+            self._sock.settimeout(None)
+        body = bytes(self._recv_buf[prefix_size:prefix_size + length])
+        del self._recv_buf[:prefix_size + length]
+        return protocol.decode_body(body)
+
+    def _fill_buf(self, need: int, deadline: float | None) -> bool:
+        """Grow ``_recv_buf`` to ``need`` bytes; ``False`` on EOF."""
+        while len(self._recv_buf) < need:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError("timed out mid-frame")
+                self._sock.settimeout(remaining)
+            else:
+                self._sock.settimeout(None)
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout:  # alias of TimeoutError on 3.10+
+                raise TimeoutError("timed out mid-frame") from None
+            if not chunk:
+                return False
+            self._recv_buf += chunk
+        return True
 
     def close(self) -> None:
         try:

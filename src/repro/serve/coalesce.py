@@ -5,9 +5,12 @@ parameters at the same moment do not need two executions — the first
 becomes the *leader* and runs; later arrivals become *followers* that
 attach to the leader's in-flight group and receive a copy of its response.
 
-The coalescing key is the canonical JSON of ``(program, mode, params)``
-(sorted keys, so parameter dict ordering does not defeat sharing).  Only
-programs registered as coalescable — reads — participate; writes and
+The coalescing key is the canonical JSON of ``(tenant, program, mode,
+params)`` (sorted keys, so parameter dict ordering does not defeat
+sharing).  The tenant is part of the identity on purpose: sharing across
+tenants would let one tenant's cancellations fail another's requests and
+leak its traffic pattern via ``coalesced: true`` responses.  Only programs
+registered as coalescable — reads — participate; writes and
 non-JSON-serializable parameters opt out by returning ``None`` from
 :func:`coalesce_key`.
 
@@ -24,13 +27,14 @@ import json
 from typing import Any
 
 
-def coalesce_key(program: str, mode: str, params: dict[str, Any]) -> str | None:
+def coalesce_key(tenant: str, program: str, mode: str,
+                 params: dict[str, Any]) -> str | None:
     """Canonical identity of one read request, or ``None`` to opt out."""
     try:
         encoded = json.dumps(params, sort_keys=True, separators=(",", ":"))
     except (TypeError, ValueError):
         return None
-    return f"{program}\x1f{mode}\x1f{encoded}"
+    return f"{tenant}\x1f{program}\x1f{mode}\x1f{encoded}"
 
 
 class InflightGroup:

@@ -31,6 +31,9 @@ MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 _LENGTH = struct.Struct(">I")
 
+#: Size of the length prefix that starts every frame.
+FRAME_PREFIX_BYTES = _LENGTH.size
+
 # -- error codes ----------------------------------------------------------------------
 
 #: Admission control rejected the request: queues are at their bound.

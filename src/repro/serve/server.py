@@ -146,6 +146,7 @@ class PolystoreServer:
         self._coalescer = Coalescer()
         self._inflight: dict[tuple[str, Any], _Request] = {}
         self._gauge_tenants: set[str] = set()
+        self._gauge_stale: set[str] = set()
         self._loop: asyncio.AbstractEventLoop | None = None
         self._loop_thread: threading.Thread | None = None
         self._tcp_server: asyncio.AbstractServer | None = None
@@ -155,6 +156,7 @@ class PolystoreServer:
         self._workers: ThreadPoolExecutor | None = None
         self._running = False
         self._shutting_down = False
+        self._loop_stopping = False
 
     # -- registration --------------------------------------------------------------------
 
@@ -236,6 +238,9 @@ class PolystoreServer:
         # Workers finish their in-flight requests; completions still flow
         # through the live loop, so clients get real responses, not EOF.
         self._workers.shutdown(wait=True)
+        # From here until the loop closes, call_soon_threadsafe would accept
+        # callbacks the loop will never run; _submit checks this flag.
+        self._loop_stopping = True
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._loop_thread.join(timeout=10)
         while not self._slots.empty():
@@ -297,14 +302,40 @@ class PolystoreServer:
 
     def _submit(self, message: dict[str, Any], deliver: Any) -> None:
         """Thread-safe entry point used by the in-process transport."""
+        # The loop callback and the stop-race fallback below can both try to
+        # respond; the client's future must be resolved exactly once.
+        once = threading.Lock()
+        done = [False]
+
+        def deliver_once(response: dict[str, Any]) -> None:
+            with once:
+                if done[0]:
+                    return
+                done[0] = True
+            deliver(response)
+
+        def refuse() -> None:
+            deliver_once(error_response(message.get("id"),
+                                        protocol.SHUTTING_DOWN,
+                                        "server is stopped"))
+
+        if self._loop is None or self._loop_stopping:
+            refuse()
+            return
         try:
             self._loop.call_soon_threadsafe(self._handle_message, message,
-                                            deliver, None)
+                                            deliver_once, None)
         except RuntimeError:
             # The loop is closed: the server was stopped after this client
             # grabbed its handle.  Same contract as a drained queue entry.
-            deliver(error_response(message.get("id"), protocol.SHUTTING_DOWN,
-                                   "server is stopped"))
+            refuse()
+            return
+        if self._loop_stopping:
+            # stop() raced us between the check above and the post: the loop
+            # may halt without ever running the callback.  Refuse directly so
+            # the client cannot hang; deliver_once drops the duplicate if the
+            # callback did run.
+            refuse()
 
     # -- message handling (event-loop thread only) ---------------------------------------
 
@@ -368,7 +399,7 @@ class PolystoreServer:
         inflight_key = (tenant, request_id)
 
         if registered.coalesce:
-            request.key = coalesce_key(name, registered.mode, params)
+            request.key = coalesce_key(tenant, name, registered.mode, params)
         if request.key is not None:
             group = self._coalescer.lookup(request.key)
             if group is not None:
@@ -447,6 +478,11 @@ class PolystoreServer:
 
     def _finish_rejected(self, request: _Request, code: str, message: str, *,
                          reason: str) -> None:
+        """Fail one queued *leader* — and with it its whole coalescing group.
+
+        Never call this for a follower: the group's execution keeps running,
+        so the other waiters must stay attached for its completion.
+        """
         self._untrack(request)
         if request.group is not None:
             self._coalescer.pop(request.group.key)
@@ -580,11 +616,17 @@ class PolystoreServer:
                             "deadline expired while queued",
                             reason="deadline")
                 elif request.state == "follower":
+                    # Only this waiter expires: detach it and leave the group
+                    # (leader and other followers) running.  _finish_rejected
+                    # would fail the whole group and then double-deliver when
+                    # the still-running leader completes.
                     self._coalescer.detach(request.group, request.id)
-                    self._finish_rejected(
-                        request, protocol.DEADLINE_EXCEEDED,
-                        "deadline expired while coalesced",
-                        reason="deadline")
+                    self._untrack(request)
+                    self._obs.serve_rejects_total.inc(tenant=request.tenant,
+                                                      reason="deadline")
+                    request.deliver(error_response(
+                        request.id, protocol.DEADLINE_EXCEEDED,
+                        "deadline expired while coalesced"))
 
     # -- introspection -------------------------------------------------------------------
 
@@ -624,11 +666,21 @@ class PolystoreServer:
         snapshot = self._call_on_loop(self._gauge_payload)
         for tenant, depth in snapshot["queues"].items():
             self._obs.serve_queue_depth.set(depth, tenant=tenant)
+        for tenant in snapshot["stale"]:
+            self._obs.serve_queue_depth.remove(tenant=tenant)
         self._obs.serve_sessions_busy.set(snapshot["busy"])
 
     def _gauge_payload(self) -> dict[str, Any]:
         depths = self._admission.queue_depths()
-        # Tenants whose queues drained must scrape as zero, not vanish.
+        live = set(depths)
+        # A tenant whose queue drained must scrape as zero once, not vanish
+        # mid-series; after that zero sample its series is dropped so gauge
+        # label cardinality stays bounded (tenant ids are client-supplied).
         queues = {tenant: depths.get(tenant, 0)
-                  for tenant in self._gauge_tenants | set(depths)}
-        return {"queues": queues, "busy": self._admission.busy}
+                  for tenant in self._gauge_tenants | live}
+        stale = sorted(self._gauge_stale - set(queues))
+        self._gauge_stale = {tenant for tenant in queues
+                             if tenant not in live}
+        self._gauge_tenants = live
+        return {"queues": queues, "busy": self._admission.busy,
+                "stale": stale}

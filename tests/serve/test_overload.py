@@ -78,6 +78,11 @@ class TestQueueDepthGauges:
             system.refresh_gauges()
             assert system.obs.registry.value(
                 "polystore_serve_queue_depth", tenant="bulk") == 0
+            # One more scrape retires the drained tenant's series: the gauge
+            # label set stays bounded under tenant-id churn.
+            system.refresh_gauges()
+            assert system.obs.registry.value(
+                "polystore_serve_queue_depth", tenant="bulk") is None
         assert system.obs.registry.value(
             "polystore_serve_rejects_total", tenant="bulk",
             reason="overloaded") == 1

@@ -182,21 +182,43 @@ class TestAdmissionController:
         with pytest.raises(ConfigurationError):
             AdmissionController(slots=0, max_queue=1, max_queue_per_tenant=1)
 
+    def test_pass_state_is_pruned_with_drained_queues(self):
+        # Tenant ids are client-supplied strings: stride bookkeeping must
+        # not accumulate an entry per tenant ever seen, only per tenant
+        # with queued work.
+        admission = self._controller(slots=1, max_queue=10, per_tenant=10)
+        for i in range(50):
+            admission.try_admit(f"drive-by-{i}", f"r{i}")
+            admission.on_release()
+        assert admission._pass == {}
+        admission.try_admit("a", "r-run")
+        admission.try_admit("b", "r-queued")
+        assert set(admission._pass) == {"b"}
+        assert admission.on_release() == "r-queued"  # b's queue drains
+        assert admission._pass == {}
+        admission.try_admit("c", "c0")
+        admission.remove("c", "c0")
+        assert admission._pass == {}
+        admission.try_admit("d", "d0")
+        admission.drain()
+        assert admission._pass == {}
+
 
 class TestCoalesceKey:
     def test_param_order_does_not_matter(self):
-        a = coalesce_key("p", "m", {"x": 1, "y": 2})
-        b = coalesce_key("p", "m", {"y": 2, "x": 1})
+        a = coalesce_key("t", "p", "m", {"x": 1, "y": 2})
+        b = coalesce_key("t", "p", "m", {"y": 2, "x": 1})
         assert a == b
 
-    def test_distinct_programs_and_params_differ(self):
-        base = coalesce_key("p", "m", {"x": 1})
-        assert coalesce_key("q", "m", {"x": 1}) != base
-        assert coalesce_key("p", "m", {"x": 2}) != base
-        assert coalesce_key("p", "other", {"x": 1}) != base
+    def test_distinct_identities_differ(self):
+        base = coalesce_key("t", "p", "m", {"x": 1})
+        assert coalesce_key("other", "p", "m", {"x": 1}) != base
+        assert coalesce_key("t", "q", "m", {"x": 1}) != base
+        assert coalesce_key("t", "p", "m", {"x": 2}) != base
+        assert coalesce_key("t", "p", "other", {"x": 1}) != base
 
     def test_unserializable_params_opt_out(self):
-        assert coalesce_key("p", "m", {"x": object()}) is None
+        assert coalesce_key("t", "p", "m", {"x": object()}) is None
 
     def test_group_lifecycle(self):
         coalescer = Coalescer()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import socket
 import threading
 import time
 
@@ -154,6 +155,38 @@ class TestCoalescing:
         assert len(_rows(a)) == 4
         assert len(_rows(b)) == 1
 
+    def test_different_tenants_do_not_coalesce(self):
+        # The tenant is part of the coalescing key: sharing across tenants
+        # would let one tenant's cancel fail another's request and leak its
+        # traffic pattern via coalesced responses.
+        system = _system()
+        gate = threading.Event()
+        started = threading.Event()
+        calls = []
+
+        def udf(table):
+            calls.append(1)
+            started.set()
+            assert gate.wait(timeout=30)
+            return table
+
+        with system.serve(pool_size=1) as server:
+            server.register("gated", _gated_program(system, udf))
+            client = server.connect()
+            first = client.submit_execute("gated", tenant="a")
+            assert started.wait(timeout=30)
+            second = client.submit_execute("gated", tenant="b")
+            deadline = time.monotonic() + 30
+            # b queues for its own slot rather than attaching to a's group.
+            while server.stats()["admission"]["queued"] < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            assert server.stats()["coalesced_attached_total"] == 0
+            gate.set()
+            assert first.result(timeout=30)["ok"]
+            assert second.result(timeout=30)["ok"]
+        assert len(calls) == 2
+
 
 class TestQuotas:
     def test_over_rate_tenant_is_rejected_with_retry_hint(self):
@@ -262,6 +295,38 @@ class TestCancellation:
             "polystore_serve_rejects_total", tenant="default",
             reason="deadline") == 1
 
+    def test_follower_deadline_expiry_leaves_the_group_running(self):
+        # An expired follower must detach alone: the leader (and the slot it
+        # holds) keeps running, completes normally, and must not try to
+        # deliver a second response to the already-expired follower.
+        system = _system()
+        gate = threading.Event()
+        started = threading.Event()
+
+        def udf(table):
+            started.set()
+            assert gate.wait(timeout=30)
+            return table
+
+        with system.serve(pool_size=1) as server:
+            server.register("gated", _gated_program(system, udf))
+            client = server.connect()
+            leader = client.submit_execute("gated")
+            assert started.wait(timeout=30)
+            follower = client.submit_execute("gated", deadline_s=0.05)
+            expired = follower.result(timeout=30)
+            assert expired["ok"] is False
+            assert expired["error"]["code"] == protocol.DEADLINE_EXCEEDED
+            gate.set()
+            assert leader.result(timeout=30)["ok"]
+            # The execution slot was released, not leaked: a fresh request
+            # still gets dispatched and completes.
+            assert client.execute("gated", timeout=30)["ok"]
+            assert server.stats()["inflight"] == 0
+        assert system.obs.registry.value(
+            "polystore_serve_rejects_total", tenant="default",
+            reason="deadline") == 1
+
     def test_deadline_expires_while_running(self):
         system = _system()
 
@@ -326,6 +391,53 @@ class TestTcpTransport:
                 scrape = tcp.metrics(timeout=30)
         assert "polystore_serve_requests_total" in scrape
 
+    def test_timeout_mid_frame_keeps_the_stream_aligned(self):
+        # A response that times out after its length prefix (or part of its
+        # body) arrived must not desynchronize the stream: the partial frame
+        # stays buffered and the next read resumes it.
+        listener = socket.create_server(("127.0.0.1", 0))
+        host, port = listener.getsockname()[:2]
+        client = TcpClient(host, port)
+        server_sock, _ = listener.accept()
+        outcome: dict[str, object] = {}
+
+        def call(key, message, timeout):
+            try:
+                outcome[key] = client.request(message, timeout)
+            except Exception as exc:  # noqa: BLE001 - recorded for asserts
+                outcome[key] = exc
+
+        try:
+            first = threading.Thread(
+                target=call, args=("first", {"op": "ping", "id": "p1"}, 0.3))
+            first.start()
+            assert protocol.read_frame_sync(server_sock)["id"] == "p1"
+            response = protocol.encode_frame(
+                protocol.ok_response("p1", pong=True))
+            server_sock.sendall(response[:6])  # prefix + 2 body bytes
+            first.join(timeout=10)
+            assert not first.is_alive()
+            assert isinstance(outcome["first"], TimeoutError)
+
+            server_sock.sendall(response[6:])  # the late remainder
+            second = threading.Thread(
+                target=call, args=("second", {"op": "ping", "id": "p2"}, 10))
+            second.start()
+            assert protocol.read_frame_sync(server_sock)["id"] == "p2"
+            server_sock.sendall(protocol.encode_frame(
+                protocol.ok_response("p2", pong=True)))
+            second.join(timeout=10)
+            assert not second.is_alive()
+            assert outcome["second"]["id"] == "p2"
+            # The late first response was reassembled as one frame and
+            # parked under its own id, not misread as a length prefix.
+            assert client._pending == {"p1": protocol.ok_response(
+                "p1", pong=True)}
+        finally:
+            client.close()
+            server_sock.close()
+            listener.close()
+
     def test_disconnect_cancels_outstanding_work(self):
         system = _system()
         gate = threading.Event()
@@ -366,6 +478,23 @@ class TestShutdown:
         server.connect().execute("patients_over", timeout=30)
         server.stop()
         server.stop()  # second stop is a no-op
+
+    def test_submit_during_stop_window_unblocks_client(self):
+        # Between stop() posting loop.stop() and the loop actually closing,
+        # call_soon_threadsafe accepts callbacks that will never run.  A
+        # submit landing in that window must still resolve the client's
+        # future (with the retryable SHUTTING_DOWN contract), not hang.
+        system = _system()
+        server = system.serve()
+        server.register("patients_over", _scan_program(system))
+        client = server.connect()
+        server._loop_stopping = True  # simulate the stop window
+        with pytest.raises(ServeError) as exc_info:
+            client.execute("patients_over", timeout=5)
+        assert exc_info.value.code == protocol.SHUTTING_DOWN
+        assert exc_info.value.retryable
+        server._loop_stopping = False
+        server.stop()
 
     def test_execute_after_stop_rejects_cleanly(self):
         # A client that kept its handle across stop() gets the same
