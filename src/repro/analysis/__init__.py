@@ -1,0 +1,42 @@
+"""Static analysis: project-specific invariant checking, wired as a CI gate.
+
+The last several PRs each shipped review fixes for the same families of
+concurrency and contract bugs: ABBA deadlocks from inconsistent lock order,
+listeners notified while a write lock was held, engine mutators that forgot
+to emit their changelog batch (silent view divergence), and serve-path code
+that blocks the event loop or swallows cancellation.  Those invariants are
+load-bearing — the incremental-view correctness discipline only holds if the
+changelog emission contract holds — so this package machine-checks them
+instead of re-discovering them in review.
+
+The pieces:
+
+* :mod:`repro.analysis.core` — the rule framework: :class:`Finding`,
+  :class:`Rule`, :class:`SourceFile` (parsed module + inline suppression
+  pragmas) and :class:`AnalysisContext` (cross-file state such as the
+  registered metric families).
+* :mod:`repro.analysis.rules` — the project rules (lock-discipline,
+  changelog-contract, async-hygiene, cancellation-safety, obs-taxonomy).
+* :mod:`repro.analysis.runner` — file collection and rule execution,
+  including pragma filtering.
+* ``python -m repro.analysis [--strict] [paths]`` — the CLI (see
+  :mod:`repro.analysis.cli`); ``--strict`` exits non-zero on any finding
+  and is the mode CI gates on.
+
+Findings are suppressed inline with ``# repro: allow(<rule-id>): <reason>``
+— the reason is mandatory; a pragma without one is itself a finding.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import AnalysisContext, Finding, Rule, SourceFile
+from repro.analysis.runner import analyze_paths, analyze_sources
+
+__all__ = [
+    "AnalysisContext",
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "analyze_paths",
+    "analyze_sources",
+]

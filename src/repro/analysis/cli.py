@@ -1,0 +1,67 @@
+"""``python -m repro.analysis [--strict] [paths]`` — the analyzer CLI.
+
+Default mode reports findings and exits 0 (advisory, for local
+iteration).  ``--strict`` exits 1 when any finding survives suppression —
+that is the CI gate (see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.core import registered_rules
+from repro.analysis.runner import analyze_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant checker for lock discipline, "
+                    "changelog contracts, async hygiene, cancellation "
+                    "safety and the observability taxonomy.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when any finding is reported "
+                             "(the CI gate)")
+    parser.add_argument("--rule", action="append", dest="rule_ids",
+                        metavar="RULE-ID",
+                        help="run only the named rule (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    rules = registered_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}: {rule.description}")
+        return 0
+    if args.rule_ids:
+        known = {rule.id for rule in rules}
+        unknown = sorted(set(args.rule_ids) - known)
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)} "
+                  f"(--list-rules shows the registry)", file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.id in set(args.rule_ids)]
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    findings = analyze_paths(args.paths, rules=rules)
+    for finding in findings:
+        print(finding.render())
+    checked = ", ".join(rule.id for rule in rules)
+    summary = (f"{len(findings)} finding(s) from rules: {checked}"
+               if findings else f"clean ({checked})")
+    print(summary, file=sys.stderr)
+    if findings and args.strict:
+        return 1
+    return 0

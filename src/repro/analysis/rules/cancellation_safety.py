@@ -1,0 +1,122 @@
+"""cancellation-safety: dispatch code must not swallow cancellation.
+
+Cooperative cancellation only works if ``CancelledError`` /
+``DeadlineExceededError`` propagate from the cancellation checkpoints back
+to the caller that owns the request.  A broad ``except Exception`` in the
+dispatch path (the serving tier, the executor's stage scheduler, the
+scatter-gather fan-out) quietly converts "this request was cancelled" into
+"this request failed (or worse, succeeded with partial work)" — the serve
+tier then reports INTERNAL instead of CANCELLED, retries fire, and
+execution slots leak.
+
+The rule flags ``except Exception``, ``except BaseException`` and bare
+``except:`` handlers in dispatch code (``serve/``,
+``middleware/executor/``, ``cluster/scatter.py``) and in any ``async
+def`` anywhere, unless:
+
+* an earlier handler of the same ``try`` catches ``CancelledError`` or
+  ``DeadlineExceededError`` explicitly (the PR-8 pattern in
+  ``_run_on_slot``), or
+* the handler body contains a ``raise`` (re-raise or translate-and-raise
+  both keep control flowing).
+
+``except BaseException`` / bare ``except`` are held to the stricter bar:
+only a ``raise`` excuses them, because ``asyncio.CancelledError`` derives
+from ``BaseException`` and sails past any earlier ``Exception``-level
+handler.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.core import (
+    AnalysisContext,
+    Finding,
+    Rule,
+    SourceFile,
+    attr_chain,
+    register,
+)
+
+_DISPATCH_PATH_RE = re.compile(
+    r"(^|/)(serve/|middleware/executor/)|cluster/scatter\.py$")
+
+_CANCEL_NAMES = frozenset({"CancelledError", "DeadlineExceededError"})
+
+
+def _handler_names(handler: ast.ExceptHandler) -> set[str]:
+    """Terminal names of the exception types one handler catches."""
+    if handler.type is None:
+        return {"<bare>"}
+    types = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+             else [handler.type])
+    names: set[str] = set()
+    for node in types:
+        chain = attr_chain(node)
+        if chain:
+            names.add(chain[-1])
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise)
+               for stmt in handler.body for node in ast.walk(stmt))
+
+
+class CancellationSafetyRule(Rule):
+    id = "cancellation-safety"
+    description = (
+        "broad except handlers in async/dispatch code must not swallow "
+        "CancelledError/DeadlineExceededError")
+
+    def check(self, source: SourceFile,
+              context: AnalysisContext) -> Iterable[Finding]:
+        if source.tree is None:
+            return
+        whole_file = bool(_DISPATCH_PATH_RE.search(source.rel_path))
+        # Collect the line spans of async defs so a try in one is in scope
+        # even outside dispatch files.
+        async_spans: list[tuple[int, int]] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                async_spans.append((node.lineno, node.end_lineno or node.lineno))
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            if not whole_file and not any(
+                    lo <= node.lineno <= hi for lo, hi in async_spans):
+                continue
+            yield from self._check_try(source, node)
+
+    def _check_try(self, source: SourceFile,
+                   node: ast.Try) -> Iterable[Finding]:
+        cancel_handled = False
+        for handler in node.handlers:
+            names = _handler_names(handler)
+            if names & _CANCEL_NAMES:
+                cancel_handled = True
+                continue
+            broad_base = bool(names & {"BaseException", "<bare>"})
+            broad = broad_base or "Exception" in names
+            if not broad:
+                continue
+            if _reraises(handler):
+                continue
+            if cancel_handled and not broad_base:
+                continue
+            caught = ("bare except" if "<bare>" in names
+                      else f"except {'BaseException' if broad_base else 'Exception'}")
+            hint = ("re-raise inside the handler"
+                    if broad_base else
+                    "add 'except (CancelledError, DeadlineExceededError): "
+                    "raise' before it (or re-raise inside the handler)")
+            yield self.finding(source, handler, (
+                f"{caught} in dispatch code swallows cancellation — a "
+                f"cancelled request would be reported as an ordinary "
+                f"failure and leak its slot; {hint}"))
+
+
+register(CancellationSafetyRule())

@@ -1,0 +1,249 @@
+"""lock-discipline: per-class lock ordering and notify-under-lock checks.
+
+Two invariant families, both learned the hard way in review:
+
+* **Inconsistent pairwise lock order** — within one class, if some code
+  path acquires lock A and then (directly, or through a same-class method
+  it calls) lock B, no other path may acquire B then A: two threads taking
+  the two paths concurrently deadlock (ABBA).  The rule builds the
+  per-class acquisition-order graph from ``with self._lock:`` nesting plus
+  one-class-deep call propagation and flags contradictory pairs.
+
+* **Listener invocation under a held lock** — calling back into arbitrary
+  code (changelog listeners, subscribers, callbacks) while holding a lock
+  invites deadlock: the listener may re-enter the locking object (an eager
+  view refresh reads the engine that just notified it).  Notification must
+  be deferred until after the lock is released (the
+  ``mark_data_changed(notify=False)`` / ``notify_batch`` split exists for
+  exactly this).
+
+Lock identity is the dotted expression (``self._lock``,
+``self._prepare_lock``); any name whose last component contains ``lock``
+or ``mutex`` counts.  Nested function bodies are analyzed as independent
+contexts — they run at call time, not while the enclosing block's locks
+are held.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.core import (
+    AnalysisContext,
+    Finding,
+    Rule,
+    SourceFile,
+    attr_chain,
+    register,
+)
+
+_LOCKISH_RE = re.compile(r"lock|mutex", re.IGNORECASE)
+_NOTIFY_RE = re.compile(r"notify|callback", re.IGNORECASE)
+#: Bare callables whose very name says "I am someone else's code".
+_NOTIFY_BARE_RE = re.compile(
+    r"^(listener|callback|subscriber|hook)s?$", re.IGNORECASE)
+
+
+def _lock_name(expr: ast.AST) -> str | None:
+    """The lock identity of a ``with`` item (or ``None`` if not a lock)."""
+    chain = attr_chain(expr)
+    if chain and _LOCKISH_RE.search(chain[-1]):
+        return ".".join(chain)
+    return None
+
+
+def _notify_name(call: ast.Call) -> str | None:
+    """The display name of a notify-like call (or ``None``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and _NOTIFY_RE.search(func.attr):
+        chain = attr_chain(func)
+        return ".".join(chain) if chain else func.attr
+    if isinstance(func, ast.Name) and _NOTIFY_BARE_RE.match(func.id):
+        return func.id
+    return None
+
+
+@dataclass
+class _MethodFacts:
+    """What one method does with locks, before call propagation."""
+
+    name: str
+    #: Locks acquired anywhere in the body: lock -> first line.
+    acquires: dict[str, int] = field(default_factory=dict)
+    #: Directly nested acquisitions: (outer, inner) -> line of the inner.
+    pairs: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: Same-class calls: (held locks at the call, callee, line).
+    calls: list[tuple[tuple[str, ...], str, int]] = field(default_factory=list)
+    #: Notify-like calls: (held locks at the call, display name, line).
+    notifies: list[tuple[tuple[str, ...], str, int]] = field(
+        default_factory=list)
+
+
+class _MethodVisitor:
+    """Collects :class:`_MethodFacts` from one function body."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef,
+                 nested_sink: list["_MethodFacts"] | None = None) -> None:
+        self.facts = _MethodFacts(func.name)
+        self._nested = nested_sink
+        for stmt in func.body:
+            self._visit(stmt, ())
+
+    def _visit(self, node: ast.AST, held: tuple[str, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Deferred body: analyze as an independent context.
+            if self._nested is not None:
+                visitor = _MethodVisitor(node, self._nested)
+                self._nested.append(visitor.facts)
+            return
+        if isinstance(node, ast.Lambda):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._visit_with(node, held)
+            return
+        if isinstance(node, ast.Call):
+            self._visit_call(node, held)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith,
+                    held: tuple[str, ...]) -> None:
+        for item in node.items:
+            lock = _lock_name(item.context_expr)
+            if lock is not None:
+                self.facts.acquires.setdefault(lock, item.context_expr.lineno)
+                for outer in held:
+                    if outer != lock:
+                        self.facts.pairs.setdefault(
+                            (outer, lock), item.context_expr.lineno)
+                held = held + (lock,)
+            else:
+                self._visit(item.context_expr, held)
+        for stmt in node.body:
+            self._visit(stmt, held)
+
+    def _visit_call(self, node: ast.Call, held: tuple[str, ...]) -> None:
+        chain = attr_chain(node.func)
+        if chain is not None and len(chain) == 2 and chain[0] == "self":
+            self.facts.calls.append((held, chain[1], node.lineno))
+        notify = _notify_name(node)
+        if notify is not None:
+            self.facts.notifies.append((held, notify, node.lineno))
+
+
+def _transitive_acquires(methods: dict[str, _MethodFacts]
+                         ) -> dict[str, set[str]]:
+    """Locks each method may end up holding, via same-class calls."""
+    closure = {name: set(facts.acquires) for name, facts in methods.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name, facts in methods.items():
+            for _, callee, _ in facts.calls:
+                extra = closure.get(callee)
+                if extra and not extra <= closure[name]:
+                    closure[name] |= extra
+                    changed = True
+    return closure
+
+
+def _transitive_notifies(methods: dict[str, _MethodFacts]) -> set[str]:
+    """Methods that (transitively) invoke a notify-like callable."""
+    notifying = {name for name, facts in methods.items() if facts.notifies}
+    changed = True
+    while changed:
+        changed = False
+        for name, facts in methods.items():
+            if name in notifying:
+                continue
+            if any(callee in notifying for _, callee, _ in facts.calls):
+                notifying.add(name)
+                changed = True
+    return notifying
+
+
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    description = (
+        "per-class lock acquisition order must be consistent, and "
+        "listeners/callbacks must not be invoked while a lock is held")
+
+    def check(self, source: SourceFile,
+              context: AnalysisContext) -> Iterable[Finding]:
+        if source.tree is None:
+            return
+        scopes: list[tuple[str, list[ast.FunctionDef | ast.AsyncFunctionDef]]]
+        scopes = []
+        module_funcs = [node for node in source.tree.body
+                        if isinstance(node,
+                                      (ast.FunctionDef, ast.AsyncFunctionDef))]
+        if module_funcs:
+            scopes.append(("<module>", module_funcs))
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                scopes.append((node.name, [
+                    child for child in node.body
+                    if isinstance(child,
+                                  (ast.FunctionDef, ast.AsyncFunctionDef))
+                ]))
+        for scope_name, funcs in scopes:
+            yield from self._check_scope(source, scope_name, funcs)
+
+    def _check_scope(self, source: SourceFile, scope_name: str,
+                     funcs: list[ast.FunctionDef | ast.AsyncFunctionDef]
+                     ) -> Iterable[Finding]:
+        nested: list[_MethodFacts] = []
+        methods: dict[str, _MethodFacts] = {}
+        for func in funcs:
+            methods[func.name] = _MethodVisitor(func, nested).facts
+        acquires = _transitive_acquires(methods)
+        notifying = _transitive_notifies(methods)
+
+        # -- notify under a held lock --------------------------------------------------
+        for facts in list(methods.values()) + nested:
+            for held, name, line in facts.notifies:
+                if held:
+                    yield self.finding(source, line, (
+                        f"{scope_name}.{facts.name} invokes {name!r} while "
+                        f"holding {held[-1]!r}; deliver notifications after "
+                        f"releasing the lock (mark_data_changed(notify="
+                        f"False) + notify_batch)"))
+            for held, callee, line in facts.calls:
+                if held and callee in notifying:
+                    yield self.finding(source, line, (
+                        f"{scope_name}.{facts.name} calls self.{callee}() "
+                        f"while holding {held[-1]!r}, and {callee!r} "
+                        f"(transitively) notifies listeners; deliver "
+                        f"notifications after releasing the lock"))
+
+        # -- pairwise acquisition order ------------------------------------------------
+        edges: dict[tuple[str, str], int] = {}
+        for facts in list(methods.values()) + nested:
+            for pair, line in facts.pairs.items():
+                edges.setdefault(pair, line)
+            for held, callee, line in facts.calls:
+                for inner in acquires.get(callee, ()):
+                    for outer in held:
+                        if outer != inner:
+                            edges.setdefault((outer, inner), line)
+        reported: set[frozenset[str]] = set()
+        for (a, b), line in sorted(edges.items(), key=lambda kv: kv[1]):
+            if (b, a) not in edges:
+                continue
+            key = frozenset((a, b))
+            if key in reported:
+                continue
+            reported.add(key)
+            other = edges[(b, a)]
+            if other > line:  # anchor the finding at the later site
+                a, b, line, other = b, a, other, line
+            yield self.finding(source, line, (
+                f"{scope_name}: inconsistent lock order — {a!r} is taken "
+                f"before {b!r} here, but {b!r} is taken before {a!r} at "
+                f"line {other} (ABBA deadlock)"))
+
+
+register(LockDisciplineRule())

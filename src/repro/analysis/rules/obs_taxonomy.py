@@ -1,0 +1,219 @@
+"""obs-taxonomy: call sites must use registered metric families and spans.
+
+The observability contract has two halves:
+
+* **Metric families** are pre-registered once, as attributes of
+  ``Observability`` in ``src/repro/obs/__init__.py``; instrumented hot
+  paths do one attribute access per event.  A typo at a call site
+  (``obs.serve_reject_total`` for ``serve_rejects_total``) raises
+  ``AttributeError`` only on the first event that executes that line —
+  typically in production, under load.  The rule parses the registry and
+  checks every ``obs.<family>.inc/observe/set/labels`` chain against it.
+  It also keeps registration honest: families must be registered in the
+  hub (not ad hoc), counters end in ``_total``, histograms in
+  ``_seconds``/``_rows``, and everything carries the ``polystore_``
+  prefix (see DESIGN.md "Metric naming").
+
+* **Span names** follow the DESIGN.md taxonomy (``request:<p>``,
+  ``stage:<i>``, ``op:<id>``, ...).  Exporters, tests and dashboards key
+  on those prefixes; a free-hand span name silently falls out of every
+  span-tree assertion.  ``tracer.span(name, category)`` call sites with a
+  statically known prefix must use a taxonomy prefix, paired with its
+  declared category.  (``tracer.request`` names are user-extensible and
+  not checked.)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.core import (
+    AnalysisContext,
+    Finding,
+    Rule,
+    SourceFile,
+    attr_chain,
+    fstring_prefix,
+    register,
+)
+
+#: Span-name prefix -> category, mirroring the DESIGN.md span taxonomy
+#: table ("Span taxonomy").  Update both together.
+SPAN_TAXONOMY: dict[str, str] = {
+    "request": "session",
+    "serve": "session",
+    "compile": "compile",
+    "execute": "executor",
+    "stage": "executor",
+    "op": "operator",
+    "shard": "scatter",
+    "view_refresh": "view",
+    "wal_fsync": "durability",
+    "snapshot": "durability",
+}
+
+_REGISTRY_SUFFIX = "repro/obs/__init__.py"
+_CACHE_KEY = "obs-registry"
+_KINDS = frozenset({"counter", "gauge", "histogram"})
+_RECORD_CALLS = frozenset({"inc", "observe", "set", "labels"})
+_OBS_MARKERS = frozenset({"obs", "_obs"})
+#: Attributes of the hub that are not metric families.
+_NON_FAMILY_ATTRS = frozenset({
+    "registry", "tracer", "slow_log", "enabled",
+})
+_FAMILY_NAME_RE = re.compile(r"^polystore_[a-z0-9_]+$")
+_REGISTRY_RECEIVER_RE = re.compile(r"^(reg|registry|_registry)$")
+
+
+def parse_registry(tree: ast.Module) -> dict[str, str]:
+    """``{family attribute: kind}`` from the Observability hub's source."""
+    families: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        chain = attr_chain(node.targets[0])
+        if chain is None or len(chain) != 2 or chain[0] != "self":
+            continue
+        value = node.value
+        if isinstance(value, ast.Call):
+            name = value.func.attr if isinstance(value.func, ast.Attribute) \
+                else None
+            if name in _KINDS:
+                families[chain[1]] = name
+    return families
+
+
+def _load_registry(source: SourceFile,
+                   context: AnalysisContext) -> dict[str, str] | None:
+    """The hub's families, from the analyzed file set or from disk."""
+    if _CACHE_KEY in context.cache:
+        return context.cache[_CACHE_KEY]
+    families: dict[str, str] | None = None
+    registry_file = context.find_file(_REGISTRY_SUFFIX)
+    if registry_file is not None and registry_file.tree is not None:
+        families = parse_registry(registry_file.tree)
+    else:
+        # Analyzing a subset that excludes the hub: find it next to the
+        # analyzed file's ``repro`` package.
+        parts = Path(source.rel_path).parts
+        if "repro" in parts:
+            index = parts.index("repro")
+            candidate = Path(*parts[:index + 1]) / "obs" / "__init__.py"
+            if candidate.exists():
+                families = parse_registry(
+                    ast.parse(candidate.read_text(encoding="utf-8")))
+    context.cache[_CACHE_KEY] = families
+    return families
+
+
+class ObsTaxonomyRule(Rule):
+    id = "obs-taxonomy"
+    description = (
+        "metric families and span-name prefixes at call sites must match "
+        "the Observability registry and the DESIGN.md span taxonomy")
+
+    def check(self, source: SourceFile,
+              context: AnalysisContext) -> Iterable[Finding]:
+        if source.tree is None:
+            return
+        families = _load_registry(source, context)
+        is_registry_file = source.rel_path.endswith(_REGISTRY_SUFFIX)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None:
+                continue
+            terminal = chain[-1]
+            if terminal == "span" and "tracer" in chain[:-1]:
+                yield from self._check_span(source, node)
+            elif terminal in _RECORD_CALLS and families is not None:
+                yield from self._check_family_use(source, node, chain,
+                                                 families)
+            elif terminal in _KINDS:
+                yield from self._check_registration(source, node, chain,
+                                                    families,
+                                                    is_registry_file)
+
+    def _check_span(self, source: SourceFile,
+                    call: ast.Call) -> Iterable[Finding]:
+        if not call.args:
+            return
+        static = fstring_prefix(call.args[0])
+        if static is None:
+            return  # dynamic name; nothing to check statically
+        prefix = static.split(":", 1)[0]
+        category = SPAN_TAXONOMY.get(prefix)
+        if category is None:
+            yield self.finding(source, call, (
+                f"span name prefix {prefix!r} is not in the DESIGN.md span "
+                f"taxonomy ({', '.join(sorted(SPAN_TAXONOMY))}); exporters "
+                f"and span-tree assertions key on these prefixes"))
+            return
+        if len(call.args) >= 2:
+            declared = call.args[1]
+            if (isinstance(declared, ast.Constant)
+                    and isinstance(declared.value, str)
+                    and declared.value != category):
+                yield self.finding(source, call, (
+                    f"span {prefix!r} declares category "
+                    f"{declared.value!r} but the taxonomy pairs it with "
+                    f"{category!r}"))
+
+    def _check_family_use(self, source: SourceFile, call: ast.Call,
+                          chain: list[str],
+                          families: dict[str, str]) -> Iterable[Finding]:
+        for index, part in enumerate(chain[:-2]):
+            if part not in _OBS_MARKERS:
+                continue
+            family = chain[index + 1]
+            if family in _NON_FAMILY_ATTRS or family in _OBS_MARKERS:
+                continue
+            if family not in families:
+                yield self.finding(source, call, (
+                    f"metric family attribute {family!r} is not "
+                    f"pre-registered on Observability "
+                    f"(src/repro/obs/__init__.py); this line raises "
+                    f"AttributeError on its first event"))
+            return
+
+    def _check_registration(self, source: SourceFile, call: ast.Call,
+                            chain: list[str],
+                            families: dict[str, str] | None,
+                            is_registry_file: bool) -> Iterable[Finding]:
+        if not call.args:
+            return
+        first = call.args[0]
+        if not (isinstance(first, ast.Constant)
+                and isinstance(first.value, str)):
+            return
+        name = first.value
+        receiver_is_registry = (len(chain) >= 2 and bool(
+            _REGISTRY_RECEIVER_RE.match(chain[-2])))
+        if not receiver_is_registry and not name.startswith("polystore_"):
+            return  # not a metric registration at all
+        kind = chain[-1]
+        if not _FAMILY_NAME_RE.match(name):
+            yield self.finding(source, call, (
+                f"metric family {name!r} must match "
+                f"'polystore_<subsystem>_<what>' (lowercase, underscores)"))
+        elif kind == "counter" and not name.endswith("_total"):
+            yield self.finding(source, call, (
+                f"counter {name!r} must end in '_total' (DESIGN.md metric "
+                f"naming)"))
+        elif kind == "histogram" and not name.endswith(("_seconds", "_rows")):
+            yield self.finding(source, call, (
+                f"histogram {name!r} must end in '_seconds' or '_rows' "
+                f"(DESIGN.md metric naming)"))
+        if not is_registry_file:
+            yield self.finding(source, call, (
+                f"metric family {name!r} registered outside the "
+                f"Observability hub; pre-register it in "
+                f"src/repro/obs/__init__.py so call sites share one "
+                f"source of truth"))
+
+
+register(ObsTaxonomyRule())

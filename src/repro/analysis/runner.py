@@ -1,0 +1,72 @@
+"""File collection and rule execution (with pragma filtering)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import repro.analysis.rules  # noqa: F401  (registers the project rules)
+from repro.analysis.core import (
+    AnalysisContext,
+    Finding,
+    Rule,
+    SourceFile,
+    registered_rules,
+)
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+def collect_files(paths: Iterable[Path | str]) -> list[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS & set(candidate.parts):
+                    out.add(candidate)
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def analyze_sources(sources: Sequence[SourceFile],
+                    rules: Sequence[Rule] | None = None,
+                    context: AnalysisContext | None = None) -> list[Finding]:
+    """Run rules over parsed sources; suppressed findings are dropped.
+
+    Parse failures and malformed pragmas are always reported (they cannot
+    be suppressed — a broken pragma must not silence itself).
+    """
+    if context is None:
+        context = AnalysisContext()
+    context.files = list(sources)
+    if rules is None:
+        rules = registered_rules()
+    findings: list[Finding] = []
+    for source in sources:
+        if source.parse_error is not None:
+            findings.append(source.parse_error)
+            continue
+        findings.extend(source.pragma_errors)
+        for rule in rules:
+            for finding in rule.check(source, context):
+                if not source.suppressed(finding):
+                    findings.append(finding)
+    return sorted(findings)
+
+
+def analyze_paths(paths: Iterable[Path | str],
+                  root: Path | None = None,
+                  rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Collect, parse and analyze files under ``paths``.
+
+    ``root`` (default: the current directory) anchors the repo-relative
+    paths reported in findings and matched by path-scoped rules.
+    """
+    if root is None:
+        root = Path.cwd()
+    sources = [SourceFile.from_path(path, root)
+               for path in collect_files(paths)]
+    return analyze_sources(sources, rules=rules)

@@ -731,6 +731,7 @@ class ShardedEngine(Engine):
         with self._lock:
             return self._pending is not None
 
+    # repro: allow(changelog-contract): topology bookkeeping; data deltas flow via dual-writes
     def begin_rebalance(self, partitioner: Partitioner) -> list[ShardPayload]:
         """Atomically snapshot current data and install the pending shard set.
 
@@ -764,6 +765,7 @@ class ShardedEngine(Engine):
             shards, partitioner = self._pending
             return list(shards), partitioner
 
+    # repro: allow(changelog-contract): replays snapshot rows already emitted by the source
     def apply_payload(self, payload: ShardPayload, table: Table | None = None) -> int:
         """Load one (possibly migrated) snapshot payload into the pending shards.
 
@@ -808,6 +810,7 @@ class ShardedEngine(Engine):
                 return applied
             raise ConfigurationError(f"unknown payload kind {payload.kind!r}")
 
+    # repro: allow(changelog-contract): topology swap; versions re-based explicitly
     def cutover(self) -> list[Engine]:
         """Swap the pending shard map in; returns the retired shards.
 
@@ -854,6 +857,7 @@ class ShardedEngine(Engine):
                 self._durability_cutover(self, retired)
             return retired
 
+    # repro: allow(changelog-contract): discards pending topology; facade data untouched
     def abort_rebalance(self) -> None:
         """Discard the pending shard set (writes stop being mirrored)."""
         with self._lock:

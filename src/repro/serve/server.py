@@ -280,6 +280,7 @@ class PolystoreServer:
         def deliver(response: dict[str, Any]) -> None:
             try:
                 writer.write(encode_frame(response))
+            # repro: allow(cancellation-safety): sync write; only transport errors surface
             except Exception:
                 pass  # client went away; the request already ran its course
 
@@ -360,6 +361,11 @@ class PolystoreServer:
             else:
                 deliver(error_response(request_id, protocol.BAD_REQUEST,
                                        f"unknown op {op!r}"))
+        except DeadlineExceededError as exc:
+            deliver(error_response(request_id, protocol.DEADLINE_EXCEEDED,
+                                   str(exc)))
+        except CancelledError as exc:
+            deliver(error_response(request_id, protocol.CANCELLED, str(exc)))
         except Exception as exc:  # never leave a client waiting forever
             deliver(error_response(request_id, protocol.INTERNAL,
                                    f"{type(exc).__name__}: {exc}"))

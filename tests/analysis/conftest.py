@@ -1,0 +1,33 @@
+"""Shared helpers for the analyzer's own tests."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_sources
+from repro.analysis.core import SourceFile
+
+
+@pytest.fixture
+def run_rule():
+    """Run one rule over inline source, returning its findings.
+
+    ``path`` matters: several rules are path-scoped (serve/, engine.py).
+    """
+
+    def run(rule, code, path="src/repro/example.py", context=None):
+        source = SourceFile(path, textwrap.dedent(code))
+        rules = [rule] if rule is not None else None
+        return analyze_sources([source], rules=rules, context=context)
+
+    return run
+
+
+@pytest.fixture
+def make_source():
+    def make(code, path="src/repro/example.py"):
+        return SourceFile(path, textwrap.dedent(code))
+
+    return make

@@ -1,0 +1,107 @@
+"""async-hygiene: no blocking calls on the serving tier's event loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.rules.async_hygiene import AsyncHygieneRule
+
+SERVE_PATH = "src/repro/serve/example.py"
+
+
+@pytest.fixture
+def run(run_rule):
+    def _run(code, path=SERVE_PATH):
+        return run_rule(AsyncHygieneRule(), code, path=path)
+    return _run
+
+
+class TestBlockingCalls:
+    def test_time_sleep_in_coroutine(self, run):
+        findings = run("""\
+            import time
+
+            async def poll(self):
+                time.sleep(0.1)
+            """)
+        assert len(findings) == 1
+        assert findings[0].line == 4
+        assert "asyncio.sleep" in findings[0].message
+
+    def test_await_asyncio_sleep_is_clean(self, run):
+        assert run("""\
+            import asyncio
+
+            async def poll(self):
+                await asyncio.sleep(0.1)
+            """) == []
+
+    def test_sync_file_io(self, run):
+        findings = run("""\
+            async def load(path):
+                with open(path) as fh:
+                    return fh.read()
+            """)
+        assert len(findings) == 1
+        assert "file I/O" in findings[0].message
+
+    def test_blocking_socket_constructor_and_method(self, run):
+        findings = run("""\
+            import socket
+
+            async def fetch(addr):
+                sock = socket.socket()
+                sock.connect(addr)
+            """)
+        assert len(findings) == 2
+
+    def test_thread_lock_held_on_loop(self, run):
+        findings = run("""\
+            async def mutate(self):
+                with self._lock:
+                    self._state += 1
+            """)
+        assert len(findings) == 1
+        assert "self._lock" in findings[0].message
+
+    def test_unbounded_acquire_flagged_bounded_ok(self, run):
+        findings = run("""\
+            async def grab(self):
+                self._lock.acquire()
+                self._lock.acquire(timeout=0.5)
+                self._lock.acquire(False)
+                self._lock.acquire(blocking=False)
+            """)
+        assert len(findings) == 1
+        assert findings[0].line == 2
+
+
+class TestScope:
+    def test_sync_def_in_serve_is_out_of_scope(self, run):
+        assert run("""\
+            import time
+
+            def worker():
+                time.sleep(0.1)
+            """) == []
+
+    def test_nested_sync_def_runs_off_loop(self, run):
+        # Delivery closures execute on worker threads, not the loop.
+        assert run("""\
+            import time
+
+            async def handle(self):
+                def deliver(response):
+                    time.sleep(0.01)
+                    with self._lock:
+                        pass
+                self._pool.submit(deliver)
+            """) == []
+
+    def test_non_serve_path_is_out_of_scope(self, run):
+        assert run("""\
+            import time
+
+            async def poll(self):
+                time.sleep(0.1)
+            """, path="src/repro/middleware/runner.py") == []

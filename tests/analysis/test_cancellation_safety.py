@@ -1,0 +1,117 @@
+"""cancellation-safety: broad handlers must not swallow cancellation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.rules.cancellation_safety import CancellationSafetyRule
+
+DISPATCH_PATH = "src/repro/serve/example.py"
+
+
+@pytest.fixture
+def run(run_rule):
+    def _run(code, path=DISPATCH_PATH):
+        return run_rule(CancellationSafetyRule(), code, path=path)
+    return _run
+
+
+class TestBroadHandlers:
+    def test_swallowing_except_exception_flagged(self, run):
+        findings = run("""\
+            def dispatch(self, message):
+                try:
+                    self._route(message)
+                except Exception:
+                    return None
+            """)
+        assert len(findings) == 1
+        assert findings[0].line == 4
+        assert "swallows cancellation" in findings[0].message
+
+    def test_earlier_cancel_handler_excuses(self, run):
+        assert run("""\
+            def dispatch(self, message):
+                try:
+                    self._route(message)
+                except CancelledError:
+                    self._release_slot()
+                except Exception as exc:
+                    return exc
+            """) == []
+
+    def test_deadline_handler_also_excuses(self, run):
+        assert run("""\
+            def dispatch(self, message):
+                try:
+                    self._route(message)
+                except (DeadlineExceededError, TimeoutError):
+                    self._release_slot()
+                except Exception as exc:
+                    return exc
+            """) == []
+
+    def test_reraise_inside_handler_excuses(self, run):
+        assert run("""\
+            def dispatch(self, message):
+                try:
+                    self._route(message)
+                except Exception as exc:
+                    raise ExecutionError(str(exc)) from exc
+            """) == []
+
+    def test_base_exception_needs_reraise_even_after_cancel_handler(self, run):
+        # asyncio.CancelledError derives from BaseException and sails past
+        # an Exception-level CancelledError handler.
+        findings = run("""\
+            def dispatch(self, message):
+                try:
+                    self._route(message)
+                except CancelledError:
+                    self._release_slot()
+                except BaseException:
+                    return None
+            """)
+        assert len(findings) == 1
+        assert "BaseException" in findings[0].message
+
+    def test_bare_except_flagged(self, run):
+        findings = run("""\
+            def dispatch(self, message):
+                try:
+                    self._route(message)
+                except:
+                    pass
+            """)
+        assert len(findings) == 1
+        assert "bare except" in findings[0].message
+
+
+class TestScope:
+    def test_narrow_handler_is_fine(self, run):
+        assert run("""\
+            def dispatch(self, message):
+                try:
+                    self._route(message)
+                except KeyError:
+                    return None
+            """) == []
+
+    def test_async_def_outside_dispatch_paths_in_scope(self, run):
+        findings = run("""\
+            async def refresh(self):
+                try:
+                    await self._pull()
+                except Exception:
+                    pass
+            """, path="src/repro/views/example.py")
+        assert len(findings) == 1
+
+    def test_sync_code_outside_dispatch_paths_out_of_scope(self, run):
+        assert run("""\
+            def refresh(self):
+                try:
+                    self._pull()
+                except Exception:
+                    pass
+            """, path="src/repro/views/example.py") == []

@@ -1,0 +1,130 @@
+"""Framework behavior: pragmas, suppression scope, parse errors, CLI."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_sources
+from repro.analysis.cli import main
+from repro.analysis.core import Finding, registered_rules
+from repro.analysis.rules.lock_discipline import LockDisciplineRule
+
+ABBA = """\
+class Store:
+    def one(self):
+        with self._a_lock:
+            with self._b_lock:
+                pass
+
+    def two(self):
+        with self._b_lock:
+            with self._a_lock:
+                pass
+"""
+
+
+def _abba_findings(make_source, code):
+    return analyze_sources([make_source(code)],
+                           rules=[LockDisciplineRule()])
+
+
+class TestSuppressions:
+    def test_trailing_pragma_suppresses_its_line(self, make_source):
+        code = ABBA.replace(
+            "            with self._a_lock:\n                pass",
+            "            with self._a_lock:  "
+            "# repro: allow(lock-discipline): test fixture\n"
+            "                pass")
+        assert _abba_findings(make_source, code) == []
+
+    def test_standalone_pragma_covers_next_line(self, make_source):
+        code = ABBA.replace(
+            "        with self._b_lock:\n            with self._a_lock:",
+            "        with self._b_lock:\n"
+            "            # repro: allow(lock-discipline): test fixture\n"
+            "            with self._a_lock:")
+        assert _abba_findings(make_source, code) == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self, make_source):
+        code = ABBA.replace(
+            "            with self._a_lock:\n                pass",
+            "            with self._a_lock:  "
+            "# repro: allow(async-hygiene): wrong rule\n"
+            "                pass")
+        findings = _abba_findings(make_source, code)
+        assert [f.rule for f in findings] == ["lock-discipline"]
+
+    def test_comma_separated_rule_list(self, make_source):
+        code = ABBA.replace(
+            "            with self._a_lock:\n                pass",
+            "            with self._a_lock:  "
+            "# repro: allow(async-hygiene, lock-discipline): fixture\n"
+            "                pass")
+        assert _abba_findings(make_source, code) == []
+
+    def test_pragma_without_reason_is_reported_and_inert(self, make_source):
+        code = ABBA.replace(
+            "            with self._a_lock:\n                pass",
+            "            with self._a_lock:  "
+            "# repro: allow(lock-discipline)\n"
+            "                pass")
+        findings = _abba_findings(make_source, code)
+        assert {f.rule for f in findings} == {"pragma", "lock-discipline"}
+
+    def test_malformed_pragma_is_reported(self, make_source):
+        source = make_source("x = 1  # repro: allow lock-discipline\n")
+        findings = analyze_sources([source], rules=[])
+        assert [f.rule for f in findings] == ["pragma"]
+        assert findings[0].line == 1
+
+    def test_docstring_mentioning_pragma_syntax_is_not_a_pragma(
+            self, make_source):
+        # Regression: the scanner tokenizes rather than regex-matching
+        # lines, so prose like this module's own docstring never trips it.
+        source = make_source('''\
+            """Suppress with ``# repro: allow(<rule>): <reason>``.
+
+            A malformed ``# repro: allow`` pragma is itself a finding.
+            """
+            x = 1
+            ''')
+        assert analyze_sources([source], rules=[]) == []
+        assert source.suppressions == []
+
+
+class TestParseErrors:
+    def test_unparseable_file_yields_parse_finding(self, make_source):
+        source = make_source("def broken(:\n")
+        findings = analyze_sources([source])
+        assert [f.rule for f in findings] == ["parse"]
+
+    def test_finding_render_format(self):
+        finding = Finding(path="src/a.py", line=7, rule="demo", message="m")
+        assert finding.render() == "src/a.py:7: [demo] m"
+
+
+class TestCli:
+    def test_all_five_rules_registered(self):
+        assert [rule.id for rule in registered_rules()] == [
+            "async-hygiene", "cancellation-safety", "changelog-contract",
+            "lock-discipline", "obs-taxonomy"]
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "lock-discipline" in out and "obs-taxonomy" in out
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert main(["--rule", "no-such-rule"]) == 2
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["definitely/not/a/path"]) == 2
+
+    def test_strict_exit_codes_on_fixture(self, tmp_path, capsys):
+        bad = tmp_path / "fixture.py"
+        bad.write_text(textwrap.dedent(ABBA), encoding="utf-8")
+        assert main([str(bad)]) == 0  # advisory mode reports, exits 0
+        assert main(["--strict", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "[lock-discipline]" in out
+        assert main(["--strict", "--rule", "obs-taxonomy", str(bad)]) == 0

@@ -1,0 +1,142 @@
+"""lock-discipline: ABBA ordering and notify-under-lock detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.rules.lock_discipline import LockDisciplineRule
+
+
+@pytest.fixture
+def run(run_rule):
+    def _run(code, path="src/repro/example.py"):
+        return run_rule(LockDisciplineRule(), code, path=path)
+    return _run
+
+
+class TestAbbaOrder:
+    def test_inconsistent_pair_flagged_at_later_site(self, run):
+        findings = run("""\
+            class Store:
+                def one(self):
+                    with self._a_lock:
+                        with self._b_lock:
+                            pass
+
+                def two(self):
+                    with self._b_lock:
+                        with self._a_lock:
+                            pass
+            """)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.line == 9  # the later of the two nesting sites
+        assert "ABBA" in finding.message
+        assert "self._a_lock" in finding.message
+
+    def test_consistent_nesting_is_clean(self, run):
+        assert run("""\
+            class Store:
+                def one(self):
+                    with self._a_lock:
+                        with self._b_lock:
+                            pass
+
+                def two(self):
+                    with self._a_lock:
+                        with self._b_lock:
+                            pass
+            """) == []
+
+    def test_conflict_through_same_class_call(self, run):
+        findings = run("""\
+            class Store:
+                def outer(self):
+                    with self._a_lock:
+                        self.inner()
+
+                def inner(self):
+                    with self._b_lock:
+                        pass
+
+                def reversed(self):
+                    with self._b_lock:
+                        with self._a_lock:
+                            pass
+            """)
+        assert len(findings) == 1
+        assert "inconsistent lock order" in findings[0].message
+
+    def test_classes_are_independent_scopes(self, run):
+        assert run("""\
+            class One:
+                def m(self):
+                    with self._a_lock:
+                        with self._b_lock:
+                            pass
+
+            class Two:
+                def m(self):
+                    with self._b_lock:
+                        with self._a_lock:
+                            pass
+            """) == []
+
+
+class TestNotifyUnderLock:
+    def test_notify_call_under_lock(self, run):
+        findings = run("""\
+            class Engine:
+                def put(self, key, value):
+                    with self._lock:
+                        self._data[key] = value
+                        self._notify_listeners(key)
+            """)
+        assert len(findings) == 1
+        assert findings[0].line == 5
+        assert "notify" in findings[0].message
+
+    def test_notify_after_release_is_clean(self, run):
+        assert run("""\
+            class Engine:
+                def put(self, key, value):
+                    with self._lock:
+                        self._data[key] = value
+                    self._notify_listeners(key)
+            """) == []
+
+    def test_bare_callback_invocation_under_lock(self, run):
+        findings = run("""\
+            class Hub:
+                def fire(self):
+                    with self._lock:
+                        for listener in self._listeners:
+                            listener(self)
+            """)
+        assert len(findings) == 1
+        assert "'listener'" in findings[0].message
+
+    def test_transitive_notify_through_helper(self, run):
+        findings = run("""\
+            class Engine:
+                def put(self, key):
+                    with self._lock:
+                        self.emit(key)
+
+                def emit(self, key):
+                    self.changelog.notify_batch(key)
+            """)
+        assert len(findings) == 1
+        assert "transitively" in findings[0].message
+
+    def test_nested_def_runs_outside_the_lock(self, run):
+        # The closure executes later, not while the lock is held; but a
+        # lock taken *inside* the closure still gets its own context.
+        assert run("""\
+            class Server:
+                def handle(self):
+                    with self._lock:
+                        def deliver(response):
+                            self._notify_listeners(response)
+                        self._queue.append(deliver)
+            """) == []

@@ -1,0 +1,127 @@
+"""obs-taxonomy: metric families and span names against the registry."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_sources
+from repro.analysis.core import SourceFile
+from repro.analysis.rules.obs_taxonomy import (
+    SPAN_TAXONOMY,
+    ObsTaxonomyRule,
+    parse_registry,
+)
+
+HUB = '''\
+class Observability:
+    def __init__(self, reg):
+        self.requests_total = reg.counter(
+            "polystore_requests_total", "requests", ("outcome",))
+        self.exec_seconds = reg.histogram(
+            "polystore_exec_seconds", "latency", ())
+        self.queue_depth = reg.gauge("polystore_queue_depth", "depth", ())
+'''
+
+
+def _run(code, path="src/repro/middleware/example.py"):
+    hub = SourceFile("src/repro/obs/__init__.py", HUB)
+    source = SourceFile(path, textwrap.dedent(code))
+    return [f for f in analyze_sources([hub, source],
+                                       rules=[ObsTaxonomyRule()])
+            if f.path == path]
+
+
+class TestRegistryParsing:
+    def test_parse_registry_extracts_families(self):
+        hub = SourceFile("src/repro/obs/__init__.py", HUB)
+        assert parse_registry(hub.tree) == {
+            "requests_total": "counter",
+            "exec_seconds": "histogram",
+            "queue_depth": "gauge",
+        }
+
+
+class TestFamilyUse:
+    def test_unregistered_family_flagged(self):
+        findings = _run("""\
+            def record(self):
+                self._obs.request_total.inc(outcome="ok")
+            """)
+        assert len(findings) == 1
+        assert findings[0].line == 2
+        assert "request_total" in findings[0].message
+
+    def test_registered_family_is_clean(self):
+        assert _run("""\
+            def record(self, obs):
+                obs.requests_total.inc(outcome="ok")
+                self._obs.exec_seconds.observe(0.2)
+                obs.queue_depth.set(3)
+            """) == []
+
+    def test_non_family_hub_attrs_ignored(self):
+        assert _run("""\
+            def record(self, obs):
+                obs.tracer.annotations.set("k", 1)
+            """) == []
+
+
+class TestSpans:
+    def test_unknown_prefix_flagged(self):
+        findings = _run("""\
+            def trace(self):
+                with self.tracer.span("bogus:phase", "session"):
+                    pass
+            """)
+        assert len(findings) == 1
+        assert "'bogus'" in findings[0].message
+
+    def test_category_mismatch_flagged(self):
+        findings = _run("""\
+            def trace(self):
+                with self.tracer.span("op:scan-1", "session"):
+                    pass
+            """)
+        assert len(findings) == 1
+        assert "'operator'" in findings[0].message
+
+    def test_taxonomy_prefixes_accepted_with_their_category(self):
+        calls = "\n".join(
+            f'        with self.tracer.span("{prefix}:x", "{category}"):\n'
+            f"            pass"
+            for prefix, category in SPAN_TAXONOMY.items())
+        assert _run("def trace(self):\n" + calls,
+                    path="src/repro/middleware/spans.py") == []
+
+    def test_fstring_prefix_checked_dynamic_tail_ignored(self):
+        findings = _run("""\
+            def trace(self, op_id):
+                with self.tracer.span(f"op:{op_id}", "operator"):
+                    pass
+                with self.tracer.span(f"weird:{op_id}", "operator"):
+                    pass
+            """)
+        assert len(findings) == 1
+        assert "'weird'" in findings[0].message
+
+
+class TestRegistration:
+    def test_registration_outside_hub_flagged(self):
+        findings = _run("""\
+            def setup(reg):
+                return reg.counter("polystore_adhoc_total", "d", ())
+            """)
+        assert len(findings) == 1
+        assert "outside the Observability hub" in findings[0].message
+
+    def test_naming_conventions(self):
+        findings = _run("""\
+            def setup(reg):
+                reg.counter("polystore_bad_counter", "d", ())
+                reg.histogram("polystore_bad_hist", "d", ())
+                reg.gauge("unprefixed_depth", "d", ())
+            """)
+        messages = " | ".join(f.message for f in findings)
+        assert "_total" in messages
+        assert "_seconds" in messages
+        assert "polystore_<subsystem>_<what>" in messages

@@ -1,0 +1,21 @@
+"""The shipped tree must be clean under --strict (the CI gate)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+from repro.analysis.core import registered_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_is_clean_under_all_rules():
+    findings = analyze_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_run_covers_every_registered_rule():
+    # The gate is only meaningful if all five rules are registered when
+    # the runner imports the rules package.
+    assert len(registered_rules()) == 5

@@ -12,6 +12,7 @@ from repro import DataflowProgram, SystemConfig, col
 from repro.core import build_cpu_polystore
 from repro.datamodel import DataType, Table, make_schema
 from repro.eide import Param
+from repro.exceptions import CancelledError, DeadlineExceededError
 from repro.obs import ancestors, parse_prometheus_text
 from repro.serve import protocol
 from repro.serve.client import ServeError, TcpClient
@@ -509,3 +510,36 @@ class TestShutdown:
             client.execute("patients_over", timeout=30)
         assert exc_info.value.code == "SHUTTING_DOWN"
         assert exc_info.value.retryable
+
+
+class TestCancellationErrorMapping:
+    """Cancellation signals escaping an op handler must keep their meaning.
+
+    Regression for the analyzer's cancellation-safety rule: the dispatch
+    ``except Exception`` used to fold CancelledError/DeadlineExceededError
+    into INTERNAL, so clients retried work that was deliberately shed.
+    """
+
+    def test_cancelled_error_in_op_maps_to_cancelled_code(self):
+        system = _system()
+
+        def shed() -> str:
+            raise CancelledError("scrape shed under load")
+
+        system.export_prometheus = shed
+        with system.serve() as server:
+            with pytest.raises(ServeError) as excinfo:
+                server.connect().metrics(timeout=30)
+        assert excinfo.value.code == protocol.CANCELLED
+
+    def test_deadline_error_in_op_maps_to_deadline_code(self):
+        system = _system()
+
+        def expired() -> str:
+            raise DeadlineExceededError("budget spent before scrape")
+
+        system.export_prometheus = expired
+        with system.serve() as server:
+            with pytest.raises(ServeError) as excinfo:
+                server.connect().metrics(timeout=30)
+        assert excinfo.value.code == protocol.DEADLINE_EXCEEDED
