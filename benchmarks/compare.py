@@ -1,0 +1,137 @@
+"""Gate benchmark regressions against committed baselines.
+
+Usage:  python benchmarks/compare.py RESULTS_JSON [RESULTS_JSON ...]
+                                     [--max-regression 0.2]
+
+Each ``RESULTS_JSON`` is a fresh :mod:`benchmarks._emit` document (written
+via ``BENCH_JSON=dir`` or ``--json PATH``).  For each one, the committed
+baseline ``BENCH_<bench>.json`` at the repository root is loaded and every
+shared *charged* metric — numeric metrics whose key contains ``charged``,
+lower is better — is compared.  Charged times are simulator/CPU-accounted
+rather than wall-clock, so they form a machine-stable series that can be
+gated tightly even on noisy shared runners.
+
+Exit status is nonzero when any charged metric regresses by more than
+``--max-regression`` (default 0.2 = 20%, env override
+``COMPARE_MAX_REGRESSION``).  A missing baseline file or a baseline
+lacking charged metrics is an error: the gate must never silently pass
+because the series it guards disappeared.  Improvements and wall-clock
+metrics are reported but never fail the gate.
+
+To refresh a baseline after an intentional change:
+
+    BENCH_JSON=/tmp/bench PYTHONPATH=src python -m pytest benchmarks/... -q
+    cp /tmp/bench/<bench>.json BENCH_<bench>.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Any
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_document(path: Path) -> dict[str, Any]:
+    document = json.loads(path.read_text(encoding="utf-8"))
+    for key in ("bench", "metrics"):
+        if key not in document:
+            raise ValueError(f"{path}: not a benchmark document "
+                             f"(missing {key!r})")
+    return document
+
+
+def charged_metrics(document: dict[str, Any]) -> dict[str, float]:
+    """The machine-stable regression series: numeric ``*charged*`` keys."""
+    return {key: float(value)
+            for key, value in document["metrics"].items()
+            if "charged" in key and isinstance(value, (int, float))}
+
+
+def compare_document(fresh_path: Path, max_regression: float,
+                     baseline_dir: Path = REPO_ROOT) -> list[str]:
+    """Compare one fresh result against its committed baseline.
+
+    Returns a list of failure strings (empty = pass); prints one line per
+    compared metric either way.
+    """
+    fresh = load_document(fresh_path)
+    bench = fresh["bench"]
+    baseline_path = baseline_dir / f"BENCH_{bench}.json"
+    if not baseline_path.exists():
+        return [f"{bench}: no committed baseline at {baseline_path}; "
+                f"run the benchmark with BENCH_JSON set and commit the "
+                f"document as {baseline_path.name}"]
+    baseline = load_document(baseline_path)
+
+    base_charged = charged_metrics(baseline)
+    fresh_charged = charged_metrics(fresh)
+    if not base_charged:
+        return [f"{bench}: baseline {baseline_path.name} has no charged "
+                f"metrics to gate on"]
+
+    failures: list[str] = []
+    for key in sorted(base_charged):
+        base_value = base_charged[key]
+        if key not in fresh_charged:
+            failures.append(f"{bench}: charged metric {key!r} present in "
+                            f"baseline but missing from {fresh_path}")
+            continue
+        fresh_value = fresh_charged[key]
+        if base_value <= 0.0:
+            print(f"{bench}.{key}: baseline {base_value:.6g} not positive; "
+                  f"skipping ratio check (fresh {fresh_value:.6g})")
+            continue
+        delta = (fresh_value - base_value) / base_value
+        verdict = "ok"
+        if delta > max_regression:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{bench}: {key} regressed {delta * 100:+.1f}% "
+                f"({base_value:.6g} -> {fresh_value:.6g}, "
+                f"limit +{max_regression * 100:.0f}%)")
+        print(f"{bench}.{key}: {base_value:.6g} -> {fresh_value:.6g} "
+              f"({delta * 100:+.1f}%) {verdict}")
+    for key in sorted(set(fresh_charged) - set(base_charged)):
+        print(f"{bench}.{key}: new charged metric (no baseline yet); "
+              f"refresh {baseline_path.name} to start gating it")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail on charged-time regressions vs committed "
+                    "BENCH_*.json baselines.")
+    parser.add_argument("results", nargs="+", type=Path,
+                        help="fresh benchmark JSON document(s)")
+    parser.add_argument(
+        "--max-regression", type=float,
+        default=float(os.environ.get("COMPARE_MAX_REGRESSION", "0.2")),
+        help="allowed fractional increase in charged time (default 0.2)")
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    for path in args.results:
+        if not path.exists():
+            failures.append(f"missing results file: {path}")
+            continue
+        try:
+            failures.extend(compare_document(path, args.max_regression))
+        except (ValueError, json.JSONDecodeError) as exc:
+            failures.append(f"{path}: {exc}")
+
+    if failures:
+        print("\nbenchmark gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,14 @@ checks the claims the instrumentation makes:
 * WAL fsync spans nest under the ingest request that caused them,
 * the span buffer converts to a Chrome ``trace_event`` document —
   pass ``--trace PATH`` to write it, then load it in
-  https://ui.perfetto.dev or ``about:tracing``.
+  https://ui.perfetto.dev or ``about:tracing``,
+* the sampling profiler attributes stacks to the running requests —
+  pass ``--profile PATH`` to write a speedscope JSON document (open it
+  at https://speedscope.app),
+* lifecycle events land in the structured log with trace correlation —
+  pass ``--logs PATH`` to dump the buffer as JSON lines,
+* ``system.health()`` rolls component checks and SLO burn rates up to
+  ``ok`` on this healthy deployment.
 
 Run with:  PYTHONPATH=src python examples/observability_trace.py --trace trace.json
 Fast mode: EXAMPLES_FAST=1 ... (CI smoke settings)
@@ -49,9 +56,10 @@ CORE_FAMILIES = (
 
 
 def build_observed_deployment(data_dir: str):
-    """A durable sharded deployment with tracing fully on."""
+    """A durable sharded deployment with tracing and profiling fully on."""
     config = SystemConfig(obs_enabled=True, obs_trace_sample_rate=1.0,
-                          durability_sync="always")
+                          durability_sync="always",
+                          obs_profile_enabled=True, obs_profile_hz=200.0)
     sales = ShardedEngine("sales", RelationalEngine, N_SHARDS)
     system = build_accelerated_polystore([sales], config=config)
     system.open(data_dir)
@@ -102,10 +110,16 @@ def check_span_nesting(system) -> tuple[int, int]:
     return len(by_kind["shard"]), len(by_kind["wal_fsync"])
 
 
+def _arg(flag: str) -> str | None:
+    if flag in sys.argv:
+        return sys.argv[sys.argv.index(flag) + 1]
+    return None
+
+
 def main() -> None:
-    trace_path = None
-    if "--trace" in sys.argv:
-        trace_path = sys.argv[sys.argv.index("--trace") + 1]
+    trace_path = _arg("--trace")
+    profile_path = _arg("--profile")
+    logs_path = _arg("--logs")
 
     with tempfile.TemporaryDirectory(prefix="obs-trace-") as data_dir:
         system, sales = build_observed_deployment(data_dir)
@@ -143,6 +157,36 @@ def main() -> None:
             with open(trace_path, "w") as handle:
                 json.dump(document, handle, default=repr)
             print(f"wrote {trace_path} — open it at https://ui.perfetto.dev")
+
+        # -- profiler: the sampler saw this process working --
+        system.obs.profiler.stop()
+        speedscope = system.export_profile(fmt="speedscope")
+        samples = speedscope["profiles"][0]["samples"]
+        assert samples, "profiler captured no stacks"
+        print(f"profiler: {len(samples)} distinct stacks, "
+              f"{system.obs.profiler.describe()['samples']} samples")
+        if profile_path:
+            with open(profile_path, "w") as handle:
+                json.dump(speedscope, handle)
+            print(f"wrote {profile_path} — open it at https://speedscope.app")
+
+        # -- structured log: durability lifecycle events were recorded --
+        records = system.export_logs(component="durability")
+        assert any(r["event"] == "wal_checkpoint" for r in records), records
+        print(f"structured log: {len(system.export_logs())} records "
+              f"({len(records)} durability)")
+        if logs_path:
+            with open(logs_path, "w") as handle:
+                handle.write(system.obs.events.export_jsonl())
+            print(f"wrote {logs_path} (JSON lines)")
+
+        # -- health: checks and SLO burn rates roll up to ok --
+        health = system.health()
+        assert health["status"] == "ok", health
+        assert not health["burning_slos"], health
+        print("health: " + ", ".join(
+            f"{check['name']}={check['status']}"
+            for check in health["checks"]))
 
         system.close()
 

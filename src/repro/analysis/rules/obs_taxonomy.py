@@ -53,6 +53,7 @@ SPAN_TAXONOMY: dict[str, str] = {
     "view_refresh": "view",
     "wal_fsync": "durability",
     "snapshot": "durability",
+    "health": "session",
 }
 
 _REGISTRY_SUFFIX = "repro/obs/__init__.py"
@@ -63,6 +64,7 @@ _OBS_MARKERS = frozenset({"obs", "_obs"})
 #: Attributes of the hub that are not metric families.
 _NON_FAMILY_ATTRS = frozenset({
     "registry", "tracer", "slow_log", "enabled",
+    "events", "profiler", "slos",
 })
 _FAMILY_NAME_RE = re.compile(r"^polystore_[a-z0-9_]+$")
 _REGISTRY_RECEIVER_RE = re.compile(r"^(reg|registry|_registry)$")

@@ -189,12 +189,14 @@ class PreparedProgram:
             return self._run_once(refresh=refresh, reuse_scans=reuse_scans,
                                   params=params, cancellation=token)
         start = time.perf_counter()
+        trace_id = None
         with obs.tracer.request(f"request:{self._program.name}",
                                 program=self._program.name,
                                 mode=self.mode) as span:
             result = self._run_once(refresh=refresh, reuse_scans=reuse_scans,
                                     params=params, cancellation=token)
             if span is not None:
+                trace_id = span.trace_id
                 span.set(operators=len(result.report.records),
                          reoptimized=result.report.reoptimized)
         elapsed = time.perf_counter() - start
@@ -202,7 +204,8 @@ class PreparedProgram:
         obs.request_seconds.observe(elapsed, mode=self.mode)
         obs.consider_slow(program=str(self._program.name), mode=self.mode,
                           fingerprint=self._entry.fingerprint,
-                          report=result.report, elapsed_wall_s=elapsed)
+                          report=result.report, elapsed_wall_s=elapsed,
+                          trace_id=trace_id)
         return result
 
     def _run_once(self, *, refresh: bool, reuse_scans: bool,
@@ -454,6 +457,10 @@ class Session:
             entry.superseded_by = replacement
             self.plan_cache.put(self._plan_key(entry.fingerprint, plan), replacement)
             obs.plan_cache_total.inc(outcome="reoptimized")
+            obs.logger("session").info(
+                "plan_reoptimized", program=str(program.name), mode=plan.mode,
+                fingerprint=entry.fingerprint[:12],
+                reoptimizations=replacement.reoptimizations)
             return replacement
 
     # -- one-shot execution --------------------------------------------------------------

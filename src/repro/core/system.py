@@ -27,7 +27,14 @@ from repro.middleware.executor import ExecutionReport
 from repro.middleware.feedback import RuntimeStats
 from repro.middleware.migration import SimulatedNetwork
 from repro.middleware.optimizer import CostModel
-from repro.obs import Observability, chrome_trace, prometheus_text
+from repro.obs import (
+    Observability,
+    SloTracker,
+    chrome_trace,
+    prometheus_text,
+    run_checks,
+    worst_status,
+)
 from repro.stores.base import Engine
 from repro.views.registry import ViewRegistry
 from repro.views.view import MaintenancePolicy, MaterializedView
@@ -132,6 +139,17 @@ class SystemConfig:
     obs_slow_query_ms: float = 250.0
     #: Finished spans retained for export (ring buffer).
     obs_span_buffer: int = 8192
+    #: Start the background sampling profiler with the deployment.  Off by
+    #: default — with it off the profiler thread never exists and the
+    #: prepared hot path is byte-identical to PR 7's.
+    obs_profile_enabled: bool = False
+    #: Profiler sweep rate (stack samples per second across all threads).
+    obs_profile_hz: float = 67.0
+    #: Structured-log ring buffer capacity (records retained).
+    obs_log_capacity: int = 2048
+    #: Minimum structured-log level retained ("debug", "info", "warning",
+    #: "error").
+    obs_log_level: str = "info"
     #: Serving tier (:meth:`PolystorePlusPlus.serve`): worker sessions in a
     #: server's bounded pool — also its admission-control slot count.
     serve_pool_size: int = 4
@@ -161,7 +179,12 @@ class PolystorePlusPlus:
             sample_rate=self.config.obs_trace_sample_rate,
             slow_query_ms=self.config.obs_slow_query_ms,
             span_buffer=self.config.obs_span_buffer,
+            profile_hz=self.config.obs_profile_hz,
+            log_capacity=self.config.obs_log_capacity,
+            log_level=self.config.obs_log_level,
         ) if self.config.obs_enabled else Observability.disabled())
+        if self.config.obs_enabled and self.config.obs_profile_enabled:
+            self.obs.profiler.start()
         #: Observed per-operator runtime statistics (populated by executors).
         self.runtime_stats = RuntimeStats(
             smoothing=self.config.feedback_smoothing,
@@ -291,7 +314,12 @@ class PolystorePlusPlus:
             default_strategy=(strategy or self.config.migration_strategy),
         )
         rebalancer = ShardRebalancer(engine, migrator=migrator)
-        return rebalancer.rebalance(num_shards, partitioner=partitioner)
+        report = rebalancer.rebalance(num_shards, partitioner=partitioner)
+        self.obs.logger("cluster").info(
+            "rebalance_cutover", engine=name,
+            shards_before=report.old_shards, shards_after=report.new_shards,
+            moved_rows=report.moved_rows, duration_s=report.duration_s)
+        return report
 
     def register_accelerator(self, accelerator: Accelerator, *,
                              use_for_migration: bool = False) -> Accelerator:
@@ -413,6 +441,7 @@ class PolystorePlusPlus:
             self.obs.view_rows.set(view["rows"], view=view["name"])
         for server in list(self._servers):
             server.refresh_gauges()
+        self.obs.sample_slos()
 
     def export_prometheus(self) -> str:
         """The metrics registry in Prometheus text exposition format."""
@@ -427,6 +456,50 @@ class PolystorePlusPlus:
         per-shard subtasks and WAL fsyncs on a timeline.
         """
         return chrome_trace(self.obs.tracer.spans())
+
+    def export_profile(self, *, fmt: str = "collapsed",
+                       trace_id: int | None = None) -> Any:
+        """The sampling profiler's aggregate, ready for flamegraph tooling.
+
+        ``fmt="collapsed"`` returns flamegraph.pl/inferno collapsed-stack
+        text; ``fmt="speedscope"`` returns a speedscope.app JSON document.
+        Pass ``trace_id`` to narrow to one sampled request's stacks.
+        Requires ``obs_profile_enabled`` (or a manual
+        ``system.obs.profiler.start()``) to have produced samples.
+        """
+        profile = self.obs.profiler.profile(trace_id)
+        if fmt == "collapsed":
+            return profile.collapsed()
+        if fmt == "speedscope":
+            return profile.speedscope()
+        raise ConfigurationError(
+            f"unknown profile format {fmt!r}; choose 'collapsed' or 'speedscope'"
+        )
+
+    def export_logs(self, *, level: str | None = None,
+                    component: str | None = None) -> list[dict[str, Any]]:
+        """The structured event-log buffer, oldest first (see repro.obs.log)."""
+        return self.obs.events.records(level=level, component=component)
+
+    def health(self) -> dict[str, Any]:
+        """Component health checks plus SLO burn rates, rolled up.
+
+        Returns ``{"status": "ok"|"warn"|"fail", "checks": [...],
+        "slos": [...]}`` — the payload the serve protocol's ``health`` op
+        hands to load balancers.  A sustained error-budget burn (burn rate
+        above 1.0 on every trailing window of an objective) degrades an
+        otherwise-ok deployment to ``warn``.
+        """
+        with self.obs.tracer.request("health:system"):
+            checks = run_checks(self)
+            slos = self.obs.sample_slos()
+        status = worst_status([check["status"] for check in checks])
+        burning = SloTracker.burning(slos)
+        if burning and status == "ok":
+            status = "warn"
+        self.obs.set_health_gauges(checks)
+        return {"status": status, "checks": checks, "slos": slos,
+                "burning_slos": burning}
 
     # -- compilation -----------------------------------------------------------------------
 

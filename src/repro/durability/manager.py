@@ -117,6 +117,11 @@ class EngineStore:
         if replayed:
             self.manager.obs.recovery_replayed_total.inc(
                 replayed, engine=self.engine.name)
+        if self.recovery.get("restored"):
+            self.manager.obs.logger("durability").info(
+                "wal_recovery", engine=self.engine.name,
+                replayed_batches=replayed,
+                truncated_records=self.recovery.get("truncated_records", 0))
         self._hook()
         # Checkpoint immediately: a fresh attach snapshots whatever state
         # the engine already carries, and a recovered attach re-anchors the
@@ -263,9 +268,12 @@ class EngineStore:
         self._since_checkpoint = 0
         self._gc()
         if obs.enabled:
-            obs.snapshot_seconds.observe(
-                time.perf_counter() - checkpoint_start, engine=engine.name)
+            duration_s = time.perf_counter() - checkpoint_start
+            obs.snapshot_seconds.observe(duration_s, engine=engine.name)
             obs.checkpoints_total.inc(engine=engine.name)
+            obs.logger("durability").info(
+                "wal_checkpoint", engine=engine.name,
+                snapshot_id=self._snap_id, duration_s=round(duration_s, 6))
 
     def checkpoint_state(self) -> dict[str, Any]:
         """Current manifest anchor, for ``DurabilityManager.describe()``."""
@@ -508,7 +516,10 @@ class ShardedStore:
             )
         self.checkpoint()
         self._gc_generations()
-        del old_generation
+        self.manager.obs.logger("durability").info(
+            "rebalance_cutover_durable", engine=engine.name,
+            generation=self.generation, old_generation=old_generation,
+            shards=len(engine.shards))
 
     # -- checkpoint ---------------------------------------------------------------------
 
@@ -552,9 +563,13 @@ class ShardedStore:
             self._since_checkpoint = 0
             self._gc_facade()
         if obs.enabled:
-            obs.snapshot_seconds.observe(
-                time.perf_counter() - checkpoint_start, engine=engine.name)
+            duration_s = time.perf_counter() - checkpoint_start
+            obs.snapshot_seconds.observe(duration_s, engine=engine.name)
             obs.checkpoints_total.inc(engine=engine.name)
+            obs.logger("durability").info(
+                "wal_checkpoint", engine=engine.name,
+                snapshot_id=self._snap_id, generation=self.generation,
+                duration_s=round(duration_s, 6))
 
     def checkpoint_state(self) -> dict[str, Any]:
         """Facade manifest anchor plus each shard store's, for describe()."""

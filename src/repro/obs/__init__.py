@@ -31,6 +31,14 @@ from repro.obs.export import (
     parse_prometheus_text,
     prometheus_text,
 )
+from repro.obs.health import (
+    DEFAULT_OBJECTIVES,
+    SloObjective,
+    SloTracker,
+    run_checks,
+    worst_status,
+)
+from repro.obs.log import ComponentLogger, EventLog
 from repro.obs.metrics import (
     LATENCY_BUCKETS,
     SIZE_BUCKETS,
@@ -39,6 +47,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profile import Profile, SamplingProfiler
 from repro.obs.slowlog import SlowQueryLog, stage_breakdown
 from repro.obs.trace import Span, Tracer, ancestors, span_tree
 
@@ -51,6 +60,15 @@ __all__ = [
     "Tracer",
     "Span",
     "SlowQueryLog",
+    "EventLog",
+    "ComponentLogger",
+    "SamplingProfiler",
+    "Profile",
+    "SloTracker",
+    "SloObjective",
+    "DEFAULT_OBJECTIVES",
+    "run_checks",
+    "worst_status",
     "prometheus_text",
     "parse_prometheus_text",
     "chrome_trace",
@@ -72,12 +90,22 @@ class Observability:
 
     def __init__(self, *, enabled: bool = True, sample_rate: float = 1.0,
                  slow_query_ms: float = 250.0, span_buffer: int = 8192,
+                 profile_hz: float = 67.0, log_capacity: int = 2048,
+                 log_level: str = "info",
                  rng: random.Random | None = None) -> None:
         self.enabled = enabled
         self.registry = MetricsRegistry(enabled=enabled)
         self.tracer = Tracer(enabled=enabled, sample_rate=sample_rate,
                              buffer_size=span_buffer, rng=rng)
         self.slow_log = SlowQueryLog(threshold_ms=slow_query_ms)
+        #: Structured, trace-correlated event log (see repro.obs.log).
+        self.events = EventLog(self.tracer, enabled=enabled,
+                               capacity=log_capacity, level=log_level)
+        #: Background sampling wall-clock profiler; built but not started —
+        #: the system starts it when ``obs_profile_enabled`` is set.
+        self.profiler = SamplingProfiler(self.tracer, hz=profile_hz)
+        #: SLO burn-rate tracker over this registry's metric families.
+        self.slos = SloTracker(self.registry)
         reg = self.registry
         # -- session layer ---------------------------------------------------------------
         self.requests_total = reg.counter(
@@ -178,6 +206,40 @@ class Observability:
         self.view_rows = reg.gauge(
             "polystore_view_rows",
             "Rows currently materialized per view.", ("view",))
+        # -- structured log / profiler ---------------------------------------------------
+        self.log_records_total = reg.counter(
+            "polystore_log_records_total",
+            "Structured log records retained, by component and level.",
+            ("component", "level"))
+        self.log_suppressed_total = reg.counter(
+            "polystore_log_suppressed_total",
+            "Structured log records dropped by duplicate suppression.",
+            ("component",))
+        self.profile_samples_total = reg.counter(
+            "polystore_profile_samples_total",
+            "Thread stacks captured by the sampling profiler.")
+        # -- health / SLOs (refreshed by health() and at scrape) -------------------------
+        self.health_status = reg.gauge(
+            "polystore_health_status",
+            "Component health (1 ok, 0.5 warn, 0 fail), by check.",
+            ("check",))
+        self.slo_objective = reg.gauge(
+            "polystore_slo_objective",
+            "Declared objective (good fraction) per SLO.", ("slo",))
+        self.slo_error_ratio = reg.gauge(
+            "polystore_slo_error_ratio",
+            "Observed error ratio per SLO over a trailing window.",
+            ("slo", "window"))
+        self.slo_burn_rate = reg.gauge(
+            "polystore_slo_burn_rate",
+            "Error-budget burn rate (error_ratio / budget) per SLO and "
+            "window; 1.0 spends the budget exactly at the sustainable pace.",
+            ("slo", "window"))
+        # Counter hookup happens after family registration: the event log
+        # and profiler are constructed before their families exist.
+        self.events.records_counter = self.log_records_total
+        self.events.suppressed_counter = self.log_suppressed_total
+        self.profiler.samples_counter = self.profile_samples_total
 
     # -- constructors --------------------------------------------------------------------
 
@@ -196,19 +258,64 @@ class Observability:
                                           span_buffer=1)
         return cls._disabled_singleton
 
+    # -- structured logging --------------------------------------------------------------
+
+    def logger(self, component: str) -> ComponentLogger:
+        """A named structured logger bound to this deployment's event log."""
+        return self.events.logger(component)
+
     # -- slow-query capture --------------------------------------------------------------
 
     def consider_slow(self, *, program: str, mode: str,
                       fingerprint: str | None, report: Any,
-                      elapsed_wall_s: float) -> None:
-        """Offer one finished request to the slow-query log."""
+                      elapsed_wall_s: float,
+                      trace_id: int | None = None) -> None:
+        """Offer one finished request to the slow-query log.
+
+        When the request was traced and the sampling profiler is running,
+        the request's aggregated stack samples are claimed and attached to
+        the capture — the entry answers "where did the wall time go", not
+        just "which stages were slow".
+        """
         if not self.enabled:
             return
+        profile = None
+        if self.profiler.running:
+            trace_profile = self.profiler.take_trace(trace_id)
+            if trace_profile is not None and len(trace_profile):
+                profile = trace_profile.to_dict()
         entry = self.slow_log.consider(program=program, mode=mode,
                                        fingerprint=fingerprint, report=report,
-                                       elapsed_wall_s=elapsed_wall_s)
+                                       elapsed_wall_s=elapsed_wall_s,
+                                       profile=profile)
         if entry is not None:
             self.slow_queries_total.inc()
+
+    # -- health / SLO gauges -------------------------------------------------------------
+
+    def sample_slos(self) -> list[Any]:
+        """Evaluate every SLO and refresh the ``polystore_slo_*`` gauges."""
+        if not self.enabled:
+            return []
+        results = self.slos.sample()
+        for result in results:
+            self.slo_objective.set(result["objective"], slo=result["slo"])
+            for window in result["windows"]:
+                label = f"{int(window['window_s'])}s"
+                self.slo_error_ratio.set(window["error_ratio"],
+                                         slo=result["slo"], window=label)
+                self.slo_burn_rate.set(window["burn_rate"],
+                                       slo=result["slo"], window=label)
+        return results
+
+    def set_health_gauges(self, checks: list[Any]) -> None:
+        """Mirror check results into ``polystore_health_status``."""
+        if not self.enabled:
+            return
+        scores = {"ok": 1.0, "warn": 0.5, "fail": 0.0}
+        for check in checks:
+            self.health_status.set(scores.get(check["status"], 0.0),
+                                   check=check["name"])
 
     # -- introspection -------------------------------------------------------------------
 
@@ -222,4 +329,6 @@ class Observability:
             "spans_buffered": len(self.tracer),
             "slow_query_threshold_ms": self.slow_log.threshold_ms,
             "slow_queries_captured": self.slow_log.total_captured,
+            "log": self.events.describe(),
+            "profiler": self.profiler.describe(),
         }

@@ -31,7 +31,45 @@ if TYPE_CHECKING:
 
 
 def _escape_label(value: str) -> str:
+    """Prometheus label-value escaping: backslash, newline, double quote.
+
+    Label values are client-supplied (tenant ids flow into ``serve_*``
+    labels), so hostile values must stay inside their quotes and keep the
+    exposition line-oriented.  Backslash must be escaped first.
+    """
     return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def _unescape_label(value: str) -> str:
+    """Single-pass inverse of :func:`_escape_label`.
+
+    Sequential ``str.replace`` calls mis-decode mixed sequences (a literal
+    backslash followed by ``n`` escapes to ``\\\\n``, which a later
+    ``\\n -> newline`` replace would corrupt); a scanner decodes each
+    escape exactly once.
+    """
+    out: list[str] = []
+    index = 0
+    length = len(value)
+    while index < length:
+        char = value[index]
+        if char == "\\" and index + 1 < length:
+            follower = value[index + 1]
+            if follower == "\\":
+                out.append("\\")
+                index += 2
+                continue
+            if follower == "n":
+                out.append("\n")
+                index += 2
+                continue
+            if follower == '"':
+                out.append('"')
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
 
 
 def _format_labels(names: tuple[str, ...] | list[str],
@@ -150,25 +188,32 @@ def _parse_labels(body: str) -> dict[str, str]:
         key, _, quoted = pair.partition("=")
         if not (quoted.startswith('"') and quoted.endswith('"')):
             raise ValueError(f"malformed label pair: {pair!r}")
-        value = (quoted[1:-1].replace(r'\"', '"')
-                 .replace(r"\n", "\n").replace(r"\\", "\\"))
-        labels[key] = value
+        labels[key] = _unescape_label(quoted[1:-1])
     return labels
 
 
 def _split_label_pairs(body: str) -> list[str]:
+    # Quote state must track escape *runs*, not just the previous
+    # character: in `a\\"` the quote is real (the backslash is itself
+    # escaped), while in `a\"` it is not.  An explicit escaped flag
+    # consumes backslashes pairwise.
     pairs: list[str] = []
-    depth_quote = False
+    in_quote = False
+    escaped = False
     start = 0
-    index = 0
-    while index < len(body):
-        char = body[index]
-        if char == '"' and (index == 0 or body[index - 1] != "\\"):
-            depth_quote = not depth_quote
-        elif char == "," and not depth_quote:
+    for index, char in enumerate(body):
+        if in_quote:
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == '"':
+                in_quote = False
+        elif char == '"':
+            in_quote = True
+        elif char == ",":
             pairs.append(body[start:index])
             start = index + 1
-        index += 1
     pairs.append(body[start:])
     return [pair for pair in pairs if pair]
 

@@ -1,0 +1,314 @@
+"""Component health checks and SLO burn-rate tracking.
+
+Two complementary views of "is this deployment OK":
+
+* **Health checks** inspect live component state — durability liveness,
+  changelog retention pressure, serve admission-queue saturation, view
+  staleness/errors — and each return ``ok`` / ``warn`` / ``fail`` with a
+  detail dict.  ``system.health()`` rolls them up (worst status wins) and
+  the serve protocol's ``health`` op exposes the roll-up to load balancers.
+
+* **SLO objectives** are declarative targets over the *existing* metric
+  families ("99.9% of served requests succeed", "99% of requests finish
+  under 500ms").  The :class:`SloTracker` snapshots the relevant counters
+  on every evaluation, keeps a bounded history, and computes the error
+  ratio and **burn rate** over multiple trailing windows.  Burn rate is the
+  standard SRE quantity: ``error_ratio / (1 - objective)`` — 1.0 means the
+  error budget is being spent exactly at the sustainable pace, 14.4 over an
+  hour means the monthly budget dies in two days.  Results are exported as
+  ``polystore_slo_*`` gauge families.
+
+Everything here is read-only over registry/engine state and safe to call
+from the serve event loop (``server.stats()`` resolves directly when
+already on the loop thread).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .metrics import MetricsRegistry
+
+#: Roll-up order: the worst individual status becomes the overall one.
+STATUS_ORDER = {"ok": 0, "warn": 1, "fail": 2}
+
+#: Trailing windows (seconds) burn rates are computed over.  Short/long
+#: pairs support the classic multi-window alert ("fast burn AND slow burn").
+DEFAULT_WINDOWS = (60.0, 300.0, 3600.0)
+
+#: Changelog retention ratio (rows/max_rows) above which retention pressure
+#: is a warning: consumers (incremental views, future replicas) risk
+#: falling off the tail and forcing full resyncs.
+RETENTION_WARN_RATIO = 0.8
+
+#: Admission queue fill ratio above which the serving tier is saturated.
+QUEUE_WARN_RATIO = 0.8
+
+
+def worst_status(statuses: "list[str] | tuple[str, ...]") -> str:
+    if not statuses:
+        return "ok"
+    return max(statuses, key=lambda s: STATUS_ORDER.get(s, 2))
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declarative objective over an existing metric family.
+
+    ``kind="availability"`` reads a labeled counter family and classifies
+    children whose ``label`` value is in ``bad_values`` as errors.
+    ``kind="latency"`` reads a histogram family and counts observations
+    above ``threshold_s`` (rounded up to the covering bucket boundary) as
+    errors.
+    """
+
+    name: str
+    family: str
+    objective: float
+    kind: str = "availability"
+    label: str = "outcome"
+    bad_values: frozenset[str] = frozenset({"error"})
+    threshold_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.objective < 1.0):
+            raise ValueError(f"SLO {self.name!r}: objective must be in (0, 1)")
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"SLO {self.name!r}: unknown kind {self.kind!r}")
+
+    @property
+    def budget(self) -> float:
+        """The tolerated error fraction (1 - objective)."""
+        return 1.0 - self.objective
+
+
+#: Objectives every deployment tracks by default: served-request success,
+#: served-request latency, and in-process session request latency.
+DEFAULT_OBJECTIVES = (
+    SloObjective(name="serve-availability",
+                 family="polystore_serve_requests_total",
+                 objective=0.999, kind="availability",
+                 label="outcome", bad_values=frozenset({"error"})),
+    SloObjective(name="serve-latency",
+                 family="polystore_serve_request_seconds",
+                 objective=0.99, kind="latency", threshold_s=0.5),
+    SloObjective(name="request-latency",
+                 family="polystore_request_seconds",
+                 objective=0.99, kind="latency", threshold_s=0.5),
+)
+
+
+@dataclass
+class _SloSample:
+    """One (good, bad) cumulative reading per objective at time ``t``."""
+
+    t: float
+    totals: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+
+class SloTracker:
+    """Burn-rate evaluator over counter snapshots of one registry."""
+
+    def __init__(self, registry: "MetricsRegistry",
+                 objectives: tuple[SloObjective, ...] = DEFAULT_OBJECTIVES,
+                 *, windows: tuple[float, ...] = DEFAULT_WINDOWS,
+                 history: int = 1024,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.registry = registry
+        self.objectives = tuple(objectives)
+        self.windows = tuple(sorted(windows))
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._history: deque[_SloSample] = deque(maxlen=history)
+
+    # -- reading the registry ------------------------------------------------------------
+
+    def _totals(self, objective: SloObjective) -> tuple[float, float]:
+        """Cumulative (good, bad) event counts for one objective, right now."""
+        family = self.registry.get(objective.family)
+        if family is None:
+            return 0.0, 0.0
+        good = bad = 0.0
+        if objective.kind == "availability":
+            try:
+                index = family.label_names.index(objective.label)
+            except ValueError:
+                return 0.0, 0.0
+            for child in family.children():
+                value = getattr(child, "value", 0.0)
+                if child.label_values[index] in objective.bad_values:
+                    bad += value
+                else:
+                    good += value
+            return good, bad
+        # latency: good = observations <= the covering bucket boundary.
+        for child in family.children():
+            boundaries = getattr(child, "boundaries", None)
+            if boundaries is None:
+                continue
+            with child._lock:
+                counts = list(child.bucket_counts)
+                total = child.count
+            index = bisect_left(boundaries, objective.threshold_s)
+            fast = total if index >= len(boundaries) else sum(counts[:index + 1])
+            good += fast
+            bad += total - fast
+        return good, bad
+
+    # -- evaluation ----------------------------------------------------------------------
+
+    def sample(self, now: float | None = None) -> list[dict[str, Any]]:
+        """Snapshot the registry and evaluate every objective.
+
+        Returns one dict per objective with per-window error ratios and
+        burn rates.  Windows shorter than the available history simply use
+        the oldest sample inside the window; with a single sample every
+        delta is zero (no events = no burn).
+        """
+        t = self._clock() if now is None else now
+        sample = _SloSample(t)
+        for objective in self.objectives:
+            sample.totals[objective.name] = self._totals(objective)
+        with self._lock:
+            self._history.append(sample)
+            history = list(self._history)
+        results = []
+        for objective in self.objectives:
+            good_now, bad_now = sample.totals[objective.name]
+            windows = []
+            for window_s in self.windows:
+                baseline = self._baseline(history, t - window_s,
+                                          objective.name)
+                delta_good = good_now - baseline[0]
+                delta_bad = bad_now - baseline[1]
+                total = delta_good + delta_bad
+                ratio = (delta_bad / total) if total > 0 else 0.0
+                windows.append({
+                    "window_s": window_s,
+                    "events": total,
+                    "error_ratio": ratio,
+                    "burn_rate": ratio / objective.budget,
+                })
+            results.append({
+                "slo": objective.name,
+                "family": objective.family,
+                "kind": objective.kind,
+                "objective": objective.objective,
+                "good": good_now,
+                "bad": bad_now,
+                "windows": windows,
+            })
+        return results
+
+    @staticmethod
+    def _baseline(history: list[_SloSample], cutoff: float,
+                  name: str) -> tuple[float, float]:
+        for sample in history:
+            if sample.t >= cutoff:
+                return sample.totals.get(name, (0.0, 0.0))
+        return history[-1].totals.get(name, (0.0, 0.0))
+
+    @staticmethod
+    def burning(results: list[dict[str, Any]]) -> list[str]:
+        """Objectives whose budget is burning on *every* window (sustained)."""
+        names = []
+        for result in results:
+            windows = result["windows"]
+            if windows and all(w["burn_rate"] > 1.0 and w["events"] > 0
+                               for w in windows):
+                names.append(result["slo"])
+        return names
+
+
+# -- component checks --------------------------------------------------------------------
+
+
+def check_durability(system: Any) -> dict[str, Any]:
+    """Durable storage liveness (in-memory deployments are trivially ok)."""
+    manager = system.durability
+    if manager is None:
+        return {"name": "durability", "status": "ok",
+                "detail": {"mode": "in-memory"}}
+    description = manager.describe()
+    status = "ok" if description["alive"] else "fail"
+    return {"name": "durability", "status": status,
+            "detail": {"path": description["path"],
+                       "alive": description["alive"],
+                       "engines": len(description["engines"]),
+                       "skipped_engines": len(description["skipped_engines"])}}
+
+
+def check_changelog(system: Any) -> dict[str, Any]:
+    """Retention pressure: how close each engine's delta log is to eviction."""
+    worst = 0.0
+    worst_engine = None
+    engines = 0
+    for engine in system.catalog.engines():
+        stats = engine.changelog.retention_stats()
+        engines += 1
+        max_rows = stats.get("max_rows") or 0
+        ratio = (stats["retained_rows"] / max_rows) if max_rows else 0.0
+        if ratio >= worst:
+            worst, worst_engine = ratio, engine.name
+    status = "warn" if worst >= RETENTION_WARN_RATIO else "ok"
+    return {"name": "changelog_retention", "status": status,
+            "detail": {"engines": engines, "worst_ratio": round(worst, 4),
+                       "worst_engine": worst_engine}}
+
+
+def check_serving(system: Any) -> dict[str, Any]:
+    """Admission saturation across every live server of this deployment."""
+    servers = [server for server in list(system._servers) if server.running]
+    if not servers:
+        return {"name": "serve_queues", "status": "ok",
+                "detail": {"servers": 0}}
+    worst = 0.0
+    queued = busy = slots = 0
+    for server in servers:
+        admission = server.stats()["admission"]
+        slots += admission["slots"]
+        busy += admission["busy"]
+        queued += admission["queued"]
+        max_queue = admission.get("max_queue") or 0
+        ratio = (admission["queued"] / max_queue) if max_queue else 0.0
+        worst = max(worst, ratio)
+    status = "warn" if worst >= QUEUE_WARN_RATIO else "ok"
+    return {"name": "serve_queues", "status": status,
+            "detail": {"servers": len(servers), "slots": slots, "busy": busy,
+                       "queued": queued, "worst_queue_ratio": round(worst, 4)}}
+
+
+def check_views(system: Any) -> dict[str, Any]:
+    """Materialized-view maintenance health (refresh errors => warn)."""
+    errored = []
+    views = 0
+    for view in system.views.describe():
+        views += 1
+        if view.get("last_error"):
+            errored.append({"view": view["name"], "error": view["last_error"]})
+    status = "warn" if errored else "ok"
+    return {"name": "views", "status": status,
+            "detail": {"views": views, "errored": errored}}
+
+
+#: The check suite ``system.health()`` runs, in report order.
+CHECKS = (check_durability, check_changelog, check_serving, check_views)
+
+
+def run_checks(system: Any) -> list[dict[str, Any]]:
+    """Run every component check; a crashing check reports itself as fail."""
+    results = []
+    for check in CHECKS:
+        try:
+            results.append(check(system))
+        except Exception as exc:  # a broken probe is itself a health signal
+            results.append({"name": check.__name__.removeprefix("check_"),
+                            "status": "fail",
+                            "detail": {"error": f"{type(exc).__name__}: {exc}"}})
+    return results

@@ -52,13 +52,16 @@ class SlowQueryLog:
         self.total_captured = 0
 
     def consider(self, *, program: str, mode: str, fingerprint: str | None,
-                 report: "ExecutionReport",
-                 elapsed_wall_s: float) -> dict[str, Any] | None:
+                 report: "ExecutionReport", elapsed_wall_s: float,
+                 profile: dict[str, Any] | None = None
+                 ) -> dict[str, Any] | None:
         """Capture the run if it crossed the threshold; returns the entry.
 
         ``elapsed_wall_s`` is the caller-measured request wall time (it
         covers parameter binding and snapshot validation, not only the
-        executor's own elapsed time).
+        executor's own elapsed time).  ``profile`` is the request's
+        collapsed-stack sample aggregate when the sampling profiler was
+        running (see :meth:`Observability.consider_slow`).
         """
         if elapsed_wall_s * 1000.0 < self.threshold_ms:
             return None
@@ -72,6 +75,7 @@ class SlowQueryLog:
             "operators": len(report.records),
             "stages": stage_breakdown(report),
             "slowest_ops": self._slowest_ops(report),
+            "profile": profile,
             "captured_at": time.time(),
         }
         with self._lock:

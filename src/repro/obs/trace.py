@@ -117,14 +117,14 @@ class _AttachScope:
         self._installed = span is not None
         if self._installed:
             self._previous = tracer._current_span()
-            tracer._local.span = span
+            tracer._set_current(span)
 
     def __enter__(self) -> None:
         return None
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if self._installed:
-            self._tracer._local.span = self._previous
+            self._tracer._set_current(self._previous)
 
 
 class Tracer:
@@ -138,6 +138,13 @@ class Tracer:
         self.sample_rate = sample_rate
         self._rng = rng if rng is not None else random.Random()
         self._local = threading.local()
+        #: Mirror of every thread's current span, keyed by thread ident.
+        #: Thread-locals are invisible to other threads, but the sampling
+        #: profiler must attribute a sampled stack to the span open on the
+        #: *sampled* thread — so every current-span install also updates
+        #: this map.  Plain dict ops are atomic under the GIL; a sampler
+        #: reading a stale entry merely misattributes one sample.
+        self._thread_spans: dict[int, Span] = {}
         self._lock = threading.Lock()
         self._finished: deque[Span] = deque(maxlen=buffer_size)
         #: Requests that arrived while tracing (sampled or not) / sampled.
@@ -171,7 +178,7 @@ class Tracer:
             return _SpanScope(self, None, None)
         span = Span(name, "session", trace_id=next(_ids), parent_id=None,
                     attrs=attrs)
-        self._local.span = span
+        self._set_current(span)
         return _SpanScope(self, span, None)
 
     def span(self, name: str, category: str, **attrs: Any) -> _SpanScope:
@@ -183,7 +190,7 @@ class Tracer:
             return _SpanScope(self, None, None)
         span = Span(name, category, trace_id=parent.trace_id,
                     parent_id=parent.span_id, attrs=attrs)
-        self._local.span = span
+        self._set_current(span)
         return _SpanScope(self, span, parent)
 
     def attach(self, span: Span | None) -> _AttachScope:
@@ -211,8 +218,21 @@ class Tracer:
     def _current_span(self) -> Span | None:
         return getattr(self._local, "span", None)
 
+    def _set_current(self, span: Span | None) -> None:
+        """Install ``span`` as this thread's current, mirroring it for samplers."""
+        self._local.span = span
+        ident = threading.get_ident()
+        if span is None:
+            self._thread_spans.pop(ident, None)
+        else:
+            self._thread_spans[ident] = span
+
+    def current_spans_by_thread(self) -> dict[int, Span]:
+        """Snapshot of each thread's current span (profiler attribution)."""
+        return dict(self._thread_spans)
+
     def _finish(self, span: Span, previous: Span | None) -> None:
-        self._local.span = previous
+        self._set_current(previous)
         with self._lock:
             self._finished.append(span)
 

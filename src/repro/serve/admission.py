@@ -193,6 +193,7 @@ class AdmissionController:
     def snapshot(self) -> dict[str, Any]:
         return {
             "slots": self.slots,
+            "max_queue": self.max_queue,
             "busy": self._busy,
             "queued": self._queued,
             "queues": self.queue_depths(),

@@ -106,6 +106,16 @@ class _ClientOps:
         message = {"op": "stats", "id": self._next_id()}
         return _unwrap(self.request(message, timeout))["stats"]
 
+    def health(self, timeout: float | None = None) -> dict[str, Any]:
+        """The system's rolled-up health document (load-balancer probe).
+
+        Returns ``{"status": "ok"|"warn"|"fail", "checks": [...],
+        "slos": [...], "burning_slos": [...]}`` from
+        :meth:`repro.core.system.PolystorePlusPlus.health`.
+        """
+        message = {"op": "health", "id": self._next_id()}
+        return _unwrap(self.request(message, timeout))["health"]
+
     def ping(self, timeout: float | None = None) -> bool:
         message = {"op": "ping", "id": self._next_id()}
         return bool(_unwrap(self.request(message, timeout)).get("pong"))

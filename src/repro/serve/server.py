@@ -137,6 +137,7 @@ class PolystoreServer:
         self._system = system
         self._config = config if config is not None else ServeConfig()
         self._obs = system.obs
+        self._log = system.obs.logger("serve")
         self._programs: dict[str, RegisteredProgram] = {}
         self._quotas = QuotaManager()
         self._admission = AdmissionController(
@@ -223,6 +224,11 @@ class PolystoreServer:
         return host, port
 
     @property
+    def running(self) -> bool:
+        """Whether the server is started and has not completed a stop()."""
+        return self._running
+
+    @property
     def address(self) -> tuple[str, int]:
         """The bound ``(host, port)`` of the TCP listener."""
         if self._address is None:
@@ -246,9 +252,11 @@ class PolystoreServer:
         while not self._slots.empty():
             self._slots.get_nowait().session.close()
         self._running = False
+        self._log.info("server_stop")
 
     async def _begin_shutdown(self) -> None:
         self._shutting_down = True
+        self._log.info("server_drain", inflight=len(self._inflight))
         if self._sweeper is not None:
             self._sweeper.cancel()
         if self._tcp_server is not None:
@@ -358,6 +366,11 @@ class PolystoreServer:
                 deliver(ok_response(request_id, stats=self._stats_locked()))
             elif op == "ping":
                 deliver(ok_response(request_id, pong=True))
+            elif op == "health":
+                # Load-balancer probe: component checks + SLO burn rates.
+                # Safe on the loop thread — this server's stats resolve
+                # directly (no cross-thread hop) inside system.health().
+                deliver(ok_response(request_id, health=self._system.health()))
             else:
                 deliver(error_response(request_id, protocol.BAD_REQUEST,
                                        f"unknown op {op!r}"))
@@ -388,12 +401,17 @@ class PolystoreServer:
             return
         if self._shutting_down:
             self._obs.serve_rejects_total.inc(tenant=tenant, reason="shutdown")
+            self._log.warning("admission_reject", tenant=tenant,
+                              program=name, reason="shutdown")
             deliver(error_response(request_id, protocol.SHUTTING_DOWN,
                                    "server is shutting down"))
             return
         retry_after = self._quotas.try_acquire(tenant)
         if retry_after > 0:
             self._obs.serve_rejects_total.inc(tenant=tenant, reason="quota")
+            self._log.warning("admission_reject", tenant=tenant,
+                              program=name, reason="quota",
+                              retry_after_s=retry_after)
             deliver(error_response(request_id, protocol.QUOTA_EXCEEDED,
                                    f"tenant {tenant!r} is over its rate",
                                    retry_after_s=retry_after))
@@ -420,6 +438,9 @@ class PolystoreServer:
         if decision == "reject":
             self._obs.serve_rejects_total.inc(tenant=tenant,
                                               reason="overloaded")
+            self._log.warning("admission_reject", tenant=tenant,
+                              program=name, reason="overloaded",
+                              retry_after_s=hint)
             deliver(error_response(
                 request_id, protocol.OVERLOADED,
                 "admission queues are full", retry_after_s=hint))
@@ -432,6 +453,7 @@ class PolystoreServer:
         else:
             request.state = "queued"
             self._gauge_tenants.add(tenant)
+            self._log.info("admission_queue", tenant=tenant, program=name)
 
     def _track(self, key: tuple[str, Any], request: _Request) -> None:
         self._inflight[key] = request

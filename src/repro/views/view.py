@@ -249,6 +249,11 @@ class MaterializedView:
             obs.view_refresh_seconds.observe(outcome.charged_time_s,
                                              view=self.name)
             obs.view_delta_rows.observe(outcome.delta_rows, view=self.name)
+        resync_reason = outcome.details.get("resync_reason")
+        if resync_reason is not None:
+            obs.logger("views").warning(
+                "view_resync", view=self.name, cause=resync_reason,
+                delta_rows=outcome.delta_rows)
         return outcome
 
     def _refresh_locked(self, *, force_full: bool) -> RefreshOutcome:
@@ -470,6 +475,8 @@ class MaterializedView:
             self.last_error = None
         except Exception as exc:  # noqa: BLE001 - contained, surfaced on read
             self.last_error = exc
+            self.system.obs.logger("views").error(
+                "view_refresh_error", view=self.name, cause=repr(exc))
 
     def _auto_prefers_eager(self) -> bool:
         """Eager while observed delta sizes stay small (feedback-steered)."""

@@ -8,6 +8,13 @@ from repro import DataflowProgram, SystemConfig
 from repro.core import build_accelerated_polystore
 from repro.datamodel import DataType, Table, make_schema
 from repro.obs import chrome_trace_json, parse_prometheus_text
+from repro.obs.export import (
+    _escape_label,
+    _split_label_pairs,
+    _unescape_label,
+    prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
 from repro.stores import RelationalEngine
 
 
@@ -62,6 +69,68 @@ class TestPrometheusScrape:
                      "polystore_changelog_retained_batches"):
             assert name in families, name
         system.close()
+
+
+#: Label values a client can actually send (tenant ids flow into
+#: ``serve_*`` labels): embedded quotes, newlines, backslashes, and the
+#: mixed sequences that break naive sequential-replace codecs.
+_HOSTILE_VALUES = [
+    'evil"name',
+    "multi\nline",
+    "back\\slash",
+    "trailing\\",
+    "literal\\n-not-a-newline",
+    'mix\\"ed\n"all"\\three\\',
+    'comma,inside',
+    "",
+]
+
+
+class TestHostileLabelValues:
+    def test_escape_unescape_round_trips_every_hostile_value(self):
+        for value in _HOSTILE_VALUES:
+            escaped = _escape_label(value)
+            assert "\n" not in escaped  # exposition stays line-oriented
+            assert _unescape_label(escaped) == value, value
+
+    def test_unescape_decodes_each_sequence_exactly_once(self):
+        # A literal backslash followed by 'n' escapes to \\n; sequential
+        # str.replace would re-decode the result into a newline.
+        assert _escape_label("literal\\n") == "literal\\\\n"
+        assert _unescape_label("literal\\\\n") == "literal\\n"
+        # Unknown escape sequences pass through verbatim.
+        assert _unescape_label("odd\\t") == "odd\\t"
+
+    def test_split_tracks_escape_runs_inside_quotes(self):
+        # In a="x\\" the quote is real (the backslash is itself escaped);
+        # a naive single-lookbehind splitter treats it as escaped and
+        # swallows the comma into the first pair.
+        assert _split_label_pairs('a="x\\\\",b="y"') == ['a="x\\\\"', 'b="y"']
+        assert _split_label_pairs('a="x\\"y,z",b="w"') == \
+            ['a="x\\"y,z"', 'b="w"']
+
+    def test_scrape_with_hostile_tenant_labels_round_trips(self):
+        registry = MetricsRegistry()
+        family = registry.counter("polystore_serve_requests_total", "help",
+                                  ("tenant", "outcome"))
+        for index, value in enumerate(_HOSTILE_VALUES):
+            family.inc(index + 1, tenant=value, outcome="ok")
+        parsed = parse_prometheus_text(prometheus_text(registry))
+        samples = parsed["polystore_serve_requests_total"]["samples"]
+        seen = {s["labels"]["tenant"]: s["value"] for s in samples}
+        for index, value in enumerate(_HOSTILE_VALUES):
+            assert seen[value] == index + 1
+
+    def test_hostile_histogram_labels_round_trip(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("polystore_serve_request_seconds",
+                                    "help", ("tenant",))
+        family.observe(0.2, tenant='t"en\\ant\n1')
+        parsed = parse_prometheus_text(prometheus_text(registry))
+        samples = parsed["polystore_serve_request_seconds"]["samples"]
+        assert samples
+        for sample in samples:
+            assert sample["labels"]["tenant"] == 't"en\\ant\n1'
 
 
 class TestDescribeFoldIn:

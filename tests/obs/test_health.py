@@ -1,0 +1,243 @@
+"""Health checks, SLO burn rates, and the serve ``health`` op."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DataflowProgram, SystemConfig
+from repro.core import build_accelerated_polystore, build_cpu_polystore
+from repro.datamodel import DataType, Table, make_schema
+from repro.obs import SloObjective, SloTracker, run_checks, worst_status
+from repro.obs.metrics import MetricsRegistry
+from repro.stores import RelationalEngine
+
+
+class _Clock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestWorstStatus:
+    def test_roll_up_order(self):
+        assert worst_status([]) == "ok"
+        assert worst_status(["ok", "ok"]) == "ok"
+        assert worst_status(["ok", "warn", "ok"]) == "warn"
+        assert worst_status(["warn", "fail", "ok"]) == "fail"
+        # Unknown statuses rank as worst: a broken probe must not look ok.
+        assert worst_status(["ok", "bogus"]) == "bogus"
+
+
+class TestSloObjective:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="objective must be in"):
+            SloObjective(name="x", family="f", objective=1.0)
+        with pytest.raises(ValueError, match="unknown kind"):
+            SloObjective(name="x", family="f", objective=0.99, kind="tail")
+        assert SloObjective(name="x", family="f",
+                            objective=0.999).budget == pytest.approx(0.001)
+
+
+def _availability_tracker(clock):
+    registry = MetricsRegistry()
+    family = registry.counter("polystore_serve_requests_total", "",
+                              ("tenant", "outcome"))
+    objective = SloObjective(name="avail",
+                             family="polystore_serve_requests_total",
+                             objective=0.9, kind="availability")
+    tracker = SloTracker(registry, (objective,), windows=(60.0, 300.0),
+                         clock=clock)
+    return registry, family, tracker
+
+
+class TestSloBurnRates:
+    def test_availability_error_ratio_and_burn_rate(self):
+        clock = _Clock()
+        _, family, tracker = _availability_tracker(clock)
+        tracker.sample()  # t=0 baseline: no events
+
+        clock.now = 30.0
+        family.inc(60, tenant="a", outcome="ok")
+        family.inc(20, tenant="a", outcome="error")
+        family.inc(20, tenant="b", outcome="coalesced")
+        [result] = tracker.sample()
+        assert result["good"] == 80 and result["bad"] == 20
+        for window in result["windows"]:
+            # 20 errors out of 100 events = 0.2 ratio; budget is 0.1.
+            assert window["events"] == 100
+            assert window["error_ratio"] == pytest.approx(0.2)
+            assert window["burn_rate"] == pytest.approx(2.0)
+
+    def test_windows_use_their_own_baseline(self):
+        clock = _Clock()
+        _, family, tracker = _availability_tracker(clock)
+        family.inc(100, tenant="a", outcome="error")
+        tracker.sample()  # t=0: the errors are history before both windows
+
+        clock.now = 120.0  # outside the 60s window, inside the 300s one
+        family.inc(100, tenant="a", outcome="ok")
+        [result] = tracker.sample()
+        short, long = result["windows"]
+        # Short window baseline is the t=120 sample itself (no sample in
+        # [60, 120]): falls back to the oldest *available*, t=0 — both
+        # windows therefore see the same 100-ok delta here.
+        assert short["error_ratio"] == 0.0
+        assert long["events"] == 100 and long["error_ratio"] == 0.0
+
+    def test_latency_objective_counts_slow_observations(self):
+        clock = _Clock()
+        registry = MetricsRegistry()
+        family = registry.histogram("polystore_request_seconds", "", ())
+        objective = SloObjective(name="lat",
+                                 family="polystore_request_seconds",
+                                 objective=0.9, kind="latency",
+                                 threshold_s=0.5)
+        tracker = SloTracker(registry, (objective,), windows=(60.0,),
+                             clock=clock)
+        tracker.sample()
+        clock.now = 10.0
+        for _ in range(8):
+            family.observe(0.01)  # fast
+        family.observe(2.0)  # slow
+        family.observe(30.0)  # slow
+        [result] = tracker.sample()
+        assert result["good"] == 8 and result["bad"] == 2
+        [window] = result["windows"]
+        assert window["error_ratio"] == pytest.approx(0.2)
+        assert window["burn_rate"] == pytest.approx(2.0)
+
+    def test_missing_family_or_label_is_zero_not_crash(self):
+        registry = MetricsRegistry()
+        absent = SloObjective(name="gone", family="polystore_gone_total",
+                              objective=0.99)
+        registry.counter("polystore_unlabeled_total", "", ())
+        mislabeled = SloObjective(name="odd",
+                                  family="polystore_unlabeled_total",
+                                  objective=0.99, label="outcome")
+        tracker = SloTracker(registry, (absent, mislabeled), windows=(60.0,))
+        for result in tracker.sample():
+            assert result["good"] == 0 and result["bad"] == 0
+
+    def test_burning_requires_every_window_over_budget(self):
+        clock = _Clock()
+        _, family, tracker = _availability_tracker(clock)
+        tracker.sample()
+        clock.now = 30.0
+        family.inc(5, tenant="a", outcome="ok")
+        family.inc(5, tenant="a", outcome="error")  # ratio 0.5 >> budget 0.1
+        results = tracker.sample()
+        assert SloTracker.burning(results) == ["avail"]
+
+        # Quiet period: the short window drains while the long one still
+        # contains the burst -> no longer "sustained".
+        clock.now = 200.0
+        tracker.sample(now=170.0)  # intermediate quiet sample
+        results = tracker.sample()
+        assert SloTracker.burning(results) == []
+
+
+def _system(config=None):
+    engine = RelationalEngine("ordersdb")
+    schema = make_schema(("order_id", DataType.INT),
+                         ("amount", DataType.FLOAT))
+    engine.load_table("orders", Table(
+        schema, [(i, float(i % 7)) for i in range(40)]))
+    config = config or SystemConfig(obs_enabled=True)
+    return build_accelerated_polystore([engine], config=config), engine
+
+
+class TestComponentChecks:
+    def test_all_checks_ok_on_a_healthy_in_memory_system(self):
+        system, _ = _system()
+        checks = run_checks(system)
+        assert [c["name"] for c in checks] == \
+            ["durability", "changelog_retention", "serve_queues", "views"]
+        assert all(c["status"] == "ok" for c in checks)
+
+    def test_durable_deployment_reports_liveness(self, tmp_path):
+        system, _ = _system(SystemConfig(obs_enabled=True,
+                                         durability_sync="always"))
+        system.open(str(tmp_path))
+        [durability] = [c for c in run_checks(system)
+                        if c["name"] == "durability"]
+        assert durability["status"] == "ok"
+        assert durability["detail"]["alive"] is True
+        system.close()
+
+    def test_view_refresh_error_degrades_views_check(self):
+        system, engine = _system()
+
+        calls = [0]
+
+        def boom(table):
+            calls[0] += 1
+            if calls[0] > 1:  # initial materialization succeeds
+                raise RuntimeError("refresh boom")
+            return table
+
+        source = system.dataset("ordersdb").table("orders").apply(boom)
+        system.views.create("broken", source, policy="eager")
+        engine.insert("orders", [(999, 1.0)])  # triggers the failing refresh
+        [views] = [c for c in run_checks(system) if c["name"] == "views"]
+        assert views["status"] == "warn"
+        assert views["detail"]["errored"][0]["view"] == "broken"
+
+    def test_crashing_check_reports_fail_not_raise(self):
+        class Hostile:
+            def __getattr__(self, name):
+                raise RuntimeError("probe exploded")
+
+        checks = run_checks(Hostile())
+        assert checks and all(c["status"] == "fail" for c in checks)
+
+
+class TestSystemHealth:
+    def test_health_rolls_up_and_sets_gauges(self):
+        system, _ = _system()
+        report = system.health()
+        assert report["status"] == "ok"
+        assert report["burning_slos"] == []
+        assert {s["slo"] for s in report["slos"]} == \
+            {"serve-availability", "serve-latency", "request-latency"}
+        assert system.obs.registry.value("polystore_health_status",
+                                         check="durability") == 1.0
+        assert system.obs.registry.value("polystore_slo_burn_rate",
+                                         slo="serve-availability",
+                                         window="60s") == 0.0
+
+    def test_scrape_exports_slo_families(self):
+        system, _ = _system()
+        system.health()
+        scrape = system.export_prometheus()
+        assert "polystore_slo_objective" in scrape
+        assert "polystore_slo_burn_rate" in scrape
+        assert "polystore_health_status" in scrape
+
+
+class TestServeHealthOp:
+    def test_health_op_probes_a_live_server(self):
+        system, _ = _system(SystemConfig(obs_enabled=True,
+                                         session_workers=2))
+        program = DataflowProgram("probe")
+        program.output("out", system.dataset("ordersdb").table("orders"))
+        with system.serve(pool_size=2) as server:
+            server.register("probe", program)
+            client = server.connect()
+            client.execute("probe", tenant="lb")
+            health = client.health()
+        assert health["status"] == "ok"
+        names = [c["name"] for c in health["checks"]]
+        assert "serve_queues" in names
+        [serving] = [c for c in health["checks"]
+                     if c["name"] == "serve_queues"]
+        # The probe hit a *running* server: the check must see it.
+        assert serving["detail"]["servers"] == 1
+
+    def test_health_op_still_answers_on_cpu_build(self):
+        system = build_cpu_polystore(
+            [], config=SystemConfig(obs_enabled=True))
+        with system.serve(pool_size=1) as server:
+            health = server.connect().health()
+        assert health["status"] == "ok"

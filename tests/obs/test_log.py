@@ -1,0 +1,196 @@
+"""Structured event log: levels, trace correlation, suppression, sinks."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import DataflowProgram, SystemConfig
+from repro.core import build_accelerated_polystore
+from repro.datamodel import DataType, Table, make_schema
+from repro.obs import EventLog, Observability
+from repro.obs.trace import Tracer
+
+
+class _Clock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestLevelsAndFiltering:
+    def test_below_threshold_records_are_dropped(self):
+        log = EventLog(level="info")
+        assert log.emit("debug", "c", "e") is None
+        assert log.emit("info", "c", "e") is not None
+        log.set_level("debug")
+        assert log.emit("debug", "c", "e2") is not None
+        assert len(log) == 2
+
+    def test_warn_aliases_warning(self):
+        log = EventLog(level="warning")
+        record = log.emit("warn", "c", "e")
+        assert record is not None and record["level"] == "warning"
+        assert log.emit("info", "c", "e") is None
+
+    def test_unknown_level_raises(self):
+        log = EventLog()
+        with pytest.raises(ValueError, match="unknown log level"):
+            log.emit("fatal", "c", "e")
+        with pytest.raises(ValueError):
+            EventLog(level="loud")
+
+    def test_disabled_log_is_inert(self):
+        log = EventLog(enabled=False)
+        assert log.emit("error", "c", "e") is None
+        assert len(log) == 0 and log.describe()["enabled"] is False
+
+    def test_records_filter_by_level_floor_and_component(self):
+        log = EventLog(level="debug")
+        log.logger("wal").info("checkpoint")
+        log.logger("wal").error("torn_record")
+        log.logger("serve").warning("admission_reject")
+        assert [r["event"] for r in log.records(component="wal")] == \
+            ["checkpoint", "torn_record"]
+        assert [r["event"] for r in log.records(level="warning")] == \
+            ["torn_record", "admission_reject"]
+        assert [r["event"] for r in log.records(level="warning",
+                                                component="wal")] == \
+            ["torn_record"]
+
+
+class TestTraceCorrelation:
+    def test_records_carry_active_span_ids(self):
+        tracer = Tracer(enabled=True, sample_rate=1.0)
+        log = EventLog(tracer)
+        with tracer.request("req:logged") as span:
+            record = log.logger("session").info("inside", step=3)
+        outside = log.logger("session").info("outside")
+        assert record["trace_id"] == span.trace_id
+        assert record["span_id"] == span.span_id
+        assert record["step"] == 3
+        assert "trace_id" not in outside
+
+    def test_hub_counts_records_per_component_and_level(self):
+        obs = Observability(enabled=True, sample_rate=1.0)
+        obs.logger("views").warning("view_resync", cause="gap")
+        obs.logger("views").warning("view_resync", cause="gap")
+        obs.logger("wal").info("wal_checkpoint")
+        assert obs.registry.value("polystore_log_records_total",
+                                  component="views", level="warning") == 2
+        assert obs.registry.value("polystore_log_records_total",
+                                  component="wal", level="info") == 1
+
+
+class TestRingBufferAndSuppression:
+    def test_ring_buffer_is_bounded_oldest_dropped(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.logger("c").info(f"e{i}")
+        events = [r["event"] for r in log.records()]
+        assert events == ["e6", "e7", "e8", "e9"]
+        assert log.describe()["total_records"] == 10
+
+    def test_duplicate_storm_is_suppressed_within_the_window(self):
+        clock = _Clock()
+        log = EventLog(suppress_after=3, suppress_window_s=1.0, clock=clock)
+        emitted = [log.logger("serve").warning("admission_reject", n=i)
+                   for i in range(10)]
+        assert sum(r is not None for r in emitted) == 3
+        assert log.describe()["total_suppressed"] == 7
+        # A different event key is not affected.
+        assert log.logger("serve").warning("other") is not None
+
+    def test_next_record_after_the_window_carries_the_suppressed_count(self):
+        clock = _Clock()
+        log = EventLog(suppress_after=2, suppress_window_s=1.0, clock=clock)
+        for _ in range(5):
+            log.logger("wal").info("wal_checkpoint")
+        clock.now += 1.5  # window expires; 3 drops carried forward
+        record = log.logger("wal").info("wal_checkpoint")
+        assert record is not None and record["suppressed"] == 3
+        follow_up = log.logger("wal").info("wal_checkpoint")
+        assert follow_up is not None and "suppressed" not in follow_up
+
+
+class TestSinksAndExport:
+    def test_attached_stream_receives_json_lines(self):
+        sink = io.StringIO()
+        log = EventLog()
+        log.attach_stream(sink)
+        log.logger("c").info("hello", x=1)
+        log.attach_stream(None)
+        log.logger("c").info("unmirrored")
+        lines = sink.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        parsed = json.loads(lines[0])
+        assert parsed["event"] == "hello" and parsed["x"] == 1
+
+    def test_export_jsonl_round_trips(self):
+        log = EventLog()
+        log.logger("a").info("one")
+        log.logger("b").error("two", detail="boom")
+        parsed = [json.loads(line)
+                  for line in log.export_jsonl().strip().splitlines()]
+        assert [r["event"] for r in parsed] == ["one", "two"]
+
+
+def _lifecycle_system(tmp_path):
+    engine = RelationalEngine("ordersdb")
+    schema = make_schema(("order_id", DataType.INT),
+                         ("amount", DataType.FLOAT))
+    engine.load_table("orders", Table(
+        schema, [(i, float(i % 7)) for i in range(20)]))
+    config = SystemConfig(obs_enabled=True, durability_sync="always")
+    system = build_accelerated_polystore([engine], config=config)
+    system.open(str(tmp_path))
+    return system, engine
+
+
+from repro.stores import RelationalEngine  # noqa: E402
+
+
+class TestLifecycleInstrumentation:
+    def test_checkpoint_and_recovery_emit_durability_events(self, tmp_path):
+        system, engine = _lifecycle_system(tmp_path)
+        engine.insert("orders", [(1000, 3.5)])
+        system.durability.checkpoint()
+        events = [r["event"] for r in
+                  system.export_logs(component="durability")]
+        assert "wal_checkpoint" in events
+        system.close()
+
+        reopened, _ = _lifecycle_system(tmp_path)
+        recovery = [r for r in reopened.export_logs(component="durability")
+                    if r["event"] == "wal_recovery"]
+        assert recovery and recovery[0]["engine"] == "ordersdb"
+        reopened.close()
+
+    def test_session_reoptimization_is_logged(self):
+        engine = RelationalEngine("eventsdb")
+        schema = make_schema(("event_id", DataType.INT),
+                             ("value", DataType.FLOAT))
+        engine.load_table("events", Table(
+            schema, [(i, float(i * 31 % 1009)) for i in range(300)]))
+        system = build_accelerated_polystore(
+            [engine], config=SystemConfig(obs_enabled=True))
+        ranked = (system.dataset("eventsdb").table("events")
+                  .sort("value", descending=True))
+        program = DataflowProgram("ranked-events")
+        program.output("ranked", ranked)
+        session = system.session(name="t")
+        prepared = session.prepare(program)
+        prepared.run(reuse_scans=False)
+        # 100x growth: the next run observes the drift, the one after
+        # re-optimizes (the pattern from tests/client/test_plan_aging.py).
+        engine.insert("events", [(300 + i, float(i)) for i in range(30_000)])
+        prepared.run(reuse_scans=False)
+        prepared.run(reuse_scans=False)
+        events = [r for r in system.export_logs(component="session")
+                  if r["event"] == "plan_reoptimized"]
+        assert events and events[0]["program"] == "ranked-events"
+        session.close()
